@@ -1,0 +1,44 @@
+// Ablation — the design choices DESIGN.md calls out:
+//  1. threshold-triggered cooling (the paper's TTSA) vs plain geometric
+//     cooling at the same alpha, and
+//  2. the structured neighborhood mix vs a toggle-heavy mix,
+// measured on the default network at two workloads. Also reports solve time,
+// since the threshold trigger exists to cut wasted low-temperature sweeps.
+#include "bench_common.h"
+
+using namespace tsajs;
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "ablation_cooling — threshold-triggered vs geometric cooling, and "
+      "neighborhood-mix sensitivity");
+  bench::add_common_flags(cli, /*trials=*/"10",
+                          "tsajs,tsajs-geo,local-search");
+  cli.add_flag("workloads", "workload sweep [Megacycles]", "1000,3000");
+  cli.add_flag("users", "number of users U", "50");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bench::BenchOptions options = bench::read_common_flags(cli);
+  std::vector<std::string> labels;
+  std::vector<mec::ScenarioBuilder> builders;
+  for (const double w : cli.get_double_list("workloads")) {
+    labels.push_back(format_double(w, 0));
+    builders.push_back(
+        mec::ScenarioBuilder()
+            .num_users(static_cast<std::size_t>(cli.get_int("users")))
+            .task_megacycles(w));
+  }
+
+  const auto rows = bench::run_sweep(options, labels, builders);
+  exp::emit_report(
+      "Ablation: cooling policy — mean utility",
+      exp::make_sweep_table("w_u [Mcycles]", labels, rows,
+                            exp::metric_utility(true)),
+      options.csv_prefix.empty() ? "" : options.csv_prefix + "_utility");
+  exp::emit_report(
+      "Ablation: cooling policy — mean solve time",
+      exp::make_sweep_table("w_u [Mcycles]", labels, rows,
+                            exp::metric_runtime()),
+      options.csv_prefix.empty() ? "" : options.csv_prefix + "_runtime");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Micro-benchmarks (google-benchmark) of the hot paths underneath every
+// scheduler: channel generation, SINR/rate evaluation, the CRA closed form,
+// the full system-utility objective, one neighborhood step, and end-to-end
+// solves of each scheme on the default network.
+#include <benchmark/benchmark.h>
+
+#include "algo/registry.h"
+#include "algo/scheduler.h"
+#include "jtora/utility.h"
+#include "mec/scenario_builder.h"
+
+namespace {
+
+using namespace tsajs;
+
+mec::Scenario default_scenario(std::size_t users) {
+  Rng rng(42);
+  return mec::ScenarioBuilder().num_users(users).build(rng);
+}
+
+void BM_ScenarioBuild(benchmark::State& state) {
+  Rng rng(7);
+  const auto users = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const mec::Scenario scenario =
+        mec::ScenarioBuilder().num_users(users).build(rng);
+    benchmark::DoNotOptimize(scenario.num_users());
+  }
+}
+BENCHMARK(BM_ScenarioBuild)->Arg(10)->Arg(50)->Arg(90);
+
+void BM_SystemUtility(benchmark::State& state) {
+  const mec::Scenario scenario =
+      default_scenario(static_cast<std::size_t>(state.range(0)));
+  const jtora::UtilityEvaluator evaluator(scenario);
+  Rng rng(1);
+  const jtora::Assignment x =
+      algo::random_feasible_assignment(scenario, rng, 0.7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.system_utility(x));
+  }
+}
+BENCHMARK(BM_SystemUtility)->Arg(10)->Arg(50)->Arg(90);
+
+void BM_FullEvaluate(benchmark::State& state) {
+  const mec::Scenario scenario =
+      default_scenario(static_cast<std::size_t>(state.range(0)));
+  const jtora::UtilityEvaluator evaluator(scenario);
+  Rng rng(2);
+  const jtora::Assignment x =
+      algo::random_feasible_assignment(scenario, rng, 0.7);
+  for (auto _ : state) {
+    const jtora::Evaluation eval = evaluator.evaluate(x);
+    benchmark::DoNotOptimize(eval.system_utility);
+  }
+}
+BENCHMARK(BM_FullEvaluate)->Arg(50);
+
+void BM_CraClosedForm(benchmark::State& state) {
+  const mec::Scenario scenario = default_scenario(50);
+  const jtora::CraSolver solver(scenario);
+  Rng rng(3);
+  const jtora::Assignment x =
+      algo::random_feasible_assignment(scenario, rng, 0.9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.optimal_objective(x));
+  }
+}
+BENCHMARK(BM_CraClosedForm);
+
+void BM_NeighborhoodStep(benchmark::State& state) {
+  const mec::Scenario scenario = default_scenario(50);
+  const algo::Neighborhood neighborhood(scenario);
+  Rng rng(4);
+  jtora::Assignment x = algo::random_feasible_assignment(scenario, rng, 0.5);
+  for (auto _ : state) {
+    neighborhood.step(x, rng);
+    benchmark::DoNotOptimize(x.num_offloaded());
+  }
+}
+BENCHMARK(BM_NeighborhoodStep);
+
+void BM_AssignmentCopy(benchmark::State& state) {
+  const mec::Scenario scenario = default_scenario(90);
+  Rng rng(5);
+  const jtora::Assignment x =
+      algo::random_feasible_assignment(scenario, rng, 0.7);
+  for (auto _ : state) {
+    jtora::Assignment copy = x;
+    benchmark::DoNotOptimize(copy.num_offloaded());
+  }
+}
+BENCHMARK(BM_AssignmentCopy);
+
+void BM_SchedulerSolve(benchmark::State& state, const char* scheme,
+                       std::size_t users) {
+  const mec::Scenario scenario = default_scenario(users);
+  const auto scheduler = algo::make_scheduler(scheme);
+  Rng rng(6);
+  for (auto _ : state) {
+    const algo::ScheduleResult result = scheduler->schedule(scenario, rng);
+    benchmark::DoNotOptimize(result.system_utility);
+  }
+}
+BENCHMARK_CAPTURE(BM_SchedulerSolve, tsajs_u30, "tsajs", 30);
+BENCHMARK_CAPTURE(BM_SchedulerSolve, hjtora_u30, "hjtora", 30);
+BENCHMARK_CAPTURE(BM_SchedulerSolve, local_search_u30, "local-search", 30);
+BENCHMARK_CAPTURE(BM_SchedulerSolve, greedy_u30, "greedy", 30);
+
+}  // namespace
+
+BENCHMARK_MAIN();

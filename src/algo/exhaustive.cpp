@@ -1,0 +1,73 @@
+#include "algo/exhaustive.h"
+
+#include "common/error.h"
+
+namespace tsajs::algo {
+
+ExhaustiveScheduler::ExhaustiveScheduler(std::size_t max_leaves)
+    : max_leaves_(max_leaves) {}
+
+namespace {
+
+class Enumerator {
+ public:
+  Enumerator(const mec::Scenario& scenario, std::size_t max_leaves)
+      : scenario_(scenario),
+        evaluator_(scenario),
+        max_leaves_(max_leaves),
+        current_(scenario),
+        best_(scenario) {}
+
+  ScheduleResult run() {
+    best_utility_ = evaluator_.system_utility(current_);  // all-local = 0
+    best_ = current_;
+    recurse(0);
+    ScheduleResult result{best_, best_utility_, 0.0, leaves_};
+    return result;
+  }
+
+ private:
+  void recurse(std::size_t u) {
+    if (u == scenario_.num_users()) {
+      ++leaves_;
+      TSAJS_REQUIRE(max_leaves_ == 0 || leaves_ <= max_leaves_,
+                    "exhaustive search exceeded its leaf budget; "
+                    "use it only on small instances");
+      const double utility = evaluator_.system_utility(current_);
+      if (utility > best_utility_) {
+        best_utility_ = utility;
+        best_ = current_;
+      }
+      return;
+    }
+    // Option 1: user u stays local.
+    recurse(u + 1);
+    // Option 2: user u takes any currently free slot.
+    for (std::size_t s = 0; s < scenario_.num_servers(); ++s) {
+      for (std::size_t j = 0; j < scenario_.num_subchannels(); ++j) {
+        if (current_.occupant(s, j).has_value()) continue;
+        current_.offload(u, s, j);
+        recurse(u + 1);
+        current_.make_local(u);
+      }
+    }
+  }
+
+  const mec::Scenario& scenario_;
+  jtora::UtilityEvaluator evaluator_;
+  std::size_t max_leaves_;
+  jtora::Assignment current_;
+  jtora::Assignment best_;
+  double best_utility_ = 0.0;
+  std::size_t leaves_ = 0;
+};
+
+}  // namespace
+
+ScheduleResult ExhaustiveScheduler::schedule(const mec::Scenario& scenario,
+                                             Rng& /*rng*/) const {
+  Enumerator enumerator(scenario, max_leaves_);
+  return enumerator.run();
+}
+
+}  // namespace tsajs::algo

@@ -1,0 +1,32 @@
+// Exhaustive (globally optimal) search — the paper's "Exhaustive Method".
+//
+// Enumerates every feasible offloading decision by backtracking over users
+// (each user is either local or takes one currently-free (server,
+// sub-channel) slot), evaluating J*(X) at the leaves. This visits exactly
+// the feasible subset of the 2^(U*S*N) naive space, so it returns the same
+// optimum as the paper's brute force while remaining runnable at the
+// paper's Fig. 3 scale (U=6, S=4, N=2).
+#pragma once
+
+#include <cstddef>
+
+#include "algo/scheduler.h"
+
+namespace tsajs::algo {
+
+class ExhaustiveScheduler final : public Scheduler {
+ public:
+  /// `max_leaves` guards against accidental use on big instances: the solve
+  /// throws InvalidArgumentError once more than this many complete
+  /// assignments would be evaluated. 0 disables the guard.
+  explicit ExhaustiveScheduler(std::size_t max_leaves = 200'000'000);
+
+  [[nodiscard]] std::string name() const override { return "exhaustive"; }
+  [[nodiscard]] ScheduleResult schedule(const mec::Scenario& scenario,
+                                        Rng& rng) const override;
+
+ private:
+  std::size_t max_leaves_;
+};
+
+}  // namespace tsajs::algo

@@ -1,0 +1,123 @@
+#include "algo/genetic.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+
+namespace tsajs::algo {
+
+void GeneticConfig::validate() const {
+  TSAJS_REQUIRE(population >= 2, "population must be at least 2");
+  TSAJS_REQUIRE(generations >= 1, "need at least one generation");
+  TSAJS_REQUIRE(tournament >= 1 && tournament <= population,
+                "tournament size must lie in [1, population]");
+  TSAJS_REQUIRE(crossover_prob >= 0.0 && crossover_prob <= 1.0,
+                "crossover probability must lie in [0,1]");
+  TSAJS_REQUIRE(mutation_prob >= 0.0 && mutation_prob <= 1.0,
+                "mutation probability must lie in [0,1]");
+  TSAJS_REQUIRE(elites < population, "elites must leave room for offspring");
+  TSAJS_REQUIRE(initial_offload_prob >= 0.0 && initial_offload_prob <= 1.0,
+                "initial offload probability must lie in [0,1]");
+  neighborhood.validate();
+}
+
+GeneticScheduler::GeneticScheduler(GeneticConfig config) : config_(config) {
+  config_.validate();
+}
+
+namespace {
+
+struct Individual {
+  jtora::Assignment genome;
+  double fitness = 0.0;
+};
+
+// Uniform crossover with first-fit repair: child takes each user's gene from
+// a random parent; a gene whose slot is already taken in the child falls
+// back to a free sub-channel on the same server, else goes local.
+jtora::Assignment crossover(const mec::Scenario& scenario,
+                            const jtora::Assignment& a,
+                            const jtora::Assignment& b, Rng& rng) {
+  jtora::Assignment child(scenario);
+  for (std::size_t u = 0; u < scenario.num_users(); ++u) {
+    const jtora::Assignment& parent = rng.bernoulli(0.5) ? a : b;
+    const auto slot = parent.slot_of(u);
+    if (!slot.has_value()) continue;
+    if (!child.occupant(slot->server, slot->subchannel).has_value()) {
+      child.offload(u, slot->server, slot->subchannel);
+    } else if (const auto j =
+                   child.random_free_subchannel(slot->server, rng);
+               j.has_value()) {
+      child.offload(u, slot->server, *j);  // repair: same server, free slot
+    }
+    // else: collision with a full server -> user stays local.
+  }
+  return child;
+}
+
+}  // namespace
+
+ScheduleResult GeneticScheduler::schedule(const mec::Scenario& scenario,
+                                          Rng& rng) const {
+  const jtora::UtilityEvaluator evaluator(scenario);
+  const Neighborhood neighborhood(scenario, config_.neighborhood);
+  std::size_t evaluations = 0;
+
+  std::vector<Individual> population;
+  population.reserve(config_.population);
+  for (std::size_t i = 0; i < config_.population; ++i) {
+    Individual ind{random_feasible_assignment(scenario, rng,
+                                              config_.initial_offload_prob),
+                   0.0};
+    ind.fitness = evaluator.system_utility(ind.genome);
+    ++evaluations;
+    population.push_back(std::move(ind));
+  }
+
+  const auto by_fitness_desc = [](const Individual& x, const Individual& y) {
+    return x.fitness > y.fitness;
+  };
+  std::sort(population.begin(), population.end(), by_fitness_desc);
+
+  const auto tournament_pick = [&](Rng& r) -> const Individual& {
+    std::size_t best = r.uniform_index(population.size());
+    for (std::size_t t = 1; t < config_.tournament; ++t) {
+      const std::size_t challenger = r.uniform_index(population.size());
+      if (population[challenger].fitness > population[best].fitness) {
+        best = challenger;
+      }
+    }
+    return population[best];
+  };
+
+  for (std::size_t gen = 0; gen < config_.generations; ++gen) {
+    std::vector<Individual> next;
+    next.reserve(config_.population);
+    for (std::size_t e = 0; e < config_.elites; ++e) {
+      next.push_back(population[e]);
+    }
+    while (next.size() < config_.population) {
+      const Individual& parent_a = tournament_pick(rng);
+      const Individual& parent_b = tournament_pick(rng);
+      Individual child{rng.bernoulli(config_.crossover_prob)
+                           ? crossover(scenario, parent_a.genome,
+                                       parent_b.genome, rng)
+                           : parent_a.genome,
+                       0.0};
+      if (rng.bernoulli(config_.mutation_prob)) {
+        neighborhood.step(child.genome, rng);
+      }
+      child.fitness = evaluator.system_utility(child.genome);
+      ++evaluations;
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+    std::sort(population.begin(), population.end(), by_fitness_desc);
+  }
+
+  return ScheduleResult{population.front().genome,
+                        population.front().fitness, 0.0, evaluations};
+}
+
+}  // namespace tsajs::algo

@@ -1,0 +1,49 @@
+// Genetic-algorithm scheduler — an extension baseline.
+//
+// The paper's related-work section cites suboptimal offloading methods built
+// on hierarchical genetic algorithms and particle-swarm optimization [33].
+// This scheduler provides that family as a comparator: a steady-state GA
+// over offloading decisions with
+//   * genes        — per-user slot (server, sub-channel) or "local",
+//   * crossover    — uniform per-user gene mix with first-fit repair of
+//                    slot collisions (constraint 12d),
+//   * mutation     — one Algorithm-2 neighborhood step,
+//   * selection    — tournament of configurable size, elitist replacement.
+//
+// Not part of the paper's evaluated schemes; used by the ablation bench to
+// position TSAJS against a population-based heuristic of similar budget.
+#pragma once
+
+#include "algo/neighborhood.h"
+#include "algo/scheduler.h"
+
+namespace tsajs::algo {
+
+struct GeneticConfig {
+  std::size_t population = 24;
+  std::size_t generations = 120;
+  std::size_t tournament = 3;
+  double crossover_prob = 0.9;
+  double mutation_prob = 0.35;
+  /// Elites copied unchanged into the next generation.
+  std::size_t elites = 2;
+  /// Offload probability of the random initial population.
+  double initial_offload_prob = 0.25;
+  NeighborhoodConfig neighborhood;
+
+  void validate() const;
+};
+
+class GeneticScheduler final : public Scheduler {
+ public:
+  explicit GeneticScheduler(GeneticConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "genetic"; }
+  [[nodiscard]] ScheduleResult schedule(const mec::Scenario& scenario,
+                                        Rng& rng) const override;
+
+ private:
+  GeneticConfig config_;
+};
+
+}  // namespace tsajs::algo

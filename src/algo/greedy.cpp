@@ -1,0 +1,77 @@
+#include "algo/greedy.h"
+
+#include <algorithm>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+namespace tsajs::algo {
+
+namespace {
+
+struct Candidate {
+  double signal_w;
+  std::size_t user;
+  std::size_t server;
+  std::size_t subchannel;
+};
+
+}  // namespace
+
+ScheduleResult GreedyScheduler::schedule(const mec::Scenario& scenario,
+                                         Rng& /*rng*/) const {
+  std::vector<Candidate> candidates;
+  candidates.reserve(scenario.num_users() * scenario.num_slots());
+  for (std::size_t u = 0; u < scenario.num_users(); ++u) {
+    const double p = scenario.user(u).tx_power_w;
+    for (std::size_t s = 0; s < scenario.num_servers(); ++s) {
+      for (std::size_t j = 0; j < scenario.num_subchannels(); ++j) {
+        candidates.push_back({p * scenario.gain(u, s, j), u, s, j});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.signal_w != b.signal_w) return a.signal_w > b.signal_w;
+              // Deterministic tie-break for reproducibility.
+              return std::tie(a.user, a.server, a.subchannel) <
+                     std::tie(b.user, b.server, b.subchannel);
+            });
+
+  jtora::Assignment x(scenario);
+  for (const Candidate& c : candidates) {
+    if (x.num_offloaded() == std::min(scenario.num_users(),
+                                      scenario.num_slots())) {
+      break;
+    }
+    if (x.is_offloaded(c.user)) continue;
+    if (x.occupant(c.server, c.subchannel).has_value()) continue;
+    x.offload(c.user, c.server, c.subchannel);
+  }
+
+  // Permissibility pass: only users with a positive offloading benefit J_u
+  // keep their slots (Sec. III-A-4). Drop the worst offender, re-evaluate —
+  // each removal lowers the interference every remaining user sees.
+  const jtora::UtilityEvaluator evaluator(scenario);
+  std::size_t evaluations = 1;
+  for (;;) {
+    const jtora::Evaluation eval = evaluator.evaluate(x);
+    ++evaluations;
+    double worst_utility = 0.0;
+    std::optional<std::size_t> worst_user;
+    for (std::size_t u = 0; u < scenario.num_users(); ++u) {
+      if (!eval.users[u].offloaded) continue;
+      if (eval.users[u].utility < worst_utility) {
+        worst_utility = eval.users[u].utility;
+        worst_user = u;
+      }
+    }
+    if (!worst_user.has_value()) break;
+    x.make_local(*worst_user);
+  }
+
+  const double utility = evaluator.system_utility(x);
+  return ScheduleResult{std::move(x), utility, 0.0, evaluations};
+}
+
+}  // namespace tsajs::algo

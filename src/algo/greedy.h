@@ -1,0 +1,29 @@
+// Greedy offloading — the paper's "Greedy Offloading Method".
+//
+// "All permissible tasks, up to the limit set by the base stations, are
+// offloaded. Users are assigned to sub-bands in a prioritized manner,
+// favoring those with the strongest signal strength."
+//
+// Implementation: sort all (user, server, sub-channel) triples by received
+// signal power p_u * h_us^j descending; walk the list assigning a triple
+// whenever both the user is still unassigned and the slot is still free.
+// "Permissible" is read as the paper's Sec. III-A-4 rule that a user only
+// offloads when its benefit J_u is positive: after the signal-driven fill,
+// users whose realized utility is negative are dropped back to local (worst
+// first, re-evaluating — removing an uplink changes the interference others
+// see). No further search — which is why greedy trails the search-based
+// schemes in the paper's figures.
+#pragma once
+
+#include "algo/scheduler.h"
+
+namespace tsajs::algo {
+
+class GreedyScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+  [[nodiscard]] ScheduleResult schedule(const mec::Scenario& scenario,
+                                        Rng& rng) const override;
+};
+
+}  // namespace tsajs::algo

@@ -1,0 +1,121 @@
+#include "algo/hjtora.h"
+
+#include <optional>
+
+#include "common/error.h"
+
+namespace tsajs::algo {
+
+void HjtoraConfig::validate() const {
+  TSAJS_REQUIRE(min_gain >= 0.0, "min_gain must be non-negative");
+}
+
+HjtoraScheduler::HjtoraScheduler(HjtoraConfig config) : config_(config) {
+  config_.validate();
+}
+
+namespace {
+
+struct Move {
+  std::size_t user = 0;
+  std::optional<jtora::Slot> to;  // nullopt = drop to local.
+  double utility = 0.0;           // resulting J*(X).
+};
+
+}  // namespace
+
+ScheduleResult HjtoraScheduler::schedule(const mec::Scenario& scenario,
+                                         Rng& /*rng*/) const {
+  const jtora::UtilityEvaluator evaluator(scenario);
+  jtora::Assignment x(scenario);
+  double utility = evaluator.system_utility(x);
+  std::size_t evaluations = 1;
+
+  // Phase 1: best-gain admission of non-offloaded users.
+  const auto admission_phase = [&] {
+    bool changed = false;
+    for (;;) {
+      std::optional<Move> best;
+      for (std::size_t u = 0; u < scenario.num_users(); ++u) {
+        if (x.is_offloaded(u)) continue;
+        for (std::size_t s = 0; s < scenario.num_servers(); ++s) {
+          for (std::size_t j = 0; j < scenario.num_subchannels(); ++j) {
+            if (x.occupant(s, j).has_value()) continue;
+            x.offload(u, s, j);
+            const double candidate = evaluator.system_utility(x);
+            ++evaluations;
+            x.make_local(u);
+            if (candidate > utility + config_.min_gain &&
+                (!best.has_value() || candidate > best->utility)) {
+              best = Move{u, jtora::Slot{s, j}, candidate};
+            }
+          }
+        }
+      }
+      if (!best.has_value()) return changed;
+      x.offload(best->user, best->to->server, best->to->subchannel);
+      utility = best->utility;
+      changed = true;
+    }
+  };
+
+  // Phase 2 (one pass): one-exchange adjustment of offloaded users — move
+  // to a free slot or drop to local.
+  const auto adjustment_pass = [&] {
+    bool changed = false;
+    for (std::size_t u = 0; u < scenario.num_users(); ++u) {
+      const auto slot = x.slot_of(u);
+      if (!slot.has_value()) continue;
+
+      std::optional<Move> best;
+      // Drop to local.
+      x.make_local(u);
+      const double dropped = evaluator.system_utility(x);
+      ++evaluations;
+      if (dropped > utility + config_.min_gain) {
+        best = Move{u, std::nullopt, dropped};
+      }
+      // Move to any free slot (the original slot is free now; skip it).
+      for (std::size_t s = 0; s < scenario.num_servers(); ++s) {
+        for (std::size_t j = 0; j < scenario.num_subchannels(); ++j) {
+          if (x.occupant(s, j).has_value()) continue;
+          if (s == slot->server && j == slot->subchannel) continue;
+          x.offload(u, s, j);
+          const double candidate = evaluator.system_utility(x);
+          ++evaluations;
+          x.make_local(u);
+          if (candidate > utility + config_.min_gain &&
+              (!best.has_value() || candidate > best->utility)) {
+            best = Move{u, jtora::Slot{s, j}, candidate};
+          }
+        }
+      }
+      if (best.has_value()) {
+        if (best->to.has_value()) {
+          x.offload(u, best->to->server, best->to->subchannel);
+        }
+        utility = best->utility;
+        changed = true;
+      } else {
+        // Restore the original slot.
+        x.offload(u, slot->server, slot->subchannel);
+      }
+    }
+    return changed;
+  };
+
+  // Interleave phases to a joint fixed point: an adjustment can unlock a
+  // profitable admission (a freed slot, reduced interference) and vice
+  // versa, so at convergence neither any admission nor any one-exchange
+  // improves the objective.
+  admission_phase();
+  for (std::size_t pass = 0; pass < config_.max_adjustment_passes; ++pass) {
+    const bool adjusted = adjustment_pass();
+    const bool admitted = admission_phase();
+    if (!adjusted && !admitted) break;
+  }
+
+  return ScheduleResult{std::move(x), utility, 0.0, evaluations};
+}
+
+}  // namespace tsajs::algo

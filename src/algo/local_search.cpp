@@ -1,0 +1,49 @@
+#include "algo/local_search.h"
+
+#include "common/error.h"
+
+namespace tsajs::algo {
+
+void LocalSearchConfig::validate() const {
+  TSAJS_REQUIRE(max_iterations >= 1, "need at least one iteration");
+  TSAJS_REQUIRE(patience >= 1, "patience must be at least 1");
+  TSAJS_REQUIRE(initial_offload_prob >= 0.0 && initial_offload_prob <= 1.0,
+                "initial offload probability must lie in [0,1]");
+  neighborhood.validate();
+}
+
+LocalSearchScheduler::LocalSearchScheduler(LocalSearchConfig config)
+    : config_(config) {
+  config_.validate();
+}
+
+ScheduleResult LocalSearchScheduler::schedule(const mec::Scenario& scenario,
+                                              Rng& rng) const {
+  const jtora::UtilityEvaluator evaluator(scenario);
+  const Neighborhood neighborhood(scenario, config_.neighborhood);
+
+  jtora::Assignment current =
+      random_feasible_assignment(scenario, rng, config_.initial_offload_prob);
+  double current_utility = evaluator.system_utility(current);
+  ScheduleResult result{current, current_utility, 0.0, 1};
+
+  std::size_t since_improvement = 0;
+  for (std::size_t it = 0; it < config_.max_iterations; ++it) {
+    jtora::Assignment candidate = current;
+    neighborhood.step(candidate, rng);
+    const double candidate_utility = evaluator.system_utility(candidate);
+    ++result.evaluations;
+    if (candidate_utility > current_utility) {
+      current = std::move(candidate);
+      current_utility = candidate_utility;
+      since_improvement = 0;
+    } else if (++since_improvement >= config_.patience) {
+      break;
+    }
+  }
+  result.assignment = std::move(current);
+  result.system_utility = current_utility;
+  return result;
+}
+
+}  // namespace tsajs::algo

@@ -1,0 +1,46 @@
+// Hill-climbing local search — the paper's "LocalSearch" baseline.
+//
+// "Continuously search for neighboring states of the current state ... and
+// accept better neighboring states to gradually improve the quality of the
+// solution. The search stops when the algorithm converges or reaches the
+// maximum number of iterations."
+//
+// Uses the same neighborhood operator as TSAJS (Algorithm 2) but accepts
+// only strict improvements — so it converges to the nearest local optimum,
+// which is the gap the annealer is designed to escape.
+#pragma once
+
+#include "algo/neighborhood.h"
+#include "algo/scheduler.h"
+
+namespace tsajs::algo {
+
+struct LocalSearchConfig {
+  /// Hard iteration cap (the fixed budget that makes its runtime flat in
+  /// the paper's Fig. 8).
+  std::size_t max_iterations = 2000;
+  /// Convergence: stop after this many consecutive non-improving proposals.
+  std::size_t patience = 400;
+  /// Offload probability of the initial solution. Defaults to 0 (all-local):
+  /// a pure hill climber keeps whatever start it gets, and a random start
+  /// can be deeply negative on large instances, which no reasonable
+  /// implementation of the baseline would ship.
+  double initial_offload_prob = 0.0;
+  NeighborhoodConfig neighborhood;
+
+  void validate() const;
+};
+
+class LocalSearchScheduler final : public Scheduler {
+ public:
+  explicit LocalSearchScheduler(LocalSearchConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "local-search"; }
+  [[nodiscard]] ScheduleResult schedule(const mec::Scenario& scenario,
+                                        Rng& rng) const override;
+
+ private:
+  LocalSearchConfig config_;
+};
+
+}  // namespace tsajs::algo

@@ -1,0 +1,36 @@
+#include "algo/multi_start.h"
+
+#include <optional>
+
+#include "common/error.h"
+
+namespace tsajs::algo {
+
+MultiStartScheduler::MultiStartScheduler(std::unique_ptr<Scheduler> inner,
+                                         std::size_t restarts)
+    : inner_(std::move(inner)), restarts_(restarts) {
+  TSAJS_REQUIRE(inner_ != nullptr, "multi-start needs an inner scheduler");
+  TSAJS_REQUIRE(restarts >= 1, "need at least one restart");
+}
+
+std::string MultiStartScheduler::name() const {
+  return inner_->name() + "-x" + std::to_string(restarts_);
+}
+
+ScheduleResult MultiStartScheduler::schedule(const mec::Scenario& scenario,
+                                             Rng& rng) const {
+  std::optional<ScheduleResult> best;
+  std::size_t evaluations = 0;
+  for (std::size_t r = 0; r < restarts_; ++r) {
+    Rng child(rng.derive_seed(r));
+    ScheduleResult result = inner_->schedule(scenario, child);
+    evaluations += result.evaluations;
+    if (!best.has_value() || result.system_utility > best->system_utility) {
+      best = std::move(result);
+    }
+  }
+  best->evaluations = evaluations;
+  return std::move(*best);
+}
+
+}  // namespace tsajs::algo

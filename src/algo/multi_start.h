@@ -1,0 +1,31 @@
+// Multi-start wrapper — an extension around any stochastic scheduler.
+//
+// Simulated annealing's outcome depends on its start and proposal stream;
+// the cheapest variance reduction is to run R independent restarts and keep
+// the best decision. This wrapper does that generically (TSAJS by default),
+// deriving a child RNG per restart so results stay reproducible.
+#pragma once
+
+#include <memory>
+
+#include "algo/scheduler.h"
+
+namespace tsajs::algo {
+
+class MultiStartScheduler final : public Scheduler {
+ public:
+  /// Wraps `inner`, running it `restarts` times per schedule() call.
+  MultiStartScheduler(std::unique_ptr<Scheduler> inner, std::size_t restarts);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] ScheduleResult schedule(const mec::Scenario& scenario,
+                                        Rng& rng) const override;
+
+  [[nodiscard]] std::size_t restarts() const noexcept { return restarts_; }
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+  std::size_t restarts_;
+};
+
+}  // namespace tsajs::algo

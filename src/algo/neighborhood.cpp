@@ -1,0 +1,19 @@
+#include "algo/neighborhood.h"
+
+namespace tsajs::algo {
+
+void NeighborhoodConfig::validate() const {
+  TSAJS_REQUIRE(toggle_prob >= 0.0 && swap_prob >= 0.0 &&
+                    toggle_prob + swap_prob <= 1.0,
+                "operation probabilities must form a sub-distribution");
+  TSAJS_REQUIRE(move_server_share >= 0.0 && move_server_share <= 1.0,
+                "move_server_share must lie in [0,1]");
+}
+
+Neighborhood::Neighborhood(const mec::Scenario& scenario,
+                           NeighborhoodConfig config)
+    : scenario_(&scenario), config_(config) {
+  config_.validate();
+}
+
+}  // namespace tsajs::algo

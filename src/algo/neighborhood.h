@@ -1,0 +1,178 @@
+// Neighborhood generation — paper Algorithm 2 (GetNeighborhood).
+//
+// Draws a random single-user perturbation of an offloading decision:
+//
+//   rand in (0.2, 1]   "move"  — with rand < 0.75 move the target user to a
+//                      different server (random free sub-channel there);
+//                      otherwise (and when N > 1) move it to a different
+//                      sub-channel of its current server.
+//   rand in (0.05,0.2] "swap"  — exchange the slots of two random users.
+//   rand in [0, 0.05]  "toggle"— flip the user's offloading state.
+//
+// Deviations the paper's pseudo-code leaves open (see DESIGN.md §5):
+//  * When the picked user is local, the move branches become "offload to a
+//    random server's free sub-channel" and toggle offloads it.
+//  * "Allocate one randomly if none are free" is implemented as evicting the
+//    slot's occupant to local execution, which keeps every intermediate
+//    state feasible under constraint (12d).
+//
+// `step` is generic over the decision type: it drives either a plain
+// jtora::Assignment or a jtora::IncrementalEvaluator (which maintains the
+// objective while being mutated) — both expose the same mutation/query
+// surface.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "jtora/assignment.h"
+#include "mec/scenario.h"
+
+namespace tsajs::algo {
+
+/// Operation mix probabilities (the paper's constants by default). Exposed
+/// so the ablation bench can vary the mix.
+struct NeighborhoodConfig {
+  double toggle_prob = 0.05;  ///< rand <= toggle_prob        -> toggle.
+  double swap_prob = 0.15;    ///< toggle < rand <= +swap     -> swap.
+  double move_server_share = 0.6875;  ///< share of "move" mass that changes
+                                      ///< server: (0.75-0.2)/0.8 in Alg. 2.
+
+  void validate() const;
+};
+
+class Neighborhood {
+ public:
+  explicit Neighborhood(const mec::Scenario& scenario,
+                        NeighborhoodConfig config = {});
+
+  /// Mutates `decision` into a random neighbor. Returns false when the
+  /// drawn operation was a no-op (e.g. S == 1 so no other server exists);
+  /// callers typically just re-evaluate regardless.
+  template <typename Decision>
+  bool step(Decision& decision, Rng& rng) const {
+    const auto u =
+        static_cast<std::size_t>(rng.uniform_index(scenario_->num_users()));
+    const double r = rng.uniform();
+    if (r < config_.toggle_prob) return toggle(decision, u, rng);
+    if (r < config_.toggle_prob + config_.swap_prob) {
+      return swap_users(decision, u, rng);
+    }
+    // "move": split between server move and sub-channel move.
+    if (rng.uniform() < config_.move_server_share) {
+      return move_to_other_server(decision, u, rng);
+    }
+    return move_to_other_subchannel(decision, u, rng);
+  }
+
+  [[nodiscard]] const NeighborhoodConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  /// Assigns `u` to a sub-channel of `s`: a random free one, else evicts a
+  /// random occupant (constraint-preserving reading of Alg. 2 lines 9/13).
+  template <typename Decision>
+  void place_on_server(Decision& decision, std::size_t u, std::size_t s,
+                       Rng& rng) const {
+    if (const auto j = decision.random_free_subchannel(s, rng);
+        j.has_value()) {
+      decision.offload(u, s, *j);
+      return;
+    }
+    // No free sub-channel: evict a random occupant (Alg. 2 "allocate one
+    // randomly if none are free", feasibility-preserving reading).
+    const auto j = rng.uniform_index(scenario_->num_subchannels());
+    const auto occupant = decision.occupant(s, static_cast<std::size_t>(j));
+    TSAJS_CHECK(occupant.has_value(), "full server must have occupants");
+    decision.make_local(*occupant);
+    decision.offload(u, s, static_cast<std::size_t>(j));
+  }
+
+  template <typename Decision>
+  bool move_to_other_server(Decision& decision, std::size_t u,
+                            Rng& rng) const {
+    const std::size_t num_servers = scenario_->num_servers();
+    const auto slot = decision.slot_of(u);
+    if (slot.has_value() && num_servers == 1) return false;
+    std::size_t target;
+    if (slot.has_value()) {
+      // Uniform over servers other than the current one.
+      target = static_cast<std::size_t>(rng.uniform_index(num_servers - 1));
+      if (target >= slot->server) ++target;
+    } else {
+      // Local user: the "move" degenerates to offloading somewhere random.
+      target = static_cast<std::size_t>(rng.uniform_index(num_servers));
+    }
+    place_on_server(decision, u, target, rng);
+    return true;
+  }
+
+  template <typename Decision>
+  bool move_to_other_subchannel(Decision& decision, std::size_t u,
+                                Rng& rng) const {
+    const std::size_t num_subchannels = scenario_->num_subchannels();
+    if (num_subchannels <= 1) return false;  // Alg. 2's K > 1 guard.
+    const auto slot = decision.slot_of(u);
+    if (!slot.has_value()) {
+      // Local user: offload to a random server instead (DESIGN.md §5).
+      const auto s = rng.uniform_index(scenario_->num_servers());
+      place_on_server(decision, u, static_cast<std::size_t>(s), rng);
+      return true;
+    }
+    const std::size_t s = slot->server;
+    // Prefer a free sub-channel different from the current one.
+    const std::vector<std::size_t> free = decision.free_subchannels(s);
+    if (!free.empty()) {
+      const std::size_t j = free[rng.uniform_index(free.size())];
+      decision.make_local(u);
+      decision.offload(u, s, j);
+      return true;
+    }
+    // Server full: pick a random other sub-channel and evict its occupant.
+    auto j = rng.uniform_index(num_subchannels - 1);
+    if (j >= slot->subchannel) ++j;
+    const auto occupant = decision.occupant(s, static_cast<std::size_t>(j));
+    TSAJS_CHECK(occupant.has_value(), "full server must have occupants");
+    decision.make_local(*occupant);
+    decision.make_local(u);
+    decision.offload(u, s, static_cast<std::size_t>(j));
+    return true;
+  }
+
+  template <typename Decision>
+  bool swap_users(Decision& decision, std::size_t u, Rng& rng) const {
+    const std::size_t num_users = scenario_->num_users();
+    if (num_users < 2) return false;
+    auto other = rng.uniform_index(num_users - 1);
+    if (other >= u) ++other;
+    decision.swap(u, static_cast<std::size_t>(other));
+    return true;
+  }
+
+  template <typename Decision>
+  bool toggle(Decision& decision, std::size_t u, Rng& rng) const {
+    if (decision.is_offloaded(u)) {
+      decision.make_local(u);
+      return true;
+    }
+    // Offload to a random server with a free sub-channel, if any.
+    std::vector<std::size_t> candidates;
+    for (std::size_t s = 0; s < scenario_->num_servers(); ++s) {
+      if (!decision.free_subchannels(s).empty()) candidates.push_back(s);
+    }
+    if (candidates.empty()) return false;
+    const std::size_t s = candidates[rng.uniform_index(candidates.size())];
+    const auto j = decision.random_free_subchannel(s, rng);
+    TSAJS_CHECK(j.has_value(), "candidate server must have a free channel");
+    decision.offload(u, s, *j);
+    return true;
+  }
+
+  const mec::Scenario* scenario_;
+  NeighborhoodConfig config_;
+};
+
+}  // namespace tsajs::algo

@@ -1,0 +1,107 @@
+#include "algo/pso.h"
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace tsajs::algo {
+
+void PsoConfig::validate() const {
+  TSAJS_REQUIRE(particles >= 2, "need at least two particles");
+  TSAJS_REQUIRE(iterations >= 1, "need at least one iteration");
+  TSAJS_REQUIRE(c1 >= 0.0 && c1 <= 1.0, "c1 must lie in [0,1]");
+  TSAJS_REQUIRE(c2 >= 0.0 && c2 <= 1.0, "c2 must lie in [0,1]");
+  TSAJS_REQUIRE(c1 + c2 <= 1.0, "c1 + c2 must not exceed 1");
+  TSAJS_REQUIRE(initial_offload_prob >= 0.0 && initial_offload_prob <= 1.0,
+                "initial offload probability must lie in [0,1]");
+  neighborhood.validate();
+}
+
+PsoScheduler::PsoScheduler(PsoConfig config) : config_(config) {
+  config_.validate();
+}
+
+namespace {
+
+// Copies user `u`'s gene (slot or local) from `source` into `target`,
+// repairing slot collisions first-fit on the same server.
+void copy_gene(const mec::Scenario& /*scenario*/, const jtora::Assignment& source,
+               jtora::Assignment& target, std::size_t u, Rng& rng) {
+  const auto slot = source.slot_of(u);
+  if (!slot.has_value()) {
+    target.make_local(u);
+    return;
+  }
+  if (const auto occupant = target.occupant(slot->server, slot->subchannel);
+      !occupant.has_value() || *occupant == u) {
+    target.offload(u, slot->server, slot->subchannel);
+    return;
+  }
+  if (const auto j = target.random_free_subchannel(slot->server, rng);
+      j.has_value()) {
+    target.offload(u, slot->server, *j);
+    return;
+  }
+  target.make_local(u);
+}
+
+}  // namespace
+
+ScheduleResult PsoScheduler::schedule(const mec::Scenario& scenario,
+                                      Rng& rng) const {
+  const jtora::UtilityEvaluator evaluator(scenario);
+  const Neighborhood neighborhood(scenario, config_.neighborhood);
+  std::size_t evaluations = 0;
+
+  struct Particle {
+    jtora::Assignment position;
+    jtora::Assignment personal_best;
+    double best_utility;
+  };
+
+  std::vector<Particle> swarm;
+  swarm.reserve(config_.particles);
+  std::size_t global_best = 0;
+  for (std::size_t i = 0; i < config_.particles; ++i) {
+    jtora::Assignment start = random_feasible_assignment(
+        scenario, rng, config_.initial_offload_prob);
+    const double utility = evaluator.system_utility(start);
+    ++evaluations;
+    swarm.push_back({start, start, utility});
+    if (utility > swarm[global_best].best_utility) global_best = i;
+  }
+
+  for (std::size_t it = 0; it < config_.iterations; ++it) {
+    for (std::size_t i = 0; i < swarm.size(); ++i) {
+      Particle& particle = swarm[i];
+      // Recombination toward personal and global bests.
+      for (std::size_t u = 0; u < scenario.num_users(); ++u) {
+        const double draw = rng.uniform();
+        if (draw < config_.c1) {
+          copy_gene(scenario, particle.personal_best, particle.position, u,
+                    rng);
+        } else if (draw < config_.c1 + config_.c2) {
+          copy_gene(scenario, swarm[global_best].personal_best,
+                    particle.position, u, rng);
+        }
+      }
+      // Exploration.
+      for (std::size_t m = 0; m < config_.mutation_steps; ++m) {
+        neighborhood.step(particle.position, rng);
+      }
+      const double utility = evaluator.system_utility(particle.position);
+      ++evaluations;
+      if (utility > particle.best_utility) {
+        particle.best_utility = utility;
+        particle.personal_best = particle.position;
+        if (utility > swarm[global_best].best_utility) global_best = i;
+      }
+    }
+  }
+
+  const Particle& winner = swarm[global_best];
+  return ScheduleResult{winner.personal_best, winner.best_utility, 0.0,
+                        evaluations};
+}
+
+}  // namespace tsajs::algo

@@ -1,0 +1,47 @@
+// Discrete particle-swarm scheduler — an extension baseline.
+//
+// The paper's related work cites suboptimal offloading algorithms built on
+// particle swarm optimization [33]. Classic PSO lives in R^n; offloading
+// decisions are combinatorial, so we use the standard discrete adaptation:
+// a particle is an assignment, and "velocity" becomes a recombination rate —
+// each step a particle copies each user's gene from its personal best with
+// probability `c1`, from the global best with probability `c2`, keeps its
+// own otherwise, then takes `mutation_steps` random neighborhood steps
+// (the inertia/exploration term). Collisions are repaired first-fit as in
+// the genetic scheduler.
+#pragma once
+
+#include "algo/neighborhood.h"
+#include "algo/scheduler.h"
+
+namespace tsajs::algo {
+
+struct PsoConfig {
+  std::size_t particles = 20;
+  std::size_t iterations = 150;
+  /// Per-user probability of copying the personal-best gene.
+  double c1 = 0.3;
+  /// Per-user probability of copying the global-best gene.
+  double c2 = 0.3;
+  /// Random neighborhood steps per particle per iteration (exploration).
+  std::size_t mutation_steps = 1;
+  /// Offload probability of the initial swarm.
+  double initial_offload_prob = 0.25;
+  NeighborhoodConfig neighborhood;
+
+  void validate() const;
+};
+
+class PsoScheduler final : public Scheduler {
+ public:
+  explicit PsoScheduler(PsoConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "pso"; }
+  [[nodiscard]] ScheduleResult schedule(const mec::Scenario& scenario,
+                                        Rng& rng) const override;
+
+ private:
+  PsoConfig config_;
+};
+
+}  // namespace tsajs::algo

@@ -1,0 +1,22 @@
+#include "algo/random_scheduler.h"
+
+#include "common/error.h"
+
+namespace tsajs::algo {
+
+RandomScheduler::RandomScheduler(double offload_prob)
+    : offload_prob_(offload_prob) {
+  TSAJS_REQUIRE(offload_prob >= 0.0 && offload_prob <= 1.0,
+                "offload probability must lie in [0,1]");
+}
+
+ScheduleResult RandomScheduler::schedule(const mec::Scenario& scenario,
+                                         Rng& rng) const {
+  jtora::Assignment x =
+      random_feasible_assignment(scenario, rng, offload_prob_);
+  const jtora::UtilityEvaluator evaluator(scenario);
+  const double utility = evaluator.system_utility(x);
+  return ScheduleResult{std::move(x), utility, 0.0, 1};
+}
+
+}  // namespace tsajs::algo

@@ -1,0 +1,22 @@
+// Random feasible scheduler — a sanity floor for tests and ablations.
+#pragma once
+
+#include "algo/scheduler.h"
+
+namespace tsajs::algo {
+
+/// Returns a random feasible assignment (the TSAJS/LocalSearch initializer)
+/// without any search. Every real scheme must beat this on average.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(double offload_prob = 0.5);
+
+  [[nodiscard]] std::string name() const override { return "random"; }
+  [[nodiscard]] ScheduleResult schedule(const mec::Scenario& scenario,
+                                        Rng& rng) const override;
+
+ private:
+  double offload_prob_;
+};
+
+}  // namespace tsajs::algo

@@ -1,0 +1,71 @@
+#include "algo/registry.h"
+
+#include <sstream>
+
+#include "algo/exhaustive.h"
+#include "algo/genetic.h"
+#include "algo/greedy.h"
+#include "algo/hjtora.h"
+#include "algo/local_search.h"
+#include "algo/multi_start.h"
+#include "algo/pso.h"
+#include "algo/random_scheduler.h"
+#include "algo/tabu.h"
+#include "common/error.h"
+
+namespace tsajs::algo {
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          const RegistryOptions& options) {
+  if (name == "tsajs" || name == "tsajs-geo") {
+    TsajsConfig config;
+    config.chain_length = options.chain_length;
+    config.use_incremental_evaluator = options.incremental_evaluator;
+    if (name == "tsajs-geo") config.cooling = CoolingMode::kGeometric;
+    return std::make_unique<TsajsScheduler>(config);
+  }
+  if (name == "hjtora") return std::make_unique<HjtoraScheduler>();
+  if (name == "greedy") return std::make_unique<GreedyScheduler>();
+  if (name == "local-search") {
+    LocalSearchConfig config;
+    // Keep LocalSearch's budget proportional to the TSAJS effort knob, as a
+    // fixed multiple; its runtime stays flat in N (paper Fig. 8) because the
+    // budget does not depend on the instance size.
+    config.max_iterations = 100 * options.chain_length;
+    config.patience = 20 * options.chain_length;
+    return std::make_unique<LocalSearchScheduler>(config);
+  }
+  if (name == "exhaustive") return std::make_unique<ExhaustiveScheduler>();
+  if (name == "random") return std::make_unique<RandomScheduler>();
+  if (name == "genetic") return std::make_unique<GeneticScheduler>();
+  if (name == "pso") return std::make_unique<PsoScheduler>();
+  if (name == "tabu") return std::make_unique<TabuScheduler>();
+  if (name == "tsajs-x4") {
+    TsajsConfig config;
+    config.chain_length = options.chain_length;
+    return std::make_unique<MultiStartScheduler>(
+        std::make_unique<TsajsScheduler>(config), 4);
+  }
+  throw NotFoundError("unknown scheduler: " + name);
+}
+
+std::vector<std::string> scheduler_names() {
+  return {"exhaustive", "tsajs",  "tsajs-geo", "tsajs-x4", "hjtora",
+          "local-search", "greedy", "genetic", "pso", "tabu", "random"};
+}
+
+std::vector<std::string> parse_scheme_list(const std::string& csv) {
+  if (csv.empty()) return {"tsajs", "hjtora", "local-search", "greedy"};
+  std::vector<std::string> names;
+  std::istringstream in(csv);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    (void)make_scheduler(item);  // validates the name
+    names.push_back(item);
+  }
+  TSAJS_REQUIRE(!names.empty(), "scheme list must name at least one scheme");
+  return names;
+}
+
+}  // namespace tsajs::algo

@@ -1,0 +1,40 @@
+// Name -> scheduler factory, used by benches and examples to select schemes
+// from the command line.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/scheduler.h"
+#include "algo/tsajs.h"
+
+namespace tsajs::algo {
+
+/// Per-run knobs shared across schemes (the figure sweeps vary L).
+struct RegistryOptions {
+  /// Markov-chain length L for TSAJS; also scales LocalSearch's budget so
+  /// the two search baselines see comparable effort knobs.
+  std::size_t chain_length = 30;
+  /// TSAJS proposal evaluation: incremental (fast, default) or the paper's
+  /// literal per-iteration full recompute of Eqs. 22/24. Results are
+  /// identical; only the runtime profile differs (relevant to Fig. 8).
+  bool incremental_evaluator = true;
+};
+
+/// Creates a scheduler by name: "tsajs", "tsajs-geo" (geometric-cooling
+/// ablation), "hjtora", "greedy", "local-search", "exhaustive", "random".
+/// Throws NotFoundError for unknown names.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    const std::string& name, const RegistryOptions& options = {});
+
+/// All registered scheme names, in the canonical report order.
+[[nodiscard]] std::vector<std::string> scheduler_names();
+
+/// Parses a comma-separated scheme list ("tsajs,hjtora,greedy"), validating
+/// every name; an empty string selects the paper's four main schemes.
+[[nodiscard]] std::vector<std::string> parse_scheme_list(
+    const std::string& csv);
+
+}  // namespace tsajs::algo

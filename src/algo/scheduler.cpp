@@ -1,0 +1,49 @@
+#include "algo/scheduler.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+
+namespace tsajs::algo {
+
+ScheduleResult run_and_validate(const Scheduler& scheduler,
+                                const mec::Scenario& scenario, Rng& rng) {
+  Stopwatch timer;
+  ScheduleResult result = scheduler.schedule(scenario, rng);
+  result.solve_seconds = timer.elapsed_seconds();
+
+  result.assignment.check_consistency();
+  const jtora::UtilityEvaluator evaluator(scenario);
+  const double recomputed = evaluator.system_utility(result.assignment);
+  const double tolerance =
+      1e-6 * std::max(1.0, std::fabs(recomputed)) + 1e-9;
+  TSAJS_CHECK(std::fabs(recomputed - result.system_utility) <= tolerance,
+              "scheduler-reported utility disagrees with evaluator (" +
+                  scheduler.name() + ")");
+  return result;
+}
+
+jtora::Assignment random_feasible_assignment(const mec::Scenario& scenario,
+                                             Rng& rng, double offload_prob) {
+  TSAJS_REQUIRE(offload_prob >= 0.0 && offload_prob <= 1.0,
+                "offload probability must lie in [0,1]");
+  jtora::Assignment x(scenario);
+  for (std::size_t u = 0; u < scenario.num_users(); ++u) {
+    if (!rng.bernoulli(offload_prob)) continue;
+    // Pick among servers that still have a free sub-channel.
+    std::vector<std::size_t> candidates;
+    for (std::size_t s = 0; s < scenario.num_servers(); ++s) {
+      if (!x.free_subchannels(s).empty()) candidates.push_back(s);
+    }
+    if (candidates.empty()) continue;
+    const std::size_t s = candidates[rng.uniform_index(candidates.size())];
+    const auto j = x.random_free_subchannel(s, rng);
+    TSAJS_CHECK(j.has_value(), "candidate server must have a free channel");
+    x.offload(u, s, *j);
+  }
+  return x;
+}
+
+}  // namespace tsajs::algo

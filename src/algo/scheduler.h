@@ -1,0 +1,59 @@
+// Scheduler interface.
+//
+// A scheduler solves the TO problem (paper Eq. 25): given a scenario it
+// produces an offloading decision X; the CRA optimum F*(X) is folded into
+// the objective by the UtilityEvaluator. Schedulers are stateless between
+// calls; all randomness flows through the caller-provided Rng so runs are
+// reproducible.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "jtora/assignment.h"
+#include "jtora/utility.h"
+#include "mec/scenario.h"
+
+namespace tsajs::algo {
+
+/// Outcome of one scheduling run.
+struct ScheduleResult {
+  jtora::Assignment assignment;
+  /// J*(X) of the returned assignment (Eq. 24).
+  double system_utility = 0.0;
+  /// Wall-clock solve time [s] (the paper's Fig. 8 metric).
+  double solve_seconds = 0.0;
+  /// Number of objective evaluations performed (search effort).
+  std::size_t evaluations = 0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Short stable identifier, e.g. "tsajs", "hjtora".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Solves the TO problem for `scenario`. The returned assignment is
+  /// always feasible (constraints 12b-12d hold by construction of
+  /// jtora::Assignment; postcondition checked in debug).
+  [[nodiscard]] virtual ScheduleResult schedule(
+      const mec::Scenario& scenario, Rng& rng) const = 0;
+};
+
+/// Runs `scheduler`, fills in solve_seconds, re-checks the utility against
+/// an independent evaluation, and validates assignment consistency.
+[[nodiscard]] ScheduleResult run_and_validate(const Scheduler& scheduler,
+                                              const mec::Scenario& scenario,
+                                              Rng& rng);
+
+/// Draws the random feasible initial solution used by TSAJS and LocalSearch
+/// (Algorithm 1 line 5): each user independently offloads with probability
+/// `offload_prob` to a uniformly random server that still has a free
+/// sub-channel (remaining local when every server is full).
+[[nodiscard]] jtora::Assignment random_feasible_assignment(
+    const mec::Scenario& scenario, Rng& rng, double offload_prob = 0.5);
+
+}  // namespace tsajs::algo

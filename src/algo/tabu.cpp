@@ -1,0 +1,95 @@
+#include "algo/tabu.h"
+
+#include <optional>
+#include <vector>
+
+#include "common/error.h"
+
+namespace tsajs::algo {
+
+void TabuConfig::validate() const {
+  TSAJS_REQUIRE(iterations >= 1, "need at least one iteration");
+  TSAJS_REQUIRE(pool >= 1, "need at least one neighbor per iteration");
+  TSAJS_REQUIRE(tenure >= 1, "tenure must be at least 1");
+  TSAJS_REQUIRE(initial_offload_prob >= 0.0 && initial_offload_prob <= 1.0,
+                "initial offload probability must lie in [0,1]");
+  neighborhood.validate();
+}
+
+TabuScheduler::TabuScheduler(TabuConfig config) : config_(config) {
+  config_.validate();
+}
+
+namespace {
+
+// Users whose decision differs between two assignments.
+std::vector<std::size_t> touched_users(const jtora::Assignment& a,
+                                       const jtora::Assignment& b) {
+  std::vector<std::size_t> touched;
+  for (std::size_t u = 0; u < a.num_users(); ++u) {
+    if (a.slot_of(u) != b.slot_of(u)) touched.push_back(u);
+  }
+  return touched;
+}
+
+}  // namespace
+
+ScheduleResult TabuScheduler::schedule(const mec::Scenario& scenario,
+                                       Rng& rng) const {
+  const jtora::UtilityEvaluator evaluator(scenario);
+  const Neighborhood neighborhood(scenario, config_.neighborhood);
+
+  jtora::Assignment current =
+      random_feasible_assignment(scenario, rng, config_.initial_offload_prob);
+  double current_utility = evaluator.system_utility(current);
+  ScheduleResult result{current, current_utility, 0.0, 1};
+
+  // tabu_until[u] = first iteration at which touching u is allowed again.
+  std::vector<std::size_t> tabu_until(scenario.num_users(), 0);
+
+  for (std::size_t it = 1; it <= config_.iterations; ++it) {
+    std::optional<jtora::Assignment> best_candidate;
+    double best_candidate_utility = 0.0;
+    std::vector<std::size_t> best_touched;
+
+    for (std::size_t k = 0; k < config_.pool; ++k) {
+      jtora::Assignment candidate = current;
+      neighborhood.step(candidate, rng);
+      const std::vector<std::size_t> touched =
+          touched_users(current, candidate);
+      if (touched.empty()) continue;  // no-op proposal
+      const double utility = evaluator.system_utility(candidate);
+      ++result.evaluations;
+
+      bool tabu = false;
+      for (const std::size_t u : touched) {
+        if (tabu_until[u] > it) {
+          tabu = true;
+          break;
+        }
+      }
+      // Aspiration: a new all-time best overrides tabu status.
+      if (tabu && utility <= result.system_utility) continue;
+      if (!best_candidate.has_value() ||
+          utility > best_candidate_utility) {
+        best_candidate = std::move(candidate);
+        best_candidate_utility = utility;
+        best_touched = touched;
+      }
+    }
+
+    if (!best_candidate.has_value()) continue;  // whole pool tabu/no-op
+    current = std::move(*best_candidate);
+    current_utility = best_candidate_utility;
+    for (const std::size_t u : best_touched) {
+      tabu_until[u] = it + config_.tenure;
+    }
+    if (current_utility > result.system_utility) {
+      result.assignment = current;
+      result.system_utility = current_utility;
+    }
+  }
+  return result;
+}
+
+}  // namespace tsajs::algo

@@ -1,0 +1,42 @@
+// Tabu-search scheduler — an extension baseline.
+//
+// A classic metaheuristic counterpart to simulated annealing: each
+// iteration samples a pool of neighbors (Algorithm-2 moves), takes the best
+// candidate whose *touched users* are not tabu (or that beats the best-ever
+// utility — the standard aspiration criterion), and marks the touched users
+// tabu for `tenure` iterations. Where the annealer escapes local optima by
+// accepting losses probabilistically, tabu search escapes them by being
+// forbidden to immediately undo its own moves.
+#pragma once
+
+#include "algo/neighborhood.h"
+#include "algo/scheduler.h"
+
+namespace tsajs::algo {
+
+struct TabuConfig {
+  std::size_t iterations = 600;
+  /// Neighbors sampled per iteration.
+  std::size_t pool = 8;
+  /// Iterations a touched user stays tabu.
+  std::size_t tenure = 12;
+  /// Offload probability of the initial solution.
+  double initial_offload_prob = 0.0;
+  NeighborhoodConfig neighborhood;
+
+  void validate() const;
+};
+
+class TabuScheduler final : public Scheduler {
+ public:
+  explicit TabuScheduler(TabuConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "tabu"; }
+  [[nodiscard]] ScheduleResult schedule(const mec::Scenario& scenario,
+                                        Rng& rng) const override;
+
+ private:
+  TabuConfig config_;
+};
+
+}  // namespace tsajs::algo

@@ -1,0 +1,136 @@
+#include "algo/tsajs.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "jtora/incremental.h"
+
+namespace tsajs::algo {
+
+void TsajsConfig::validate() const {
+  TSAJS_REQUIRE(chain_length >= 1, "chain length must be at least 1");
+  TSAJS_REQUIRE(min_temperature > 0.0, "min temperature must be positive");
+  TSAJS_REQUIRE(alpha_slow > 0.0 && alpha_slow < 1.0,
+                "alpha_slow must lie in (0,1)");
+  TSAJS_REQUIRE(alpha_fast > 0.0 && alpha_fast < 1.0,
+                "alpha_fast must lie in (0,1)");
+  TSAJS_REQUIRE(alpha_fast <= alpha_slow,
+                "fast cooling must not be slower than slow cooling");
+  TSAJS_REQUIRE(threshold_factor > 0.0, "threshold factor must be positive");
+  TSAJS_REQUIRE(!initial_temperature.has_value() || *initial_temperature > 0.0,
+                "initial temperature must be positive");
+  TSAJS_REQUIRE(initial_offload_prob >= 0.0 && initial_offload_prob <= 1.0,
+                "initial offload probability must lie in [0,1]");
+  neighborhood.validate();
+}
+
+TsajsScheduler::TsajsScheduler(TsajsConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+}
+
+std::string TsajsScheduler::name() const {
+  return config_.cooling == CoolingMode::kThresholdTriggered ? "tsajs"
+                                                             : "tsajs-geo";
+}
+
+namespace {
+
+// The annealing loop, generic over the evaluation strategy. `Propose` takes
+// (rng) and returns the candidate utility; `Commit`/`Reject` finalize the
+// proposal; `Snapshot` returns the current assignment by value.
+template <typename Propose, typename Commit, typename Reject,
+          typename Snapshot>
+ScheduleResult anneal(const mec::Scenario& scenario, const TsajsConfig& config,
+                      Rng& rng, double initial_utility, Propose&& propose,
+                      Commit&& commit, Reject&& reject, Snapshot&& snapshot) {
+  // Algorithm 1 lines 3-4: temperature schedule parameters.
+  double temperature = config.initial_temperature.value_or(
+      static_cast<double>(scenario.num_subchannels()));
+  TSAJS_CHECK(temperature > config.min_temperature,
+              "initial temperature must exceed the minimum");
+  const double max_count =
+      config.threshold_factor * static_cast<double>(config.chain_length);
+
+  double current_utility = initial_utility;
+  ScheduleResult result{snapshot(), current_utility, 0.0, 1};
+
+  std::size_t worse_accept_count = 0;  // Algorithm 1's `count`.
+  while (temperature > config.min_temperature) {
+    for (std::size_t i = 0; i < config.chain_length; ++i) {
+      // Lines 10-12: neighbor + closed-form CRA folded into the objective.
+      const double candidate_utility = propose(rng);
+      ++result.evaluations;
+
+      const double delta = candidate_utility - current_utility;
+      if (delta > 0.0) {
+        commit();
+        current_utility = candidate_utility;
+        if (current_utility > result.system_utility) {
+          result.assignment = snapshot();
+          result.system_utility = current_utility;
+        }
+      } else if (std::exp(delta / temperature) > rng.uniform()) {
+        // Lines 20-22: accept a worse solution, count it.
+        commit();
+        current_utility = candidate_utility;
+        ++worse_accept_count;
+      } else {
+        reject();
+      }
+    }
+    // Lines 26-30: threshold-triggered cooling.
+    if (config.cooling == CoolingMode::kGeometric) {
+      temperature *= config.alpha_slow;
+    } else if (static_cast<double>(worse_accept_count) < max_count) {
+      temperature *= config.alpha_slow;
+    } else {
+      temperature *= config.alpha_fast;
+      worse_accept_count = 0;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ScheduleResult TsajsScheduler::schedule(const mec::Scenario& scenario,
+                                        Rng& rng) const {
+  const Neighborhood neighborhood(scenario, config_.neighborhood);
+  // Algorithm 1 line 5: random feasible initial solution.
+  jtora::Assignment initial =
+      random_feasible_assignment(scenario, rng, config_.initial_offload_prob);
+
+  if (config_.use_incremental_evaluator) {
+    jtora::IncrementalEvaluator state(scenario, initial);
+    std::size_t mark = 0;
+    return anneal(
+        scenario, config_, rng, state.utility(),
+        /*propose=*/
+        [&](Rng& r) {
+          mark = state.checkpoint();
+          neighborhood.step(state, r);
+          return state.utility();
+        },
+        /*commit=*/[] {},
+        /*reject=*/[&] { state.rollback(mark); },
+        /*snapshot=*/[&] { return state.assignment(); });
+  }
+
+  const jtora::UtilityEvaluator evaluator(scenario);
+  jtora::Assignment current = initial;
+  jtora::Assignment candidate = current;
+  return anneal(
+      scenario, config_, rng, evaluator.system_utility(current),
+      /*propose=*/
+      [&](Rng& r) {
+        candidate = current;
+        neighborhood.step(candidate, r);
+        return evaluator.system_utility(candidate);
+      },
+      /*commit=*/[&] { current = candidate; },
+      /*reject=*/[] {},
+      /*snapshot=*/[&] { return current; });
+}
+
+}  // namespace tsajs::algo

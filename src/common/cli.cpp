@@ -1,0 +1,143 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace tsajs {
+
+CliParser::CliParser(std::string program_summary)
+    : summary_(std::move(program_summary)) {
+  add_switch("help", "print this help text and exit");
+}
+
+void CliParser::add_flag(const std::string& name,
+                         const std::string& description,
+                         const std::string& default_value) {
+  TSAJS_REQUIRE(!name.empty() && name.rfind("--", 0) != 0,
+                "flag names are registered without the leading --");
+  TSAJS_REQUIRE(!flags_.contains(name), "duplicate flag: " + name);
+  flags_[name] = Flag{description, default_value, std::nullopt, false};
+}
+
+void CliParser::add_switch(const std::string& name,
+                           const std::string& description) {
+  TSAJS_REQUIRE(!flags_.contains(name), "duplicate flag: " + name);
+  flags_[name] = Flag{description, "false", std::nullopt, true};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inline_value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      throw InvalidArgumentError("unknown flag --" + name + "\n" +
+                                 help_text());
+    }
+    Flag& flag = it->second;
+    if (flag.is_switch) {
+      TSAJS_REQUIRE(!inline_value.has_value(),
+                    "switch --" + name + " does not take a value");
+      flag.value = "true";
+    } else if (inline_value.has_value()) {
+      flag.value = std::move(*inline_value);
+    } else {
+      TSAJS_REQUIRE(i + 1 < argc, "flag --" + name + " expects a value");
+      flag.value = argv[++i];
+    }
+  }
+  if (get_bool("help")) {
+    std::cout << help_text();
+    return false;
+  }
+  return true;
+}
+
+const CliParser::Flag& CliParser::find(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw NotFoundError("flag --" + name + " was never registered");
+  }
+  return it->second;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  const Flag& flag = find(name);
+  return flag.value.value_or(flag.default_value);
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string text = get_string(name);
+  std::size_t consumed = 0;
+  std::int64_t result = 0;
+  try {
+    result = std::stoll(text, &consumed);
+  } catch (const std::exception&) {
+    throw InvalidArgumentError("--" + name + ": not an integer: " + text);
+  }
+  TSAJS_REQUIRE(consumed == text.size(),
+                "--" + name + ": trailing characters in integer: " + text);
+  return result;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string text = get_string(name);
+  std::size_t consumed = 0;
+  double result = 0;
+  try {
+    result = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    throw InvalidArgumentError("--" + name + ": not a number: " + text);
+  }
+  TSAJS_REQUIRE(consumed == text.size(),
+                "--" + name + ": trailing characters in number: " + text);
+  return result;
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string text = get_string(name);
+  if (text == "true" || text == "1" || text == "yes") return true;
+  if (text == "false" || text == "0" || text == "no") return false;
+  throw InvalidArgumentError("--" + name + ": not a boolean: " + text);
+}
+
+std::vector<double> CliParser::get_double_list(const std::string& name) const {
+  const std::string text = get_string(name);
+  std::vector<double> values;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    try {
+      values.push_back(std::stod(item));
+    } catch (const std::exception&) {
+      throw InvalidArgumentError("--" + name + ": not a number: " + item);
+    }
+  }
+  return values;
+}
+
+std::string CliParser::help_text() const {
+  std::ostringstream os;
+  os << summary_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    if (!flag.is_switch) os << " <value> (default: " << flag.default_value << ')';
+    os << "\n      " << flag.description << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tsajs

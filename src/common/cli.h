@@ -1,0 +1,62 @@
+// Minimal command-line flag parser for the bench and example binaries.
+//
+// Supports `--name value` and `--name=value` forms plus boolean switches,
+// with typed accessors, defaults, and an auto-generated `--help` text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tsajs {
+
+class CliParser {
+ public:
+  /// `program_summary` is printed at the top of --help.
+  explicit CliParser(std::string program_summary);
+
+  /// Registers a flag. `description` appears in --help.
+  void add_flag(const std::string& name, const std::string& description,
+                const std::string& default_value);
+
+  /// Registers a boolean switch (present => true).
+  void add_switch(const std::string& name, const std::string& description);
+
+  /// Parses argv. Returns false (after printing help) when --help was given.
+  /// Throws InvalidArgumentError on unknown flags or malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Parses a comma-separated list of doubles, e.g. "1000,2000,3000".
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& name) const;
+
+  /// Positional arguments (anything not starting with --).
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  struct Flag {
+    std::string description;
+    std::string default_value;
+    std::optional<std::string> value;
+    bool is_switch = false;
+  };
+
+  const Flag& find(const std::string& name) const;
+
+  std::string summary_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tsajs

@@ -1,0 +1,18 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace tsajs::detail {
+
+void throw_check_failure(const char* kind, const char* expr, const char* file,
+                         int line, const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  if (std::string(kind) == "precondition") {
+    throw InvalidArgumentError(os.str());
+  }
+  throw InternalError(os.str());
+}
+
+}  // namespace tsajs::detail

@@ -1,0 +1,63 @@
+// Error handling primitives for the tsajs libraries.
+//
+// Library code reports precondition violations and unrecoverable internal
+// inconsistencies through exceptions derived from `tsajs::Error`, so that
+// callers (tests, the experiment harness, example binaries) can fail a single
+// trial without tearing down the whole process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tsajs {
+
+/// Base class of all exceptions thrown by this project.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad argument, out-of-range
+/// index, infeasible configuration request, ...).
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant did not hold. Indicates a bug in this library.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// A requested entity (scheduler name, column, ...) does not exist.
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& message);
+}  // namespace detail
+
+}  // namespace tsajs
+
+/// Precondition check: throws InvalidArgumentError when `expr` is false.
+#define TSAJS_REQUIRE(expr, message)                                     \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::tsajs::detail::throw_check_failure("precondition", #expr,        \
+                                           __FILE__, __LINE__, message); \
+    }                                                                    \
+  } while (false)
+
+/// Invariant check: throws InternalError when `expr` is false.
+#define TSAJS_CHECK(expr, message)                                      \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::tsajs::detail::throw_check_failure("invariant", #expr,          \
+                                           __FILE__, __LINE__, message); \
+    }                                                                   \
+  } while (false)

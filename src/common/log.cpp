@@ -1,0 +1,55 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace tsajs {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::atomic<std::ostream*> g_sink{nullptr};
+std::mutex g_emit_mutex;
+}  // namespace
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+void set_log_sink(std::ostream* sink) noexcept { g_sink.store(sink); }
+
+namespace detail {
+
+bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= static_cast<int>(g_level.load());
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Keep only the basename to keep lines short.
+  std::string path(file);
+  const auto slash = path.find_last_of('/');
+  stream_ << '[' << log_level_name(level) << "] "
+          << (slash == std::string::npos ? path : path.substr(slash + 1))
+          << ':' << line << ": ";
+}
+
+LogMessage::~LogMessage() {
+  std::ostream* sink = g_sink.load();
+  std::ostream& os = sink != nullptr ? *sink : std::cerr;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  os << stream_.str() << '\n';
+  (void)level_;
+}
+
+}  // namespace detail
+}  // namespace tsajs

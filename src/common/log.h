@@ -1,0 +1,55 @@
+// Leveled logging for the harness and schedulers.
+//
+// Lightweight by design: a global level, a single sink (stderr by default,
+// redirectable for tests), and stream-style call sites:
+//
+//   TSAJS_LOG(Info) << "trial " << t << " utility=" << j;
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tsajs {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Returns a human-readable name ("DEBUG", "INFO", ...).
+[[nodiscard]] const char* log_level_name(LogLevel level) noexcept;
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Redirects log output (nullptr restores stderr). Not thread-safe with
+/// concurrent logging; intended for test setup.
+void set_log_sink(std::ostream* sink) noexcept;
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[nodiscard]] bool log_enabled(LogLevel level) noexcept;
+
+}  // namespace detail
+}  // namespace tsajs
+
+#define TSAJS_LOG(level)                                              \
+  if (!::tsajs::detail::log_enabled(::tsajs::LogLevel::level)) {      \
+  } else                                                              \
+    ::tsajs::detail::LogMessage(::tsajs::LogLevel::level, __FILE__, __LINE__)

@@ -1,0 +1,88 @@
+// Deterministic random-number generation.
+//
+// Every stochastic component of the simulator (user placement, shadowing,
+// the annealer's proposal/acceptance draws, Monte-Carlo trials) draws from a
+// `Rng` seeded explicitly by the caller, so that every experiment in
+// EXPERIMENTS.md is bit-reproducible. The generator is xoshiro256**, seeded
+// through SplitMix64 per the reference recommendation; we avoid
+// std::mt19937 + std::*_distribution because their output is not portable
+// across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace tsajs {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state and
+/// to derive independent child seeds (e.g. one per Monte-Carlo trial).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 with distribution helpers.
+///
+/// Satisfies std::uniform_random_bit_generator, so it can also be plugged
+/// into <algorithm> facilities such as std::shuffle.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator. Distinct seeds yield independent-looking streams.
+  explicit Rng(std::uint64_t seed = 0x2545F4914F6CDD1DULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Raw 64 random bits.
+  result_type operator()() noexcept { return next_u64(); }
+  result_type next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection method).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal deviate (Box–Muller with caching).
+  double normal() noexcept;
+
+  /// Normal deviate with the given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma);
+
+  /// Exponential deviate with the given rate (rate > 0).
+  double exponential(double rate);
+
+  /// Bernoulli draw with probability `p` of returning true (p in [0,1]).
+  bool bernoulli(double p);
+
+  /// Derives a child seed; children of distinct indices are independent.
+  std::uint64_t derive_seed(std::uint64_t stream_index) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace tsajs

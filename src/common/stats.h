@@ -1,0 +1,67 @@
+// Streaming statistics and confidence intervals.
+//
+// The paper reports mean system utility with 95% confidence intervals over
+// repeated random drops (Fig. 3). `Accumulator` implements Welford's
+// numerically stable online mean/variance; `confidence_interval` applies the
+// Student-t quantile for small trial counts.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace tsajs {
+
+/// Welford online accumulator for mean / variance / min / max.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel reduction; Chan et al.).
+  void merge(const Accumulator& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance. Zero when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean. Zero when fewer than two samples.
+  [[nodiscard]] double stderr_mean() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// A symmetric confidence interval [mean - half_width, mean + half_width].
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+
+  [[nodiscard]] double lower() const noexcept { return mean - half_width; }
+  [[nodiscard]] double upper() const noexcept { return mean + half_width; }
+  [[nodiscard]] bool contains(double x) const noexcept {
+    return x >= lower() && x <= upper();
+  }
+};
+
+/// Two-sided Student-t critical value t_{alpha/2, dof} for the given
+/// confidence level (e.g. 0.95). Exact for the tabulated small dofs used by
+/// our trial counts; falls back to the normal quantile for large dof.
+[[nodiscard]] double student_t_critical(std::size_t dof, double confidence);
+
+/// Confidence interval of the mean from an accumulator. With fewer than two
+/// samples the half-width is zero.
+[[nodiscard]] ConfidenceInterval confidence_interval(const Accumulator& acc,
+                                                     double confidence = 0.95);
+
+/// Quantile (0 <= q <= 1) of a sample, linear interpolation; sorts a copy.
+[[nodiscard]] double quantile(std::vector<double> samples, double q);
+
+}  // namespace tsajs

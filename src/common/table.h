@@ -1,0 +1,52 @@
+// Tabular report output.
+//
+// Every bench binary prints the series a paper figure plots, as an aligned
+// ASCII table for the terminal plus an optional CSV file for replotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tsajs {
+
+/// A simple column-oriented table: set headers once, append rows of cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const noexcept {
+    return headers_.size();
+  }
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Writes an aligned, boxed ASCII rendering.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-style CSV (quotes cells containing comma/quote/newline).
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: writes CSV to a file path; throws Error on I/O failure.
+  void write_csv_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+[[nodiscard]] std::string format_double(double value, int precision = 4);
+
+/// Formats "mean ± half_width" for CI cells.
+[[nodiscard]] std::string format_ci(double mean, double half_width,
+                                    int precision = 4);
+
+}  // namespace tsajs

@@ -1,0 +1,59 @@
+// Fixed-size thread pool used to parallelize independent Monte-Carlo trials.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tsajs {
+
+/// A simple FIFO thread pool. Tasks must not throw through the pool boundary;
+/// use `submit` to capture exceptions in the returned future.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues a callable; the future carries its result or exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  /// Exceptions from tasks are rethrown (the first one encountered).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace tsajs

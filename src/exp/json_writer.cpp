@@ -1,0 +1,96 @@
+#include "exp/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace tsajs::exp {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buffer;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// JSON has no Inf/NaN; map them to null.
+std::string number(double x) {
+  if (!std::isfinite(x)) return "null";
+  std::ostringstream os;
+  os.precision(17);
+  os << x;
+  return os.str();
+}
+
+}  // namespace
+
+std::string json_of(const Accumulator& acc, double confidence) {
+  const ConfidenceInterval ci = confidence_interval(acc, confidence);
+  std::ostringstream os;
+  os << "{\"count\":" << acc.count() << ",\"mean\":" << number(acc.mean())
+     << ",\"stddev\":" << number(acc.stddev())
+     << ",\"min\":" << number(acc.count() ? acc.min() : 0.0)
+     << ",\"max\":" << number(acc.count() ? acc.max() : 0.0)
+     << ",\"ci\":[" << number(ci.lower()) << ',' << number(ci.upper())
+     << "]}";
+  return os.str();
+}
+
+void write_sweep_json(std::ostream& os, const std::string& sweep_name,
+                      const std::vector<std::string>& labels,
+                      const std::vector<std::vector<SchemeStats>>& rows) {
+  TSAJS_REQUIRE(labels.size() == rows.size(),
+                "one label per sweep point required");
+  os << "{\"sweep\":\"" << json_escape(sweep_name) << "\",\"points\":[";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (r != 0) os << ',';
+    os << "{\"label\":\"" << json_escape(labels[r]) << "\",\"schemes\":[";
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      const SchemeStats& stats = rows[r][c];
+      if (c != 0) os << ',';
+      os << "{\"name\":\"" << json_escape(stats.scheme) << "\""
+         << ",\"utility\":" << json_of(stats.utility)
+         << ",\"solve_seconds\":" << json_of(stats.solve_seconds)
+         << ",\"offloaded\":" << json_of(stats.offloaded)
+         << ",\"mean_delay_s\":" << json_of(stats.mean_delay_s)
+         << ",\"mean_energy_j\":" << json_of(stats.mean_energy_j) << '}';
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+}
+
+void write_sweep_json_file(
+    const std::string& path, const std::string& sweep_name,
+    const std::vector<std::string>& labels,
+    const std::vector<std::vector<SchemeStats>>& rows) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open JSON output file: " + path);
+  write_sweep_json(out, sweep_name, labels, rows);
+  if (!out) throw Error("failed writing JSON output file: " + path);
+}
+
+}  // namespace tsajs::exp

@@ -1,0 +1,48 @@
+// Minimal JSON emission for experiment results.
+//
+// The CSV output (`Table::write_csv`) carries formatted strings; downstream
+// analysis sometimes wants the raw statistics (counts, means, CI bounds,
+// minima/maxima) without re-parsing. `write_sweep_json` emits one JSON
+// document per sweep:
+//
+//   {
+//     "sweep": "<x-axis name>",
+//     "points": [
+//       {"label": "...", "schemes": [
+//          {"name": "tsajs", "utility": {"count":..,"mean":..,...},
+//           "solve_seconds": {...}, "offloaded": {...},
+//           "mean_delay_s": {...}, "mean_energy_j": {...}}, ...]}, ...]
+//   }
+//
+// Only the JSON subset needed here is implemented (objects, arrays,
+// strings, finite numbers); strings are escaped per RFC 8259.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "exp/trial_runner.h"
+
+namespace tsajs::exp {
+
+/// Escapes a string for embedding in a JSON document (adds no quotes).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+/// Serializes one accumulator as a JSON object.
+[[nodiscard]] std::string json_of(const Accumulator& acc,
+                                  double confidence = 0.95);
+
+/// Writes a whole sweep (same row structure as make_sweep_table).
+void write_sweep_json(std::ostream& os, const std::string& sweep_name,
+                      const std::vector<std::string>& labels,
+                      const std::vector<std::vector<SchemeStats>>& rows);
+
+/// Convenience: writes to a file path; throws Error on I/O failure.
+void write_sweep_json_file(const std::string& path,
+                           const std::string& sweep_name,
+                           const std::vector<std::string>& labels,
+                           const std::vector<std::vector<SchemeStats>>& rows);
+
+}  // namespace tsajs::exp

@@ -1,0 +1,94 @@
+#include "exp/report.h"
+
+#include <iostream>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "exp/json_writer.h"
+
+namespace tsajs::exp {
+
+MetricFn metric_utility(bool with_ci, int precision) {
+  return [with_ci, precision](const SchemeStats& stats) {
+    if (!with_ci) return format_double(stats.utility.mean(), precision);
+    const ConfidenceInterval ci = stats.utility_ci();
+    return format_ci(ci.mean, ci.half_width, precision);
+  };
+}
+
+MetricFn metric_runtime(int precision) {
+  return [precision](const SchemeStats& stats) {
+    return units::duration_string(stats.solve_seconds.mean(), precision);
+  };
+}
+
+MetricFn metric_delay(int precision) {
+  return [precision](const SchemeStats& stats) {
+    return format_double(stats.mean_delay_s.mean(), precision);
+  };
+}
+
+MetricFn metric_energy(int precision) {
+  return [precision](const SchemeStats& stats) {
+    return format_double(stats.mean_energy_j.mean(), precision);
+  };
+}
+
+MetricFn metric_offloaded(int precision) {
+  return [precision](const SchemeStats& stats) {
+    return format_double(stats.offloaded.mean(), precision);
+  };
+}
+
+Table make_sweep_table(const std::string& x_name,
+                       const std::vector<std::string>& labels,
+                       const std::vector<std::vector<SchemeStats>>& rows,
+                       const MetricFn& metric) {
+  TSAJS_REQUIRE(labels.size() == rows.size(),
+                "one label per sweep point required");
+  TSAJS_REQUIRE(!rows.empty(), "a sweep needs at least one point");
+
+  std::vector<std::string> headers{x_name};
+  for (const auto& stats : rows.front()) headers.push_back(stats.scheme);
+
+  Table table(std::move(headers));
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    TSAJS_REQUIRE(rows[r].size() == rows.front().size(),
+                  "every sweep point must list the same schemes");
+    std::vector<std::string> cells{labels[r]};
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      TSAJS_REQUIRE(rows[r][c].scheme == rows.front()[c].scheme,
+                    "scheme order must match across sweep points");
+      cells.push_back(metric(rows[r][c]));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+void emit_sweep(const std::string& title, const std::string& x_name,
+                const std::vector<std::string>& labels,
+                const std::vector<std::vector<SchemeStats>>& rows,
+                const MetricFn& metric, const std::string& csv_prefix) {
+  emit_report(title, make_sweep_table(x_name, labels, rows, metric),
+              csv_prefix);
+  if (!csv_prefix.empty()) {
+    const std::string path = csv_prefix + ".json";
+    write_sweep_json_file(path, x_name, labels, rows);
+    std::cout << "(json written to " << path << ")\n";
+  }
+}
+
+void emit_report(const std::string& title, const Table& table,
+                 const std::string& csv_prefix) {
+  std::cout << "\n== " << title << " ==\n";
+  table.print(std::cout);
+  if (!csv_prefix.empty()) {
+    const std::string path = csv_prefix + ".csv";
+    table.write_csv_file(path);
+    std::cout << "(csv written to " << path << ")\n";
+  }
+  std::cout.flush();
+}
+
+}  // namespace tsajs::exp

@@ -1,0 +1,53 @@
+// Report construction for the bench binaries.
+//
+// A paper figure is a sweep: an x-axis (workload, #users, #sub-channels,
+// ...) against one metric, one series per scheme. `make_sweep_table` turns
+// the runner's per-point stats into that table; metric selectors pick the
+// quantity a given figure plots.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "exp/trial_runner.h"
+
+namespace tsajs::exp {
+
+/// Renders one cell from a scheme's aggregated stats.
+using MetricFn = std::function<std::string(const SchemeStats&)>;
+
+/// Mean system utility, optionally with its 95% CI half-width.
+[[nodiscard]] MetricFn metric_utility(bool with_ci = false,
+                                      int precision = 4);
+/// Mean wall-clock solve time, SI-formatted (Fig. 8).
+[[nodiscard]] MetricFn metric_runtime(int precision = 4);
+/// Mean per-user completion delay [s] (Fig. 9b).
+[[nodiscard]] MetricFn metric_delay(int precision = 4);
+/// Mean per-user energy [J] (Fig. 9a).
+[[nodiscard]] MetricFn metric_energy(int precision = 4);
+/// Mean number of offloaded users.
+[[nodiscard]] MetricFn metric_offloaded(int precision = 2);
+
+/// Builds a table: first column = `x_name` with `labels`, one column per
+/// scheme found in `rows` (all points must list the same schemes in the
+/// same order), cells rendered by `metric`.
+[[nodiscard]] Table make_sweep_table(
+    const std::string& x_name, const std::vector<std::string>& labels,
+    const std::vector<std::vector<SchemeStats>>& rows, const MetricFn& metric);
+
+/// Prints `table` to stdout under a figure banner, and writes
+/// `<csv_prefix>.csv` when csv_prefix is non-empty.
+void emit_report(const std::string& title, const Table& table,
+                 const std::string& csv_prefix);
+
+/// Full sweep emission: ASCII table to stdout, plus `<prefix>.csv`
+/// (formatted cells) and `<prefix>.json` (raw statistics, see
+/// exp/json_writer.h) when `csv_prefix` is non-empty.
+void emit_sweep(const std::string& title, const std::string& x_name,
+                const std::vector<std::string>& labels,
+                const std::vector<std::vector<SchemeStats>>& rows,
+                const MetricFn& metric, const std::string& csv_prefix);
+
+}  // namespace tsajs::exp

@@ -1,0 +1,56 @@
+// Monte-Carlo trial runner.
+//
+// One *trial* = one random drop (user placement + shadowing) solved by every
+// scheme under test. The paper's figures plot means (with 95% CIs in Fig. 3)
+// over repeated drops; `TrialRunner` reproduces that protocol with
+// per-trial derived seeds so results are bit-reproducible and independent
+// of thread scheduling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "common/stats.h"
+#include "mec/scenario_builder.h"
+
+namespace tsajs::exp {
+
+struct TrialSpec {
+  mec::ScenarioBuilder builder;
+  /// Scheme names (see algo::make_scheduler).
+  std::vector<std::string> schemes;
+  algo::RegistryOptions options;
+  std::size_t trials = 30;
+  std::uint64_t base_seed = 20250704;
+};
+
+/// Aggregated per-scheme results over all trials of a spec.
+struct SchemeStats {
+  std::string scheme;
+  Accumulator utility;        ///< J*(X) per trial.
+  Accumulator solve_seconds;  ///< wall-clock per solve (Fig. 8).
+  Accumulator offloaded;      ///< #offloaded users per trial.
+  Accumulator mean_delay_s;   ///< mean task completion time over all users.
+  Accumulator mean_energy_j;  ///< mean per-user energy over all users.
+
+  [[nodiscard]] ConfidenceInterval utility_ci(double confidence = 0.95) const {
+    return confidence_interval(utility, confidence);
+  }
+};
+
+class TrialRunner {
+ public:
+  /// `num_threads == 0` uses the hardware concurrency.
+  explicit TrialRunner(std::size_t num_threads = 0)
+      : num_threads_(num_threads) {}
+
+  /// Runs spec.trials drops; every scheme solves the *same* drops.
+  [[nodiscard]] std::vector<SchemeStats> run(const TrialSpec& spec) const;
+
+ private:
+  std::size_t num_threads_;
+};
+
+}  // namespace tsajs::exp

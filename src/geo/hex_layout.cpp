@@ -1,0 +1,113 @@
+#include "geo/hex_layout.h"
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace tsajs::geo {
+
+namespace {
+
+// Axial hex coordinate; flat-topped orientation.
+struct Axial {
+  int q = 0;
+  int r = 0;
+};
+
+constexpr std::array<Axial, 6> kDirections{{
+    {1, 0}, {1, -1}, {0, -1}, {-1, 0}, {-1, 1}, {0, 1},
+}};
+
+Point axial_to_point(Axial a, double circumradius) {
+  const double x = circumradius * 1.5 * static_cast<double>(a.q);
+  const double y = circumradius * std::sqrt(3.0) *
+                   (static_cast<double>(a.r) + static_cast<double>(a.q) / 2.0);
+  return {x, y};
+}
+
+// Generates hex lattice coordinates in spiral (ring) order: center first,
+// then successive rings of 6·k cells.
+std::vector<Axial> spiral(std::size_t count) {
+  std::vector<Axial> cells;
+  cells.reserve(count);
+  cells.push_back({0, 0});
+  for (int ring = 1; cells.size() < count; ++ring) {
+    // Start at the cell `ring` steps in direction 4 from the center.
+    Axial cur{kDirections[4].q * ring, kDirections[4].r * ring};
+    for (const Axial dir : kDirections) {
+      for (int step = 0; step < ring && cells.size() < count; ++step) {
+        cells.push_back(cur);
+        cur = {cur.q + dir.q, cur.r + dir.r};
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+HexLayout::HexLayout(std::size_t num_cells, double inter_site_distance_m)
+    : isd_(inter_site_distance_m) {
+  TSAJS_REQUIRE(num_cells >= 1, "a layout needs at least one cell");
+  TSAJS_REQUIRE(inter_site_distance_m > 0.0,
+                "inter-site distance must be positive");
+  const double circumradius = cell_radius();
+  sites_.reserve(num_cells);
+  for (const Axial a : spiral(num_cells)) {
+    sites_.push_back(axial_to_point(a, circumradius));
+  }
+}
+
+double HexLayout::cell_radius() const noexcept {
+  return isd_ / std::sqrt(3.0);
+}
+
+Point HexLayout::site(std::size_t s) const {
+  TSAJS_REQUIRE(s < sites_.size(), "cell index out of range");
+  return sites_[s];
+}
+
+std::size_t HexLayout::nearest_cell(Point p) const {
+  std::size_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < sites_.size(); ++s) {
+    const double d2 = distance_squared(p, sites_[s]);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = s;
+    }
+  }
+  return best;
+}
+
+bool HexLayout::contains(std::size_t s, Point p) const {
+  TSAJS_REQUIRE(s < sites_.size(), "cell index out of range");
+  const double radius = cell_radius();
+  const double dx = std::fabs(p.x - sites_[s].x);
+  const double dy = std::fabs(p.y - sites_[s].y);
+  const double sqrt3 = std::sqrt(3.0);
+  constexpr double kSlack = 1e-9;
+  return dy <= sqrt3 / 2.0 * radius + kSlack &&
+         sqrt3 * dx + dy <= sqrt3 * radius + kSlack;
+}
+
+Point HexLayout::sample_in_cell(std::size_t s, Rng& rng) const {
+  TSAJS_REQUIRE(s < sites_.size(), "cell index out of range");
+  const double radius = cell_radius();
+  const double half_height = std::sqrt(3.0) / 2.0 * radius;
+  // Rejection sampling from the bounding box; acceptance probability 0.75.
+  for (;;) {
+    const Point candidate{sites_[s].x + rng.uniform(-radius, radius),
+                          sites_[s].y + rng.uniform(-half_height, half_height)};
+    if (contains(s, candidate)) return candidate;
+  }
+}
+
+Point HexLayout::sample_in_network(Rng& rng) const {
+  const auto cell = static_cast<std::size_t>(rng.uniform_index(sites_.size()));
+  return sample_in_cell(cell, rng);
+}
+
+}  // namespace tsajs::geo

@@ -1,0 +1,37 @@
+// 2-D geometry primitives for network layout.
+#pragma once
+
+#include <cmath>
+
+namespace tsajs::geo {
+
+/// A point (or vector) in the plane, in meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Point operator+(Point a, Point b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point operator-(Point a, Point b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Point operator*(double k, Point p) noexcept {
+    return {k * p.x, k * p.y};
+  }
+  friend constexpr bool operator==(Point, Point) = default;
+};
+
+/// Euclidean distance between two points [m].
+[[nodiscard]] inline double distance(Point a, Point b) noexcept {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Squared distance (avoids the sqrt when only comparing).
+[[nodiscard]] constexpr double distance_squared(Point a, Point b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace tsajs::geo

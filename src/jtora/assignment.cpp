@@ -1,0 +1,137 @@
+#include "jtora/assignment.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace tsajs::jtora {
+
+Assignment::Assignment(const mec::Scenario& scenario)
+    : num_servers_(scenario.num_servers()),
+      num_subchannels_(scenario.num_subchannels()),
+      user_slot_(scenario.num_users()),
+      slot_user_(scenario.num_servers() * scenario.num_subchannels()) {}
+
+void Assignment::require_user(std::size_t u) const {
+  TSAJS_REQUIRE(u < user_slot_.size(), "user index out of range");
+}
+
+void Assignment::require_slot(std::size_t s, std::size_t j) const {
+  TSAJS_REQUIRE(s < num_servers_, "server index out of range");
+  TSAJS_REQUIRE(j < num_subchannels_, "sub-channel index out of range");
+}
+
+bool Assignment::is_offloaded(std::size_t u) const {
+  require_user(u);
+  return user_slot_[u].has_value();
+}
+
+std::optional<Slot> Assignment::slot_of(std::size_t u) const {
+  require_user(u);
+  return user_slot_[u];
+}
+
+std::optional<std::size_t> Assignment::occupant(std::size_t s,
+                                                std::size_t j) const {
+  require_slot(s, j);
+  return slot_user_[slot_index(s, j)];
+}
+
+void Assignment::offload(std::size_t u, std::size_t s, std::size_t j) {
+  require_user(u);
+  require_slot(s, j);
+  const auto& current = slot_user_[slot_index(s, j)];
+  TSAJS_REQUIRE(!current.has_value() || *current == u,
+                "slot already occupied by another user (constraint 12d)");
+  make_local(u);
+  user_slot_[u] = Slot{s, j};
+  slot_user_[slot_index(s, j)] = u;
+  ++num_offloaded_;
+}
+
+void Assignment::make_local(std::size_t u) {
+  require_user(u);
+  if (!user_slot_[u].has_value()) return;
+  const Slot slot = *user_slot_[u];
+  slot_user_[slot_index(slot.server, slot.subchannel)].reset();
+  user_slot_[u].reset();
+  --num_offloaded_;
+}
+
+void Assignment::swap(std::size_t u1, std::size_t u2) {
+  require_user(u1);
+  require_user(u2);
+  if (u1 == u2) return;
+  const std::optional<Slot> slot1 = user_slot_[u1];
+  const std::optional<Slot> slot2 = user_slot_[u2];
+  make_local(u1);
+  make_local(u2);
+  if (slot2.has_value()) offload(u1, slot2->server, slot2->subchannel);
+  if (slot1.has_value()) offload(u2, slot1->server, slot1->subchannel);
+}
+
+void Assignment::clear() {
+  for (auto& slot : user_slot_) slot.reset();
+  for (auto& user : slot_user_) user.reset();
+  num_offloaded_ = 0;
+}
+
+std::vector<std::size_t> Assignment::users_on_server(std::size_t s) const {
+  TSAJS_REQUIRE(s < num_servers_, "server index out of range");
+  std::vector<std::size_t> users;
+  for (std::size_t j = 0; j < num_subchannels_; ++j) {
+    if (const auto& user = slot_user_[slot_index(s, j)]; user.has_value()) {
+      users.push_back(*user);
+    }
+  }
+  std::sort(users.begin(), users.end());
+  return users;
+}
+
+std::vector<std::size_t> Assignment::offloaded_users() const {
+  std::vector<std::size_t> users;
+  users.reserve(num_offloaded_);
+  for (std::size_t u = 0; u < user_slot_.size(); ++u) {
+    if (user_slot_[u].has_value()) users.push_back(u);
+  }
+  return users;
+}
+
+std::vector<std::size_t> Assignment::free_subchannels(std::size_t s) const {
+  TSAJS_REQUIRE(s < num_servers_, "server index out of range");
+  std::vector<std::size_t> free;
+  for (std::size_t j = 0; j < num_subchannels_; ++j) {
+    if (!slot_user_[slot_index(s, j)].has_value()) free.push_back(j);
+  }
+  return free;
+}
+
+std::optional<std::size_t> Assignment::random_free_subchannel(
+    std::size_t s, Rng& rng) const {
+  const std::vector<std::size_t> free = free_subchannels(s);
+  if (free.empty()) return std::nullopt;
+  return free[rng.uniform_index(free.size())];
+}
+
+void Assignment::check_consistency() const {
+  std::size_t offloaded = 0;
+  for (std::size_t u = 0; u < user_slot_.size(); ++u) {
+    if (!user_slot_[u].has_value()) continue;
+    ++offloaded;
+    const Slot slot = *user_slot_[u];
+    TSAJS_CHECK(slot.server < num_servers_ &&
+                    slot.subchannel < num_subchannels_,
+                "user points at an out-of-range slot");
+    const auto& back = slot_user_[slot_index(slot.server, slot.subchannel)];
+    TSAJS_CHECK(back.has_value() && *back == u,
+                "slot->user map disagrees with user->slot map");
+  }
+  std::size_t occupied = 0;
+  for (const auto& user : slot_user_) {
+    if (user.has_value()) ++occupied;
+  }
+  TSAJS_CHECK(occupied == offloaded, "occupied-slot count mismatch");
+  TSAJS_CHECK(num_offloaded_ == offloaded, "cached offload count mismatch");
+}
+
+}  // namespace tsajs::jtora

@@ -1,0 +1,106 @@
+// The task-offloading decision X (paper Sec. III-A-2).
+//
+// `Assignment` is the set {x_us^j} in sparse form: each user holds at most
+// one (server, sub-channel) slot, and each slot at most one user — i.e. the
+// class enforces constraints (12b)-(12d) *by construction*. Schedulers
+// mutate assignments through offload/make_local/swap and can therefore never
+// produce an infeasible X.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "mec/scenario.h"
+
+namespace tsajs::jtora {
+
+/// One offloading slot: server s, sub-channel j.
+struct Slot {
+  std::size_t server = 0;
+  std::size_t subchannel = 0;
+
+  friend bool operator==(const Slot&, const Slot&) = default;
+};
+
+class Assignment {
+ public:
+  /// An all-local assignment sized for `scenario`.
+  explicit Assignment(const mec::Scenario& scenario);
+
+  [[nodiscard]] std::size_t num_users() const noexcept {
+    return user_slot_.size();
+  }
+  [[nodiscard]] std::size_t num_servers() const noexcept {
+    return num_servers_;
+  }
+  [[nodiscard]] std::size_t num_subchannels() const noexcept {
+    return num_subchannels_;
+  }
+
+  /// True iff user `u` offloads (i.e. sum_{s,j} x_us^j = 1).
+  [[nodiscard]] bool is_offloaded(std::size_t u) const;
+
+  /// The slot of user `u`, or nullopt when local.
+  [[nodiscard]] std::optional<Slot> slot_of(std::size_t u) const;
+
+  /// The user occupying (s, j), or nullopt when the slot is free.
+  [[nodiscard]] std::optional<std::size_t> occupant(std::size_t s,
+                                                    std::size_t j) const;
+
+  /// Assigns user `u` to slot (s, j). The user's previous slot (if any) is
+  /// released. Requires the target slot to be free (constraint 12d) unless
+  /// it is already held by `u` itself.
+  void offload(std::size_t u, std::size_t s, std::size_t j);
+
+  /// Releases user `u`'s slot; no-op when already local.
+  void make_local(std::size_t u);
+
+  /// Exchanges the slots of two users (either may be local, in which case
+  /// the other becomes local).
+  void swap(std::size_t u1, std::size_t u2);
+
+  /// Resets every user to local execution.
+  void clear();
+
+  /// Users offloaded to server `s` (the paper's U_s), ascending user index.
+  [[nodiscard]] std::vector<std::size_t> users_on_server(std::size_t s) const;
+
+  /// All offloaded users (the paper's U_offload), ascending user index.
+  [[nodiscard]] std::vector<std::size_t> offloaded_users() const;
+
+  /// Number of offloaded users.
+  [[nodiscard]] std::size_t num_offloaded() const noexcept {
+    return num_offloaded_;
+  }
+
+  /// Free sub-channels of server `s`, ascending.
+  [[nodiscard]] std::vector<std::size_t> free_subchannels(std::size_t s) const;
+
+  /// A free sub-channel of server `s` chosen uniformly at random, or nullopt
+  /// when the server is full.
+  [[nodiscard]] std::optional<std::size_t> random_free_subchannel(
+      std::size_t s, Rng& rng) const;
+
+  /// Re-derives the slot->user map from the user->slot map and checks the
+  /// two are consistent; throws InternalError on corruption. O(U + S*N).
+  void check_consistency() const;
+
+  friend bool operator==(const Assignment&, const Assignment&) = default;
+
+ private:
+  [[nodiscard]] std::size_t slot_index(std::size_t s, std::size_t j) const {
+    return s * num_subchannels_ + j;
+  }
+  void require_user(std::size_t u) const;
+  void require_slot(std::size_t s, std::size_t j) const;
+
+  std::size_t num_servers_ = 0;
+  std::size_t num_subchannels_ = 0;
+  std::size_t num_offloaded_ = 0;
+  std::vector<std::optional<Slot>> user_slot_;
+  std::vector<std::optional<std::size_t>> slot_user_;
+};
+
+}  // namespace tsajs::jtora

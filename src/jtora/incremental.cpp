@@ -1,0 +1,199 @@
+#include "jtora/incremental.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace tsajs::jtora {
+
+IncrementalEvaluator::IncrementalEvaluator(const mec::Scenario& scenario,
+                                           const Assignment& initial)
+    : scenario_(&scenario),
+      evaluator_(scenario),
+      rates_(scenario),
+      x_(initial) {
+  const std::size_t num_users = scenario.num_users();
+  const double w = scenario.subchannel_bandwidth_hz();
+  user_gain_.assign(num_users, 0.0);
+  sqrt_eta_.resize(num_users);
+  gain_const_.resize(num_users);
+  gamma_coef_.resize(num_users);
+  time_cost_scale_.resize(num_users);
+  server_sqrt_eta_.assign(scenario.num_servers(), 0.0);
+  for (std::size_t u = 0; u < num_users; ++u) {
+    const mec::UserEquipment& ue = scenario.user(u);
+    sqrt_eta_[u] = std::sqrt(eta(ue));
+    gain_const_[u] = ue.lambda * (ue.beta_time + ue.beta_energy);
+    const double phi = ue.lambda * ue.beta_time * ue.task.input_bits /
+                       (ue.local_time_s() * w);
+    const double psi = ue.lambda * ue.beta_energy * ue.task.input_bits /
+                       (ue.local_energy_j() * w);
+    gamma_coef_[u] = phi + psi * ue.tx_power_w;
+    time_cost_scale_[u] = ue.lambda * ue.beta_time / ue.local_time_s();
+  }
+  rebuild();
+}
+
+void IncrementalEvaluator::rebuild() {
+  gain_minus_gamma_ = 0.0;
+  lambda_cost_ = 0.0;
+  server_sqrt_eta_.assign(scenario_->num_servers(), 0.0);
+  user_gain_.assign(scenario_->num_users(), 0.0);
+  channel_power_ = Matrix2<double>(scenario_->num_servers(),
+                                   scenario_->num_subchannels(), 0.0);
+  for (const std::size_t u : x_.offloaded_users()) {
+    const Slot slot = *x_.slot_of(u);
+    server_sqrt_eta_[slot.server] += sqrt_eta_[u];
+    add_channel_power(u, slot.subchannel, +1.0);
+  }
+  for (const std::size_t u : x_.offloaded_users()) {
+    refresh_user_cost(u);
+  }
+  for (std::size_t s = 0; s < scenario_->num_servers(); ++s) {
+    if (server_sqrt_eta_[s] > 0.0) {
+      lambda_cost_ += server_sqrt_eta_[s] * server_sqrt_eta_[s] /
+                      scenario_->server(s).cpu_hz;
+    }
+  }
+  utility_ = gain_minus_gamma_ - lambda_cost_;
+}
+
+void IncrementalEvaluator::add_channel_power(std::size_t u, std::size_t j,
+                                             double sign) {
+  const double p = scenario_->user(u).tx_power_w;
+  for (std::size_t s = 0; s < scenario_->num_servers(); ++s) {
+    channel_power_(s, j) += sign * p * scenario_->gain(u, s, j);
+  }
+}
+
+void IncrementalEvaluator::refresh_user_cost(std::size_t u) {
+  TSAJS_CHECK(x_.is_offloaded(u), "refresh_user_cost needs an offloader");
+  const Slot slot = *x_.slot_of(u);
+  // O(1) SINR via the received-power cache (Eq. 3): everything arriving at
+  // this server on this sub-channel, minus the user's own signal, is
+  // interference. Intra-cell users are orthogonal by (12d), so the only
+  // same-channel co-users are in other cells — exactly Eq. 3's sum.
+  const double signal =
+      scenario_->user(u).tx_power_w *
+      scenario_->gain(u, slot.server, slot.subchannel);
+  const double interference = std::max(
+      channel_power_(slot.server, slot.subchannel) - signal, 0.0);
+  const double sinr = signal / (interference + scenario_->noise_w());
+  const double log_term = std::log2(1.0 + sinr);
+  double gain = gain_const_[u] - gamma_coef_[u] / log_term;
+  if (scenario_->user(u).task.output_bits > 0.0) {
+    gain -= time_cost_scale_[u] *
+            rates_.downlink_time_s(u, slot.server, slot.subchannel);
+  }
+  gain_minus_gamma_ += gain - user_gain_[u];
+  user_gain_[u] = gain;
+}
+
+void IncrementalEvaluator::drop_user_cost(std::size_t u) {
+  gain_minus_gamma_ -= user_gain_[u];
+  user_gain_[u] = 0.0;
+}
+
+void IncrementalEvaluator::refresh_cochannel(std::size_t j,
+                                             std::optional<std::size_t> skip) {
+  for (std::size_t s = 0; s < scenario_->num_servers(); ++s) {
+    const auto occupant = x_.occupant(s, j);
+    if (!occupant.has_value()) continue;
+    if (skip.has_value() && *occupant == *skip) continue;
+    refresh_user_cost(*occupant);
+  }
+}
+
+void IncrementalEvaluator::server_add(std::size_t s, double sqrt_eta) {
+  const double before = server_sqrt_eta_[s];
+  const double after = before + sqrt_eta;
+  server_sqrt_eta_[s] = after;
+  lambda_cost_ +=
+      (after * after - before * before) / scenario_->server(s).cpu_hz;
+}
+
+void IncrementalEvaluator::server_remove(std::size_t s, double sqrt_eta) {
+  const double before = server_sqrt_eta_[s];
+  const double after = before - sqrt_eta;
+  server_sqrt_eta_[s] = after;
+  lambda_cost_ +=
+      (after * after - before * before) / scenario_->server(s).cpu_hz;
+}
+
+double IncrementalEvaluator::apply_make_local(std::size_t u) {
+  const auto slot = x_.slot_of(u);
+  if (!slot.has_value()) return utility_;
+  if (logging_) undo_log_.push_back({u, slot});
+  drop_user_cost(u);
+  server_remove(slot->server, sqrt_eta_[u]);
+  add_channel_power(u, slot->subchannel, -1.0);
+  x_.make_local(u);
+  // Users sharing the old sub-channel lost an interferer.
+  refresh_cochannel(slot->subchannel, std::nullopt);
+  utility_ = gain_minus_gamma_ - lambda_cost_;
+  return utility_;
+}
+
+double IncrementalEvaluator::apply_offload(std::size_t u, std::size_t s,
+                                           std::size_t j) {
+  const auto old_slot = x_.slot_of(u);
+  if (old_slot.has_value() && old_slot->server == s &&
+      old_slot->subchannel == j) {
+    return utility_;
+  }
+  if (old_slot.has_value()) {
+    apply_make_local(u);
+  }
+  if (logging_) undo_log_.push_back({u, std::nullopt});
+  x_.offload(u, s, j);
+  server_add(s, sqrt_eta_[u]);
+  add_channel_power(u, j, +1.0);
+  // Users sharing the new sub-channel gained an interferer; the mover's own
+  // cost is computed fresh.
+  refresh_cochannel(j, u);
+  refresh_user_cost(u);
+  utility_ = gain_minus_gamma_ - lambda_cost_;
+  return utility_;
+}
+
+double IncrementalEvaluator::apply_swap(std::size_t u1, std::size_t u2) {
+  if (u1 == u2) return utility_;
+  const auto slot1 = x_.slot_of(u1);
+  const auto slot2 = x_.slot_of(u2);
+  apply_make_local(u1);
+  apply_make_local(u2);
+  if (slot2.has_value()) {
+    apply_offload(u1, slot2->server, slot2->subchannel);
+  }
+  if (slot1.has_value()) {
+    apply_offload(u2, slot1->server, slot1->subchannel);
+  }
+  return utility_;
+}
+
+void IncrementalEvaluator::rollback(std::size_t mark) {
+  TSAJS_REQUIRE(mark <= undo_log_.size(), "rollback mark is in the future");
+  logging_ = false;
+  while (undo_log_.size() > mark) {
+    const UndoEntry entry = undo_log_.back();
+    undo_log_.pop_back();
+    if (entry.prior.has_value()) {
+      // The user held a slot before this change: put it back.
+      apply_offload(entry.user, entry.prior->server,
+                    entry.prior->subchannel);
+    } else {
+      // The user was local before this change.
+      apply_make_local(entry.user);
+    }
+  }
+  logging_ = true;
+}
+
+void IncrementalEvaluator::self_check(double tolerance) const {
+  const double reference = evaluator_.system_utility(x_);
+  TSAJS_CHECK(std::fabs(reference - utility_) <=
+                  tolerance * std::max(1.0, std::fabs(reference)),
+              "incremental utility drifted from the reference evaluator");
+}
+
+}  // namespace tsajs::jtora

@@ -1,0 +1,155 @@
+// Incremental system-utility evaluation.
+//
+// `UtilityEvaluator::system_utility` recomputes every offloaded user's SINR
+// from scratch — O(U_off * S) per call. Inside the annealer, consecutive
+// decisions differ by a single-user move, which only perturbs:
+//   * the moved user's own cost term,
+//   * the Gamma terms of users sharing the *old* and *new* sub-channel on
+//     other servers (their interference changed), and
+//   * the sqrt(eta) sums of the old and new server (Lambda, Eq. 23).
+//
+// `IncrementalEvaluator` maintains exactly that state behind an
+// apply/revert interface, turning a proposal evaluation into an
+// O(co-channel users * S) update. A property test pins its output to the
+// plain evaluator across long random operation sequences, and the TSAJS
+// scheduler uses it when `TsajsConfig::use_incremental_evaluator` is set
+// (the default).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/matrix.h"
+#include "jtora/assignment.h"
+#include "jtora/utility.h"
+#include "mec/scenario.h"
+
+namespace tsajs::jtora {
+
+/// Tracks an assignment and its utility, supporting trial single-operation
+/// changes with commit/rollback semantics.
+class IncrementalEvaluator {
+ public:
+  /// Binds to a scenario and adopts `initial` as the current decision.
+  IncrementalEvaluator(const mec::Scenario& scenario,
+                       const Assignment& initial);
+
+  /// Current decision (always consistent with utility()).
+  [[nodiscard]] const Assignment& assignment() const noexcept { return x_; }
+
+  /// J*(X) of the current decision (maintained incrementally).
+  [[nodiscard]] double utility() const noexcept { return utility_; }
+
+  // --- single operations; each returns the new utility -------------------
+
+  /// Moves user `u` to (s, j). The slot must be free or held by `u`.
+  double apply_offload(std::size_t u, std::size_t s, std::size_t j);
+  /// Makes user `u` local (no-op when already local).
+  double apply_make_local(std::size_t u);
+  /// Swaps the slots of two users.
+  double apply_swap(std::size_t u1, std::size_t u2);
+
+  // --- proposal protocol --------------------------------------------------
+  // The annealer wraps each proposal in checkpoint()/rollback(): apply the
+  // neighborhood operations, read utility(), and roll back when rejecting.
+
+  /// Marks the current state; returns a token for rollback().
+  [[nodiscard]] std::size_t checkpoint() const noexcept {
+    return undo_log_.size();
+  }
+
+  /// Restores the state (assignment and utility) at `mark`, undoing every
+  /// operation applied since, in reverse order.
+  void rollback(std::size_t mark);
+
+  /// Recomputes everything from scratch (O(U_off * S)); used after bulk
+  /// edits and by the self-check.
+  void rebuild();
+
+  /// Verifies the cached utility against a fresh UtilityEvaluator run;
+  /// throws InternalError on drift beyond tolerance. For tests/debugging.
+  void self_check(double tolerance = 1e-6) const;
+
+  // --- Assignment-compatible facade ---------------------------------------
+  // Lets algo::Neighborhood drive an IncrementalEvaluator exactly like a
+  // plain Assignment (queries delegate, mutations maintain the utility).
+  [[nodiscard]] bool is_offloaded(std::size_t u) const {
+    return x_.is_offloaded(u);
+  }
+  [[nodiscard]] std::optional<Slot> slot_of(std::size_t u) const {
+    return x_.slot_of(u);
+  }
+  [[nodiscard]] std::optional<std::size_t> occupant(std::size_t s,
+                                                    std::size_t j) const {
+    return x_.occupant(s, j);
+  }
+  [[nodiscard]] std::optional<std::size_t> random_free_subchannel(
+      std::size_t s, Rng& rng) const {
+    return x_.random_free_subchannel(s, rng);
+  }
+  [[nodiscard]] std::vector<std::size_t> free_subchannels(
+      std::size_t s) const {
+    return x_.free_subchannels(s);
+  }
+  [[nodiscard]] std::size_t num_offloaded() const noexcept {
+    return x_.num_offloaded();
+  }
+  void offload(std::size_t u, std::size_t s, std::size_t j) {
+    apply_offload(u, s, j);
+  }
+  void make_local(std::size_t u) { apply_make_local(u); }
+  void swap(std::size_t u1, std::size_t u2) { apply_swap(u1, u2); }
+
+ private:
+  /// Recomputes the cached cost of one offloaded user (Gamma contribution)
+  /// and updates the running total. O(1) thanks to the received-power cache.
+  void refresh_user_cost(std::size_t u);
+  /// Adds/removes user `u`'s received power on sub-channel `j` at every
+  /// server (the cache behind O(1) SINR reads). O(S).
+  void add_channel_power(std::size_t u, std::size_t j, double sign);
+  /// Removes a user's cached cost contribution.
+  void drop_user_cost(std::size_t u);
+  /// Refreshes every offloaded user on sub-channel `j` except `skip`
+  /// (their interference changed).
+  void refresh_cochannel(std::size_t j, std::optional<std::size_t> skip);
+  /// Adjusts a server's sqrt(eta) sum and the Lambda total.
+  void server_add(std::size_t s, double sqrt_eta);
+  void server_remove(std::size_t s, double sqrt_eta);
+
+  const mec::Scenario* scenario_;
+  UtilityEvaluator evaluator_;  // for phi/psi constants and self-check
+  RateEvaluator rates_;
+  Assignment x_;
+
+  // Cached per-user Gamma-side cost: lambda_u*(bt+be) - (phi+psi p)/log2(..)
+  // i.e. the user's net gain term; zero when local.
+  std::vector<double> user_gain_;
+  // Per-server sum of sqrt(eta_u) over its users.
+  std::vector<double> server_sqrt_eta_;
+  // Received-power cache: channel_power_(s, j) = sum over users k currently
+  // offloaded on sub-channel j of p_k * h_{k->s}^j. The SINR of the
+  // occupant u of (s, j) is then p_u h_us / (cache - own signal + noise).
+  Matrix2<double> channel_power_;
+  // Per-user sqrt(eta) (constant).
+  std::vector<double> sqrt_eta_;
+  // Per-user precomputed constants (duplicated from UtilityEvaluator since
+  // those are private there).
+  std::vector<double> gain_const_;   // lambda_u * (beta_t + beta_e)
+  std::vector<double> gamma_coef_;   // phi_u + psi_u * p_u
+  std::vector<double> time_cost_scale_;  // lambda_u * beta_t / t_local
+
+  double gain_minus_gamma_ = 0.0;  // sum over offloaded users of user_gain_
+  double lambda_cost_ = 0.0;       // Eq. 23 total
+  double utility_ = 0.0;
+
+  // Undo log: the slot each touched user held *before* its state change.
+  struct UndoEntry {
+    std::size_t user;
+    std::optional<Slot> prior;
+  };
+  std::vector<UndoEntry> undo_log_;
+  bool logging_ = true;
+};
+
+}  // namespace tsajs::jtora

@@ -1,0 +1,78 @@
+#include "jtora/rate.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace tsajs::jtora {
+
+double RateEvaluator::interference_w(const Assignment& x, std::size_t s,
+                                     std::size_t j,
+                                     std::size_t exclude) const {
+  double total = 0.0;
+  // One user at most per (server, sub-channel): walk servers r != s and add
+  // the occupant of (r, j) if any. O(S) per call.
+  for (std::size_t r = 0; r < scenario_->num_servers(); ++r) {
+    if (r == s) continue;
+    const auto occupant = x.occupant(r, j);
+    if (!occupant.has_value() || *occupant == exclude) continue;
+    const std::size_t k = *occupant;
+    total += scenario_->user(k).tx_power_w * scenario_->gain(k, s, j);
+  }
+  return total;
+}
+
+double RateEvaluator::sinr(const Assignment& x, std::size_t u) const {
+  const auto slot = x.slot_of(u);
+  TSAJS_REQUIRE(slot.has_value(), "sinr() requires an offloaded user");
+  return hypothetical_sinr(x, u, slot->server, slot->subchannel);
+}
+
+double RateEvaluator::hypothetical_sinr(const Assignment& x, std::size_t u,
+                                        std::size_t s, std::size_t j) const {
+  const double signal =
+      scenario_->user(u).tx_power_w * scenario_->gain(u, s, j);
+  const double denom =
+      interference_w(x, s, j, /*exclude=*/u) + scenario_->noise_w();
+  return signal / denom;
+}
+
+double RateEvaluator::downlink_time_s(std::size_t u, std::size_t s,
+                                      std::size_t j) const {
+  const mec::UserEquipment& ue = scenario_->user(u);
+  if (ue.task.output_bits <= 0.0) return 0.0;
+  const double snr = scenario_->server(s).tx_power_w *
+                     scenario_->gain(u, s, j) / scenario_->noise_w();
+  const double rate =
+      scenario_->subchannel_bandwidth_hz() * std::log2(1.0 + snr);
+  if (rate <= 0.0) return std::numeric_limits<double>::infinity();
+  return ue.task.output_bits / rate;
+}
+
+LinkMetrics RateEvaluator::link(const Assignment& x, std::size_t u) const {
+  LinkMetrics m;
+  m.sinr = sinr(x, u);
+  const double w = scenario_->subchannel_bandwidth_hz();
+  m.rate_bps = w * std::log2(1.0 + m.sinr);
+  const mec::UserEquipment& ue = scenario_->user(u);
+  if (m.rate_bps > 0.0) {
+    m.upload_s = ue.task.input_bits / m.rate_bps;
+  } else {
+    m.upload_s = std::numeric_limits<double>::infinity();
+  }
+  m.tx_energy_j = ue.tx_power_w * m.upload_s;
+  const Slot slot = *x.slot_of(u);
+  m.download_s = downlink_time_s(u, slot.server, slot.subchannel);
+  return m;
+}
+
+std::vector<LinkMetrics> RateEvaluator::all_links(const Assignment& x) const {
+  std::vector<LinkMetrics> links(scenario_->num_users());
+  for (std::size_t u = 0; u < scenario_->num_users(); ++u) {
+    if (x.is_offloaded(u)) links[u] = link(x, u);
+  }
+  return links;
+}
+
+}  // namespace tsajs::jtora

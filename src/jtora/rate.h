@@ -1,0 +1,73 @@
+// Uplink SINR and achievable-rate evaluation (paper Eqs. 3-5).
+//
+// For an offloading decision X, user u offloaded to server s on sub-channel
+// j experiences interference from every user k offloaded to a *different*
+// server r on the *same* sub-channel j:
+//
+//   gamma_us^j = p_u h_us^j / (sum_{r != s} sum_{k in U_r} x_kr^j p_k h_ks^j
+//                              + sigma^2)
+//   R_us      = W log2(1 + gamma_us)
+//
+// Since every user transmits on exactly one sub-channel, the "aggregate SINR
+// across sub-bands" of Eq. 4 reduces to the single active sub-band's SINR.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "jtora/assignment.h"
+#include "mec/scenario.h"
+
+namespace tsajs::jtora {
+
+/// Per-offloaded-user link metrics.
+struct LinkMetrics {
+  double sinr = 0.0;        ///< gamma_us (linear).
+  double rate_bps = 0.0;    ///< R_us = W log2(1 + gamma_us).
+  double upload_s = 0.0;    ///< t_upload^u = d_u / R_us.
+  double tx_energy_j = 0.0; ///< E_u = p_u * t_upload^u.
+  double download_s = 0.0;  ///< result return time; 0 unless the task sets
+                            ///< output_bits (downlink extension).
+};
+
+class RateEvaluator {
+ public:
+  explicit RateEvaluator(const mec::Scenario& scenario)
+      : scenario_(&scenario) {}
+
+  /// SINR of user `u` on its assigned slot under `x`. Requires `u` to be
+  /// offloaded in `x`.
+  [[nodiscard]] double sinr(const Assignment& x, std::size_t u) const;
+
+  /// Full link metrics for user `u` (requires `u` offloaded in `x`).
+  [[nodiscard]] LinkMetrics link(const Assignment& x, std::size_t u) const;
+
+  /// Link metrics for every user; entries of local users are all-zero.
+  [[nodiscard]] std::vector<LinkMetrics> all_links(const Assignment& x) const;
+
+  /// Hypothetical SINR user `u` would get on slot (s, j) given the *current*
+  /// interference pattern of `x` (i.e. ignoring the interference u itself
+  /// would add to others). Used by the Greedy and hJTORA admission steps.
+  [[nodiscard]] double hypothetical_sinr(const Assignment& x, std::size_t u,
+                                         std::size_t s, std::size_t j) const;
+
+  /// Time to return task results over the downlink from server `s` to user
+  /// `u` on sub-channel `j`: output_bits / (W log2(1 + p_s h / sigma^2)).
+  /// Zero when the task declares no output (the paper's default). The
+  /// downlink is modelled noise-limited — base stations coordinate their
+  /// transmissions (C-RAN, Sec. I), so no inter-cell downlink interference.
+  [[nodiscard]] double downlink_time_s(std::size_t u, std::size_t s,
+                                       std::size_t j) const;
+
+ private:
+  /// Interference power at server `s` on sub-channel `j` from every user
+  /// offloaded in `x` to a server other than `s` on sub-channel `j`,
+  /// excluding user `exclude`.
+  [[nodiscard]] double interference_w(const Assignment& x, std::size_t s,
+                                      std::size_t j,
+                                      std::size_t exclude) const;
+
+  const mec::Scenario* scenario_;
+};
+
+}  // namespace tsajs::jtora

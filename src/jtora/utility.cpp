@@ -1,0 +1,101 @@
+#include "jtora/utility.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace tsajs::jtora {
+
+UtilityEvaluator::UtilityEvaluator(const mec::Scenario& scenario)
+    : scenario_(&scenario), rate_(scenario), cra_(scenario) {
+  const std::size_t num_users = scenario.num_users();
+  phi_.resize(num_users);
+  psi_.resize(num_users);
+  local_time_.resize(num_users);
+  local_energy_.resize(num_users);
+  time_cost_scale_.resize(num_users);
+  const double w = scenario.subchannel_bandwidth_hz();
+  for (std::size_t u = 0; u < num_users; ++u) {
+    const mec::UserEquipment& ue = scenario.user(u);
+    local_time_[u] = ue.local_time_s();
+    local_energy_[u] = ue.local_energy_j();
+    time_cost_scale_[u] = ue.lambda * ue.beta_time / local_time_[u];
+    // phi_u = lambda_u beta_t d_u / (t_local W), psi_u = lambda_u beta_e d_u
+    // / (E_local W)  (paper, below Eq. 19).
+    phi_[u] = ue.lambda * ue.beta_time * ue.task.input_bits /
+              (local_time_[u] * w);
+    psi_[u] = ue.lambda * ue.beta_energy * ue.task.input_bits /
+              (local_energy_[u] * w);
+  }
+}
+
+double UtilityEvaluator::system_utility(const Assignment& x) const {
+  double gain = 0.0;
+  double gamma = 0.0;
+  for (std::size_t u = 0; u < scenario_->num_users(); ++u) {
+    if (!x.is_offloaded(u)) continue;
+    const mec::UserEquipment& ue = scenario_->user(u);
+    gain += ue.lambda * (ue.beta_time + ue.beta_energy);
+    const double log_term = std::log2(1.0 + rate_.sinr(x, u));
+    // Gamma(X) = sum (phi_u + psi_u p_u) / log2(1 + gamma_us)  (Eq. 19).
+    gamma += (phi_[u] + psi_[u] * ue.tx_power_w) / log_term;
+    if (ue.task.output_bits > 0.0) {
+      // Downlink extension: returning results costs extra delay.
+      const Slot slot = *x.slot_of(u);
+      gamma += time_cost_scale_[u] *
+               rate_.downlink_time_s(u, slot.server, slot.subchannel);
+    }
+  }
+  const double lambda_cost = cra_.optimal_objective(x);
+  // Eq. 24.
+  return gain - gamma - lambda_cost;
+}
+
+double UtilityEvaluator::user_utility(std::size_t u, const LinkMetrics& link,
+                                      double cpu_hz) const {
+  TSAJS_REQUIRE(u < scenario_->num_users(), "user index out of range");
+  TSAJS_REQUIRE(cpu_hz > 0.0, "allocated CPU must be positive (12e)");
+  const mec::UserEquipment& ue = scenario_->user(u);
+  const double t_u =
+      link.upload_s + link.download_s + ue.task.cycles / cpu_hz;
+  const double e_u = link.tx_energy_j;
+  // Eq. 10 with sum_s x_us = 1.
+  return ue.beta_time * (local_time_[u] - t_u) / local_time_[u] +
+         ue.beta_energy * (local_energy_[u] - e_u) / local_energy_[u];
+}
+
+Evaluation UtilityEvaluator::evaluate(const Assignment& x) const {
+  Evaluation eval;
+  eval.allocation = cra_.solve(x);
+  eval.lambda_cost = eval.allocation.objective;
+  eval.users.resize(scenario_->num_users());
+  for (std::size_t u = 0; u < scenario_->num_users(); ++u) {
+    UserOutcome& outcome = eval.users[u];
+    const mec::UserEquipment& ue = scenario_->user(u);
+    if (!x.is_offloaded(u)) {
+      // Local execution: delay/energy are the local baselines, J_u = 0
+      // (Eq. 10 carries the factor sum_s x_us).
+      outcome.total_delay_s = local_time_[u];
+      outcome.energy_j = local_energy_[u];
+      continue;
+    }
+    outcome.offloaded = true;
+    outcome.link = rate_.link(x, u);
+    const double cpu = eval.allocation.cpu_hz[u];
+    TSAJS_CHECK(cpu > 0.0, "CRA must allocate positive CPU to offloaders");
+    outcome.exec_s = ue.task.cycles / cpu;
+    outcome.total_delay_s =
+        outcome.link.upload_s + outcome.link.download_s + outcome.exec_s;
+    outcome.energy_j = outcome.link.tx_energy_j;
+    outcome.utility = user_utility(u, outcome.link, cpu);
+
+    eval.gain_term += ue.lambda * (ue.beta_time + ue.beta_energy);
+    const double log_term = std::log2(1.0 + outcome.link.sinr);
+    eval.gamma_cost += (phi_[u] + psi_[u] * ue.tx_power_w) / log_term;
+    eval.gamma_cost += time_cost_scale_[u] * outcome.link.download_s;
+    eval.system_utility += ue.lambda * outcome.utility;
+  }
+  return eval;
+}
+
+}  // namespace tsajs::jtora

@@ -1,0 +1,81 @@
+// System-utility evaluation (paper Eqs. 8-11 and the decomposed form 16-24).
+//
+// Two entry points:
+//  * `system_utility(x)` — the scalar J*(X) of Eq. 24 with the CRA optimum
+//    folded in (Eq. 23). This is the objective every scheduler maximizes and
+//    the quantity the paper's figures plot ("average system utility"). It is
+//    the hot path of the annealer.
+//  * `evaluate(x)` — full per-user outcomes (delay, energy, rate, J_u) plus
+//    the materialized resource allocation; used by reports, Fig. 9, and the
+//    examples.
+//
+// The two agree by construction: J*(X) == sum_u lambda_u * J_u(X, F*(X));
+// a property test pins this equivalence.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "jtora/assignment.h"
+#include "jtora/cra.h"
+#include "jtora/rate.h"
+#include "mec/scenario.h"
+
+namespace tsajs::jtora {
+
+/// Per-user outcome under a decision X and the optimal allocation F*(X).
+struct UserOutcome {
+  bool offloaded = false;
+  LinkMetrics link;          ///< SINR / rate / upload time / tx energy.
+  double exec_s = 0.0;       ///< t_execute^u = w_u / f*_us (Eq. 7).
+  double total_delay_s = 0.0;///< t_u = upload + execute (Eq. 8); t_local if local.
+  double energy_j = 0.0;     ///< E_u (Eq. 9); E_local if local.
+  double utility = 0.0;      ///< J_u (Eq. 10); 0 if local.
+};
+
+/// Full evaluation of a decision.
+struct Evaluation {
+  double system_utility = 0.0;  ///< J(X, F*) = sum_u lambda_u J_u (Eq. 11).
+  double gain_term = 0.0;       ///< sum_{u in U_off} lambda_u (b_t + b_e).
+  double gamma_cost = 0.0;      ///< Gamma(X): uplink cost term of Eq. 19/24.
+  double lambda_cost = 0.0;     ///< Lambda(X, F*): compute cost (Eq. 23).
+  std::vector<UserOutcome> users;
+  CraResult allocation;
+};
+
+class UtilityEvaluator {
+ public:
+  explicit UtilityEvaluator(const mec::Scenario& scenario);
+
+  /// J*(X) per Eq. 24. O(U_off * S).
+  [[nodiscard]] double system_utility(const Assignment& x) const;
+
+  /// Full per-user breakdown (computes F*(X) via the CRA closed form).
+  [[nodiscard]] Evaluation evaluate(const Assignment& x) const;
+
+  /// J_u of a single user given its link metrics and CPU allocation
+  /// (Eq. 10). Exposed for baselines that reason about marginal gains.
+  [[nodiscard]] double user_utility(std::size_t u, const LinkMetrics& link,
+                                    double cpu_hz) const;
+
+  [[nodiscard]] const mec::Scenario& scenario() const noexcept {
+    return *scenario_;
+  }
+  [[nodiscard]] const RateEvaluator& rates() const noexcept { return rate_; }
+  [[nodiscard]] const CraSolver& cra() const noexcept { return cra_; }
+
+ private:
+  const mec::Scenario* scenario_;
+  RateEvaluator rate_;
+  CraSolver cra_;
+  // Precomputed per-user constants phi_u, psi_u (paper, below Eq. 19) and
+  // local baselines; time_cost_scale_ = lambda_u * beta_t / t_local weights
+  // any extra seconds of delay (used by the downlink extension).
+  std::vector<double> phi_;
+  std::vector<double> psi_;
+  std::vector<double> local_time_;
+  std::vector<double> local_energy_;
+  std::vector<double> time_cost_scale_;
+};
+
+}  // namespace tsajs::jtora

@@ -1,0 +1,62 @@
+#include "mec/scenario.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace tsajs::mec {
+
+void UserEquipment::validate() const {
+  TSAJS_REQUIRE(task.input_bits > 0.0, "task input size must be positive");
+  TSAJS_REQUIRE(task.cycles > 0.0, "task cycle count must be positive");
+  TSAJS_REQUIRE(task.output_bits >= 0.0, "task output size must be >= 0");
+  TSAJS_REQUIRE(local_cpu_hz > 0.0, "local CPU speed must be positive");
+  TSAJS_REQUIRE(tx_power_w > 0.0, "transmit power must be positive");
+  TSAJS_REQUIRE(kappa > 0.0, "energy coefficient must be positive");
+  TSAJS_REQUIRE(beta_time >= 0.0 && beta_time <= 1.0,
+                "beta_time must lie in [0,1]");
+  TSAJS_REQUIRE(beta_energy >= 0.0 && beta_energy <= 1.0,
+                "beta_energy must lie in [0,1]");
+  TSAJS_REQUIRE(std::fabs(beta_time + beta_energy - 1.0) < 1e-9,
+                "the paper requires beta_time + beta_energy = 1");
+  TSAJS_REQUIRE(lambda > 0.0 && lambda <= 1.0, "lambda must lie in (0,1]");
+}
+
+Scenario::Scenario(std::vector<UserEquipment> users,
+                   std::vector<EdgeServer> servers, radio::Spectrum spectrum,
+                   double noise_w, Matrix3<double> gains)
+    : users_(std::move(users)),
+      servers_(std::move(servers)),
+      spectrum_(spectrum),
+      noise_w_(noise_w),
+      gains_(std::move(gains)) {
+  TSAJS_REQUIRE(!users_.empty(), "a scenario needs at least one user");
+  TSAJS_REQUIRE(!servers_.empty(), "a scenario needs at least one server");
+  TSAJS_REQUIRE(noise_w_ > 0.0, "noise power must be positive");
+  TSAJS_REQUIRE(gains_.dim0() == users_.size() &&
+                    gains_.dim1() == servers_.size() &&
+                    gains_.dim2() == spectrum_.num_subchannels(),
+                "gain tensor shape must be users x servers x subchannels");
+  for (const auto& user : users_) user.validate();
+  for (const auto& server : servers_) server.validate();
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      for (std::size_t j = 0; j < spectrum_.num_subchannels(); ++j) {
+        TSAJS_REQUIRE(gains_(u, s, j) > 0.0 && std::isfinite(gains_(u, s, j)),
+                      "channel gains must be positive and finite");
+      }
+    }
+  }
+}
+
+const UserEquipment& Scenario::user(std::size_t u) const {
+  TSAJS_REQUIRE(u < users_.size(), "user index out of range");
+  return users_[u];
+}
+
+const EdgeServer& Scenario::server(std::size_t s) const {
+  TSAJS_REQUIRE(s < servers_.size(), "server index out of range");
+  return servers_[s];
+}
+
+}  // namespace tsajs::mec

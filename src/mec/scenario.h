@@ -1,0 +1,75 @@
+// A fully instantiated problem instance.
+//
+// A `Scenario` is one random "drop": users placed, channel gains drawn,
+// all model parameters fixed. Schedulers never mutate it; they only produce
+// offloading decisions against it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+#include "mec/server.h"
+#include "mec/user.h"
+#include "radio/spectrum.h"
+
+namespace tsajs::mec {
+
+class Scenario {
+ public:
+  /// `gains` must be (users × servers × subchannels) with positive entries.
+  Scenario(std::vector<UserEquipment> users, std::vector<EdgeServer> servers,
+           radio::Spectrum spectrum, double noise_w, Matrix3<double> gains);
+
+  [[nodiscard]] std::size_t num_users() const noexcept {
+    return users_.size();
+  }
+  [[nodiscard]] std::size_t num_servers() const noexcept {
+    return servers_.size();
+  }
+  [[nodiscard]] std::size_t num_subchannels() const noexcept {
+    return spectrum_.num_subchannels();
+  }
+
+  [[nodiscard]] const UserEquipment& user(std::size_t u) const;
+  [[nodiscard]] const EdgeServer& server(std::size_t s) const;
+  [[nodiscard]] const std::vector<UserEquipment>& users() const noexcept {
+    return users_;
+  }
+  [[nodiscard]] const std::vector<EdgeServer>& servers() const noexcept {
+    return servers_;
+  }
+
+  [[nodiscard]] const radio::Spectrum& spectrum() const noexcept {
+    return spectrum_;
+  }
+  /// Per-sub-band width W = B / N [Hz].
+  [[nodiscard]] double subchannel_bandwidth_hz() const noexcept {
+    return spectrum_.subchannel_bandwidth_hz();
+  }
+  /// Background noise power sigma^2 [W] (per sub-band).
+  [[nodiscard]] double noise_w() const noexcept { return noise_w_; }
+
+  /// Linear channel power gain h_us^j.
+  [[nodiscard]] double gain(std::size_t u, std::size_t s,
+                            std::size_t j) const {
+    return gains_(u, s, j);
+  }
+  [[nodiscard]] const Matrix3<double>& gains() const noexcept {
+    return gains_;
+  }
+
+  /// Total number of offloading "slots" = servers × subchannels.
+  [[nodiscard]] std::size_t num_slots() const noexcept {
+    return servers_.size() * spectrum_.num_subchannels();
+  }
+
+ private:
+  std::vector<UserEquipment> users_;
+  std::vector<EdgeServer> servers_;
+  radio::Spectrum spectrum_;
+  double noise_w_;
+  Matrix3<double> gains_;
+};
+
+}  // namespace tsajs::mec

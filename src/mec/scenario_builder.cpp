@@ -1,0 +1,176 @@
+#include "mec/scenario_builder.h"
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "geo/hex_layout.h"
+
+namespace tsajs::mec {
+
+ScenarioBuilder::ScenarioBuilder() = default;
+
+ScenarioBuilder& ScenarioBuilder::num_users(std::size_t n) {
+  TSAJS_REQUIRE(n >= 1, "need at least one user");
+  num_users_ = n;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::num_servers(std::size_t n) {
+  TSAJS_REQUIRE(n >= 1, "need at least one server");
+  num_servers_ = n;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::num_subchannels(std::size_t n) {
+  TSAJS_REQUIRE(n >= 1, "need at least one sub-channel");
+  num_subchannels_ = n;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::inter_site_distance_m(double isd) {
+  TSAJS_REQUIRE(isd > 0.0, "inter-site distance must be positive");
+  inter_site_distance_m_ = isd;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::bandwidth_hz(double b) {
+  TSAJS_REQUIRE(b > 0.0, "bandwidth must be positive");
+  bandwidth_hz_ = b;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::noise_dbm(double dbm) {
+  noise_dbm_ = dbm;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::tx_power_dbm(double dbm) {
+  tx_power_dbm_ = dbm;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::channel(radio::ChannelModel model) {
+  channel_ = std::move(model);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::fractional_power_control(double p0_dbm,
+                                                           double alpha,
+                                                           double pmax_dbm) {
+  TSAJS_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "alpha must lie in [0,1]");
+  TSAJS_REQUIRE(pmax_dbm >= p0_dbm,
+                "p_max must be at least the baseline power p0");
+  power_control_ = PowerControl{p0_dbm, alpha, pmax_dbm};
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::server_cpu_hz(double f) {
+  TSAJS_REQUIRE(f > 0.0, "server CPU capacity must be positive");
+  server_cpu_hz_ = f;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::user_cpu_hz(double f) {
+  TSAJS_REQUIRE(f > 0.0, "user CPU speed must be positive");
+  user_cpu_hz_ = f;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::kappa(double k) {
+  TSAJS_REQUIRE(k > 0.0, "kappa must be positive");
+  kappa_ = k;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::task_input_kb(double kb) {
+  TSAJS_REQUIRE(kb > 0.0, "task input size must be positive");
+  task_input_kb_ = kb;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::task_megacycles(double mc) {
+  TSAJS_REQUIRE(mc > 0.0, "task workload must be positive");
+  task_megacycles_ = mc;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::beta_time(double b) {
+  TSAJS_REQUIRE(b >= 0.0 && b <= 1.0, "beta_time must lie in [0,1]");
+  beta_time_ = b;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::lambda(double l) {
+  TSAJS_REQUIRE(l > 0.0 && l <= 1.0, "lambda must lie in (0,1]");
+  lambda_ = l;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::customize_users(
+    std::function<void(std::size_t, UserEquipment&)> fn) {
+  customize_ = std::move(fn);
+  return *this;
+}
+
+Scenario ScenarioBuilder::build(Rng& rng) const {
+  const geo::HexLayout layout(num_servers_, inter_site_distance_m_);
+
+  std::vector<EdgeServer> servers(num_servers_);
+  for (std::size_t s = 0; s < num_servers_; ++s) {
+    servers[s].cpu_hz = server_cpu_hz_;
+    servers[s].position = layout.site(s);
+  }
+
+  std::vector<UserEquipment> users(num_users_);
+  for (std::size_t u = 0; u < num_users_; ++u) {
+    UserEquipment& ue = users[u];
+    ue.task = Task(units::kilobytes_to_bits(task_input_kb_),
+                   units::megacycles_to_cycles(task_megacycles_));
+    ue.local_cpu_hz = user_cpu_hz_;
+    ue.tx_power_w = units::dbm_to_watts(tx_power_dbm_);
+    ue.kappa = kappa_;
+    ue.beta_time = beta_time_;
+    ue.beta_energy = 1.0 - beta_time_;
+    ue.lambda = lambda_;
+    ue.position = layout.sample_in_network(rng);
+    if (customize_) customize_(u, ue);
+  }
+
+  const radio::ChannelModel channel =
+      channel_.has_value() ? *channel_ : radio::make_paper_channel();
+
+  if (power_control_.has_value()) {
+    // Fractional power control against the *mean* path loss of the
+    // strongest base station (shadowing is not known at power-setting time).
+    for (auto& ue : users) {
+      double best_gain = 0.0;
+      for (const auto& server : servers) {
+        best_gain = std::max(best_gain,
+                             channel.mean_gain(ue.position, server.position));
+      }
+      const double pathloss_db = -units::linear_to_db(best_gain);
+      const double p_dbm =
+          std::min(power_control_->pmax_dbm,
+                   power_control_->p0_dbm + power_control_->alpha *
+                                                pathloss_db);
+      ue.tx_power_w = units::dbm_to_watts(p_dbm);
+    }
+  }
+
+  std::vector<geo::Point> user_positions(num_users_);
+  std::vector<geo::Point> bs_positions(num_servers_);
+  for (std::size_t u = 0; u < num_users_; ++u) {
+    user_positions[u] = users[u].position;
+  }
+  for (std::size_t s = 0; s < num_servers_; ++s) {
+    bs_positions[s] = servers[s].position;
+  }
+  Matrix3<double> gains =
+      channel.generate(user_positions, bs_positions, num_subchannels_, rng);
+
+  return Scenario(std::move(users), std::move(servers),
+                  radio::Spectrum(bandwidth_hz_, num_subchannels_),
+                  units::dbm_to_watts(noise_dbm_), std::move(gains));
+}
+
+}  // namespace tsajs::mec

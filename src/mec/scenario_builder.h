@@ -1,0 +1,106 @@
+// Scenario construction with the paper's evaluation defaults.
+//
+// Defaults (Sec. V): S = 9 hexagonal cells with 1 km inter-site distance,
+// B = 20 MHz, N = 3 sub-bands, sigma^2 = -100 dBm, p_u = 10 dBm,
+// f_s = 20 GHz, f_u^local = 1 GHz, kappa = 5e-27, d_u = 420 KB,
+// beta = (0.5, 0.5), lambda_u = 1, path loss 140.7 + 36.7 log10(d[km]) with
+// 8 dB log-normal shadowing, users uniform over the network area.
+//
+// Every knob is settable; `build(rng)` draws one random drop (placement +
+// shadowing) and returns an immutable Scenario.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+
+#include "mec/scenario.h"
+#include "radio/channel.h"
+
+namespace tsajs::mec {
+
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder();
+
+  // --- topology -----------------------------------------------------------
+  ScenarioBuilder& num_users(std::size_t n);
+  ScenarioBuilder& num_servers(std::size_t n);
+  ScenarioBuilder& num_subchannels(std::size_t n);
+  ScenarioBuilder& inter_site_distance_m(double isd);
+
+  // --- radio --------------------------------------------------------------
+  ScenarioBuilder& bandwidth_hz(double b);
+  ScenarioBuilder& noise_dbm(double dbm);
+  ScenarioBuilder& tx_power_dbm(double dbm);
+  ScenarioBuilder& channel(radio::ChannelModel model);
+
+  /// Extension: 3GPP-style fractional uplink power control instead of the
+  /// paper's fixed transmit power. Each user transmits at
+  ///   p_u [dBm] = min(p_max, p0 + alpha * PL(d_to_strongest_BS) [dB]),
+  /// so cell-edge users raise their power (up to p_max) and cell-center
+  /// users save energy. alpha in [0,1]; alpha = 0 degenerates to fixed p0.
+  ScenarioBuilder& fractional_power_control(double p0_dbm, double alpha,
+                                            double pmax_dbm);
+
+  // --- compute ------------------------------------------------------------
+  ScenarioBuilder& server_cpu_hz(double f);
+  ScenarioBuilder& user_cpu_hz(double f);
+  ScenarioBuilder& kappa(double k);
+
+  // --- tasks & preferences --------------------------------------------------
+  ScenarioBuilder& task_input_kb(double kb);
+  ScenarioBuilder& task_megacycles(double mc);
+  ScenarioBuilder& beta_time(double b);  // beta_energy := 1 - beta_time
+  ScenarioBuilder& lambda(double l);
+
+  /// Optional per-user customization hook, applied after defaults and
+  /// placement (e.g. heterogeneous tasks in the smart-city example).
+  ScenarioBuilder& customize_users(
+      std::function<void(std::size_t, UserEquipment&)> fn);
+
+  /// Draws one random drop. Deterministic for a given (settings, rng state).
+  [[nodiscard]] Scenario build(Rng& rng) const;
+
+  // --- introspection (used by the experiment harness reports) --------------
+  [[nodiscard]] std::size_t num_users() const noexcept { return num_users_; }
+  [[nodiscard]] std::size_t num_servers() const noexcept {
+    return num_servers_;
+  }
+  [[nodiscard]] std::size_t num_subchannels() const noexcept {
+    return num_subchannels_;
+  }
+  [[nodiscard]] double task_megacycles() const noexcept {
+    return task_megacycles_;
+  }
+  [[nodiscard]] double task_input_kb() const noexcept {
+    return task_input_kb_;
+  }
+
+ private:
+  std::size_t num_users_ = 30;
+  std::size_t num_servers_ = 9;
+  std::size_t num_subchannels_ = 3;
+  double inter_site_distance_m_ = 1000.0;
+  double bandwidth_hz_ = 20e6;
+  double noise_dbm_ = -100.0;
+  double tx_power_dbm_ = 10.0;
+  double server_cpu_hz_ = 20e9;
+  double user_cpu_hz_ = 1e9;
+  double kappa_ = 5e-27;
+  double task_input_kb_ = 420.0;
+  double task_megacycles_ = 1000.0;
+  double beta_time_ = 0.5;
+  double lambda_ = 1.0;
+  std::optional<radio::ChannelModel> channel_;
+  std::function<void(std::size_t, UserEquipment&)> customize_;
+
+  struct PowerControl {
+    double p0_dbm;
+    double alpha;
+    double pmax_dbm;
+  };
+  std::optional<PowerControl> power_control_;
+};
+
+}  // namespace tsajs::mec

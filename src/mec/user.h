@@ -1,0 +1,45 @@
+// Mobile users / UEs (paper Sec. III-A).
+#pragma once
+
+#include "common/error.h"
+#include "geo/point.h"
+#include "mec/task.h"
+
+namespace tsajs::mec {
+
+/// A mobile user with one atomic task and fixed uplink transmit power.
+struct UserEquipment {
+  Task task;
+  /// Local CPU speed f_u^local [cycles/s].
+  double local_cpu_hz = 1e9;
+  /// Fixed uplink transmit power p_u [W].
+  double tx_power_w = 0.01;
+  /// Chip energy coefficient kappa in E = kappa * f^2 * w [J/(cycle*Hz^2)].
+  double kappa = 5e-27;
+  /// Preference weight on completion-time saving, beta_u^time in [0,1].
+  double beta_time = 0.5;
+  /// Preference weight on energy saving, beta_u^energy in [0,1];
+  /// the paper keeps beta_time + beta_energy = 1.
+  double beta_energy = 0.5;
+  /// Service-provider preference lambda_u in (0,1].
+  double lambda = 1.0;
+  /// Position in the deployment plane [m].
+  geo::Point position;
+
+  /// Local completion time t_u^local = w_u / f_u^local [s] (Eq. before (1)).
+  [[nodiscard]] double local_time_s() const {
+    TSAJS_REQUIRE(local_cpu_hz > 0.0, "local CPU speed must be positive");
+    return task.cycles / local_cpu_hz;
+  }
+
+  /// Local energy E_u^local = kappa * (f_u^local)^2 * w_u [J] (Eq. 1).
+  [[nodiscard]] double local_energy_j() const {
+    return kappa * local_cpu_hz * local_cpu_hz * task.cycles;
+  }
+
+  /// Throws InvalidArgumentError when any field is out of its documented
+  /// domain. Called by Scenario on construction.
+  void validate() const;
+};
+
+}  // namespace tsajs::mec

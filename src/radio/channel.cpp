@@ -1,0 +1,59 @@
+#include "radio/channel.h"
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace tsajs::radio {
+
+ChannelModel::ChannelModel(std::unique_ptr<PathLossModel> pathloss,
+                           ChannelConfig config)
+    : pathloss_(std::move(pathloss)), config_(config) {
+  TSAJS_REQUIRE(pathloss_ != nullptr, "a path-loss model is required");
+  TSAJS_REQUIRE(config.shadowing_sigma_db >= 0.0,
+                "shadowing sigma must be non-negative");
+}
+
+ChannelModel::ChannelModel(const ChannelModel& other)
+    : pathloss_(other.pathloss_->clone()), config_(other.config_) {}
+
+ChannelModel& ChannelModel::operator=(const ChannelModel& other) {
+  if (this != &other) {
+    pathloss_ = other.pathloss_->clone();
+    config_ = other.config_;
+  }
+  return *this;
+}
+
+Matrix3<double> ChannelModel::generate(
+    const std::vector<geo::Point>& user_positions,
+    const std::vector<geo::Point>& bs_positions, std::size_t num_subchannels,
+    Rng& rng) const {
+  TSAJS_REQUIRE(num_subchannels >= 1, "need at least one sub-channel");
+  const std::size_t num_users = user_positions.size();
+  const std::size_t num_bs = bs_positions.size();
+  Matrix3<double> gains(num_users, num_bs, num_subchannels, 0.0);
+  for (std::size_t u = 0; u < num_users; ++u) {
+    for (std::size_t s = 0; s < num_bs; ++s) {
+      const double pl_db =
+          pathloss_->loss_db(geo::distance(user_positions[u], bs_positions[s]));
+      const double shadow_db = rng.normal(0.0, config_.shadowing_sigma_db);
+      const double link_gain = units::db_to_linear(-(pl_db + shadow_db));
+      for (std::size_t j = 0; j < num_subchannels; ++j) {
+        const double fading =
+            config_.rayleigh_fading ? rng.exponential(1.0) : 1.0;
+        gains(u, s, j) = link_gain * fading;
+      }
+    }
+  }
+  return gains;
+}
+
+double ChannelModel::mean_gain(geo::Point user, geo::Point bs) const {
+  return units::db_to_linear(-pathloss_->loss_db(geo::distance(user, bs)));
+}
+
+ChannelModel make_paper_channel() {
+  return ChannelModel(make_paper_pathloss(), ChannelConfig{});
+}
+
+}  // namespace tsajs::radio

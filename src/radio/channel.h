@@ -1,0 +1,66 @@
+// Uplink channel-gain generation.
+//
+// Produces the channel-gain tensor H[u][s][j] (user u -> base station s on
+// sub-channel j, linear power gain) from user/BS geometry:
+//
+//   H = 10^(-(PL(d_us) + X_us) / 10) * F_us^j
+//
+// where PL is the path-loss model, X_us ~ N(0, sigma_shadow^2) dB is
+// log-normal shadowing (drawn once per link — the paper averages out fast
+// fading over the long-term association timescale), and F_us^j is optional
+// per-sub-channel Rayleigh fading (disabled by default to match the paper;
+// kept as an extension knob and exercised by ablation benches).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "geo/point.h"
+#include "radio/pathloss.h"
+
+namespace tsajs::radio {
+
+struct ChannelConfig {
+  /// Log-normal shadowing standard deviation [dB]; paper: 8 dB.
+  double shadowing_sigma_db = 8.0;
+  /// When true, multiplies each (u, s, j) gain by an independent
+  /// unit-mean exponential (Rayleigh power) fading coefficient.
+  bool rayleigh_fading = false;
+};
+
+/// Generates channel gains for a deployment snapshot.
+class ChannelModel {
+ public:
+  ChannelModel(std::unique_ptr<PathLossModel> pathloss, ChannelConfig config);
+
+  ChannelModel(const ChannelModel& other);
+  ChannelModel& operator=(const ChannelModel& other);
+  ChannelModel(ChannelModel&&) noexcept = default;
+  ChannelModel& operator=(ChannelModel&&) noexcept = default;
+
+  /// Linear power gains, indexed (user, bs, subchannel).
+  [[nodiscard]] Matrix3<double> generate(
+      const std::vector<geo::Point>& user_positions,
+      const std::vector<geo::Point>& bs_positions,
+      std::size_t num_subchannels, Rng& rng) const;
+
+  /// Deterministic mean gain of a single link (no shadowing/fading); used by
+  /// tests and by the Greedy baseline's "strongest signal" ordering intuition.
+  [[nodiscard]] double mean_gain(geo::Point user, geo::Point bs) const;
+
+  [[nodiscard]] const ChannelConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  std::unique_ptr<PathLossModel> pathloss_;
+  ChannelConfig config_;
+};
+
+/// Channel model with the paper's parameters (140.7 + 36.7 log10 d, 8 dB).
+[[nodiscard]] ChannelModel make_paper_channel();
+
+}  // namespace tsajs::radio

@@ -1,0 +1,51 @@
+#include "radio/pathloss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace tsajs::radio {
+
+LogDistancePathLoss::LogDistancePathLoss(double intercept_db, double exponent,
+                                         double min_distance_m)
+    : intercept_db_(intercept_db),
+      exponent_(exponent),
+      min_distance_m_(min_distance_m) {
+  TSAJS_REQUIRE(exponent > 0.0, "path-loss exponent must be positive");
+  TSAJS_REQUIRE(min_distance_m > 0.0, "minimum distance must be positive");
+}
+
+double LogDistancePathLoss::loss_db(double distance_m) const {
+  TSAJS_REQUIRE(distance_m >= 0.0, "distance must be non-negative");
+  const double d_km = std::max(distance_m, min_distance_m_) / 1000.0;
+  return intercept_db_ + 10.0 * exponent_ * std::log10(d_km);
+}
+
+std::unique_ptr<PathLossModel> LogDistancePathLoss::clone() const {
+  return std::make_unique<LogDistancePathLoss>(*this);
+}
+
+FreeSpacePathLoss::FreeSpacePathLoss(double carrier_hz, double min_distance_m)
+    : carrier_hz_(carrier_hz), min_distance_m_(min_distance_m) {
+  TSAJS_REQUIRE(carrier_hz > 0.0, "carrier frequency must be positive");
+  TSAJS_REQUIRE(min_distance_m > 0.0, "minimum distance must be positive");
+}
+
+double FreeSpacePathLoss::loss_db(double distance_m) const {
+  TSAJS_REQUIRE(distance_m >= 0.0, "distance must be non-negative");
+  const double d = std::max(distance_m, min_distance_m_);
+  // FSPL[dB] = 20 log10(d) + 20 log10(f) - 147.55  (d in m, f in Hz)
+  return 20.0 * std::log10(d) + 20.0 * std::log10(carrier_hz_) - 147.55;
+}
+
+std::unique_ptr<PathLossModel> FreeSpacePathLoss::clone() const {
+  return std::make_unique<FreeSpacePathLoss>(*this);
+}
+
+std::unique_ptr<PathLossModel> make_paper_pathloss() {
+  // L[dB] = 140.7 + 36.7 log10(d[km])  (Sec. V of the paper).
+  return std::make_unique<LogDistancePathLoss>(140.7, 3.67);
+}
+
+}  // namespace tsajs::radio

@@ -1,0 +1,69 @@
+#include "radio/pathloss_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace tsajs::radio {
+
+TwoRayPathLoss::TwoRayPathLoss(double intercept_db, double breakpoint_m,
+                               double min_distance_m)
+    : intercept_db_(intercept_db),
+      breakpoint_m_(breakpoint_m),
+      min_distance_m_(min_distance_m) {
+  TSAJS_REQUIRE(breakpoint_m > 0.0, "breakpoint must be positive");
+  TSAJS_REQUIRE(min_distance_m > 0.0, "minimum distance must be positive");
+}
+
+double TwoRayPathLoss::loss_db(double distance_m) const {
+  TSAJS_REQUIRE(distance_m >= 0.0, "distance must be non-negative");
+  const double d = std::max(distance_m, min_distance_m_);
+  if (d <= breakpoint_m_) {
+    // n = 2 below the breakpoint.
+    return intercept_db_ + 20.0 * std::log10(d / breakpoint_m_);
+  }
+  // n = 4 beyond it.
+  return intercept_db_ + 40.0 * std::log10(d / breakpoint_m_);
+}
+
+std::unique_ptr<PathLossModel> TwoRayPathLoss::clone() const {
+  return std::make_unique<TwoRayPathLoss>(*this);
+}
+
+ProbabilisticLosPathLoss::ProbabilisticLosPathLoss(
+    std::unique_ptr<PathLossModel> los, std::unique_ptr<PathLossModel> nlos)
+    : los_(std::move(los)), nlos_(std::move(nlos)) {
+  TSAJS_REQUIRE(los_ != nullptr && nlos_ != nullptr,
+                "both LOS and NLOS sub-models are required");
+}
+
+ProbabilisticLosPathLoss::ProbabilisticLosPathLoss(
+    const ProbabilisticLosPathLoss& other)
+    : los_(other.los_->clone()), nlos_(other.nlos_->clone()) {}
+
+double ProbabilisticLosPathLoss::los_probability(double distance_m) {
+  TSAJS_REQUIRE(distance_m >= 0.0, "distance must be non-negative");
+  if (distance_m <= 18.0) return 1.0;
+  const double ratio = 18.0 / distance_m;
+  const double decay = std::exp(-distance_m / 63.0);
+  return ratio * (1.0 - decay) + decay;
+}
+
+double ProbabilisticLosPathLoss::loss_db(double distance_m) const {
+  const double p = los_probability(distance_m);
+  return p * los_->loss_db(distance_m) +
+         (1.0 - p) * nlos_->loss_db(distance_m);
+}
+
+std::unique_ptr<PathLossModel> ProbabilisticLosPathLoss::clone() const {
+  return std::make_unique<ProbabilisticLosPathLoss>(*this);
+}
+
+std::unique_ptr<PathLossModel> make_uma_blend_pathloss() {
+  return std::make_unique<ProbabilisticLosPathLoss>(
+      std::make_unique<FreeSpacePathLoss>(2.0e9),
+      make_paper_pathloss());
+}
+
+}  // namespace tsajs::radio

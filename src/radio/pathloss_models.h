@@ -1,0 +1,64 @@
+// Additional path-loss models beyond the paper's log-distance default.
+//
+// These let users of the library study how TSAJS behaves under different
+// propagation assumptions (the what-if knobs a deployment study needs):
+//
+//  * TwoRayPathLoss       — dual-slope: free-space-like up to the breakpoint
+//                           distance, fourth-power decay beyond it.
+//  * ProbabilisticLosPathLoss — 3GPP-style mixture: each link is LOS with a
+//                           distance-dependent probability and uses the LOS
+//                           or NLOS sub-model accordingly. Stateless form:
+//                           expected loss is blended by the LOS probability,
+//                           keeping the model deterministic per distance
+//                           (randomness stays in the shadowing term).
+#pragma once
+
+#include <memory>
+
+#include "radio/pathloss.h"
+
+namespace tsajs::radio {
+
+/// Dual-slope two-ray ground-reflection model.
+class TwoRayPathLoss final : public PathLossModel {
+ public:
+  /// `breakpoint_m` separates the n=2 and n=4 regimes; `intercept_db` is
+  /// the loss at the breakpoint.
+  TwoRayPathLoss(double intercept_db, double breakpoint_m,
+                 double min_distance_m = 1.0);
+
+  [[nodiscard]] double loss_db(double distance_m) const override;
+  [[nodiscard]] std::unique_ptr<PathLossModel> clone() const override;
+
+ private:
+  double intercept_db_;
+  double breakpoint_m_;
+  double min_distance_m_;
+};
+
+/// 3GPP-UMa-style LOS/NLOS blend: L = p_los(d) * L_los(d) +
+/// (1 - p_los(d)) * L_nlos(d), with p_los(d) = min(18/d, 1) * (1 - e^{-d/63})
+/// + e^{-d/63} (TR 38.901 UMa shape).
+class ProbabilisticLosPathLoss final : public PathLossModel {
+ public:
+  ProbabilisticLosPathLoss(std::unique_ptr<PathLossModel> los,
+                           std::unique_ptr<PathLossModel> nlos);
+
+  ProbabilisticLosPathLoss(const ProbabilisticLosPathLoss& other);
+
+  [[nodiscard]] double loss_db(double distance_m) const override;
+  [[nodiscard]] std::unique_ptr<PathLossModel> clone() const override;
+
+  /// The TR 38.901 UMa LOS probability at ground distance `d` [m].
+  [[nodiscard]] static double los_probability(double distance_m);
+
+ private:
+  std::unique_ptr<PathLossModel> los_;
+  std::unique_ptr<PathLossModel> nlos_;
+};
+
+/// A UMa-flavoured blend built from the paper's NLOS constants and a
+/// free-space-like LOS branch at 2 GHz.
+[[nodiscard]] std::unique_ptr<PathLossModel> make_uma_blend_pathloss();
+
+}  // namespace tsajs::radio

@@ -1,0 +1,149 @@
+#include "sim/dynamic.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+#include "common/units.h"
+#include "jtora/utility.h"
+#include "radio/spectrum.h"
+
+namespace tsajs::sim {
+
+void DynamicConfig::validate() const {
+  TSAJS_REQUIRE(epochs >= 1, "need at least one epoch");
+  TSAJS_REQUIRE(activity_prob > 0.0 && activity_prob <= 1.0,
+                "activity probability must lie in (0,1]");
+  TSAJS_REQUIRE(mobility_step_m >= 0.0, "mobility step must be >= 0");
+  TSAJS_REQUIRE(
+      min_megacycles > 0.0 && max_megacycles >= min_megacycles,
+      "workload range must be positive and ordered");
+  TSAJS_REQUIRE(min_input_kb > 0.0 && max_input_kb >= min_input_kb,
+                "input-size range must be positive and ordered");
+}
+
+DynamicSimulator::DynamicSimulator(std::size_t population,
+                                   std::size_t num_servers,
+                                   std::size_t num_subchannels,
+                                   DynamicConfig config,
+                                   mec::UserEquipment prototype,
+                                   mec::EdgeServer server_prototype,
+                                   double bandwidth_hz, double noise_dbm)
+    : population_(population),
+      num_subchannels_(num_subchannels),
+      config_(config),
+      prototype_(prototype),
+      layout_(num_servers, 1000.0),
+      channel_(radio::make_paper_channel()),
+      bandwidth_hz_(bandwidth_hz),
+      noise_w_(units::dbm_to_watts(noise_dbm)) {
+  TSAJS_REQUIRE(population >= 1, "need at least one user");
+  TSAJS_REQUIRE(num_subchannels >= 1, "need at least one sub-channel");
+  config_.validate();
+  servers_.resize(num_servers);
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    servers_[s] = server_prototype;
+    servers_[s].position = layout_.site(s);
+  }
+}
+
+DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
+                                    Rng& rng) const {
+  // Initial placement.
+  std::vector<geo::Point> positions(population_);
+  for (auto& p : positions) p = layout_.sample_in_network(rng);
+  std::vector<geo::Point> bs_positions(servers_.size());
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    bs_positions[s] = servers_[s].position;
+  }
+
+  DynamicReport report;
+  report.epochs.reserve(config_.epochs);
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    // 1. Mobility: random-walk step, rejected if it leaves the network.
+    for (auto& p : positions) {
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const double angle = rng.uniform(0.0, 2.0 * M_PI);
+        const geo::Point candidate{
+            p.x + config_.mobility_step_m * std::cos(angle),
+            p.y + config_.mobility_step_m * std::sin(angle)};
+        if (layout_.contains(layout_.nearest_cell(candidate), candidate)) {
+          p = candidate;
+          break;
+        }
+      }
+    }
+
+    // 2. Task arrivals: the epoch's active set.
+    std::vector<std::size_t> active;
+    std::vector<mec::UserEquipment> users;
+    for (std::size_t g = 0; g < population_; ++g) {
+      if (!rng.bernoulli(config_.activity_prob)) continue;
+      mec::UserEquipment ue = prototype_;
+      ue.task = mec::Task(
+          units::kilobytes_to_bits(
+              rng.uniform(config_.min_input_kb, config_.max_input_kb)),
+          units::megacycles_to_cycles(rng.uniform(config_.min_megacycles,
+                                                  config_.max_megacycles)));
+      ue.position = positions[g];
+      active.push_back(g);
+      users.push_back(std::move(ue));
+    }
+    if (users.empty()) {
+      report.epochs.push_back({});
+      report.utility.add(0.0);
+      report.offload_ratio.add(0.0);
+      report.solve_seconds.add(0.0);
+      continue;
+    }
+
+    // 3. Fresh channel gains for the epoch's geometry.
+    std::vector<geo::Point> user_positions(users.size());
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      user_positions[i] = users[i].position;
+    }
+    Matrix3<double> gains = channel_.generate(user_positions, bs_positions,
+                                              num_subchannels_, rng);
+    const mec::Scenario scenario(
+        std::move(users), servers_,
+        radio::Spectrum(bandwidth_hz_, num_subchannels_), noise_w_,
+        std::move(gains));
+
+    // 4. Solve the snapshot. The scheduler gets a derived child RNG so that
+    // its own randomness cannot perturb the environment stream — two
+    // schedulers fed the same seed therefore see the *identical* timeline
+    // (paired comparison).
+    Rng scheduler_rng(rng.derive_seed(epoch));
+    const algo::ScheduleResult result =
+        algo::run_and_validate(scheduler, scenario, scheduler_rng);
+
+    // 5. Record.
+    const jtora::UtilityEvaluator evaluator(scenario);
+    const jtora::Evaluation eval = evaluator.evaluate(result.assignment);
+    EpochStats stats;
+    stats.active_users = scenario.num_users();
+    stats.offloaded = result.assignment.num_offloaded();
+    stats.utility = result.system_utility;
+    stats.solve_seconds = result.solve_seconds;
+    Accumulator delay;
+    Accumulator energy;
+    for (const auto& user : eval.users) {
+      delay.add(user.total_delay_s);
+      energy.add(user.energy_j);
+    }
+    stats.mean_delay_s = delay.mean();
+    stats.mean_energy_j = energy.mean();
+
+    report.epochs.push_back(stats);
+    report.utility.add(stats.utility);
+    report.offload_ratio.add(static_cast<double>(stats.offloaded) /
+                             static_cast<double>(stats.active_users));
+    report.mean_delay_s.add(stats.mean_delay_s);
+    report.mean_energy_j.add(stats.mean_energy_j);
+    report.solve_seconds.add(stats.solve_seconds);
+  }
+  return report;
+}
+
+}  // namespace tsajs::sim

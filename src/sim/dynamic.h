@@ -1,0 +1,94 @@
+// Dynamic (multi-epoch) MEC simulation.
+//
+// The paper evaluates static snapshots: one drop, one solve. A deployed
+// scheduler re-runs on every scheduling epoch as tasks arrive and users
+// move. This module provides that loop as a library feature:
+//
+//   epoch e: 1. each user moves one random-walk step inside the network,
+//            2. each user draws a task with probability `activity_prob`
+//               (task size/load sampled from configurable ranges),
+//            3. channel gains are re-drawn for the new geometry,
+//            4. the scheduler solves the snapshot of *active* users,
+//            5. per-epoch utility / delay / energy / runtime are recorded.
+//
+// Everything is driven by one caller-supplied Rng, so a whole simulated
+// timeline is reproducible from a single seed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "algo/scheduler.h"
+#include "common/stats.h"
+#include "geo/hex_layout.h"
+#include "mec/scenario.h"
+#include "radio/channel.h"
+
+namespace tsajs::sim {
+
+struct DynamicConfig {
+  std::size_t epochs = 50;
+  /// Probability that a user has a task to schedule in a given epoch.
+  double activity_prob = 0.6;
+  /// Random-walk step per epoch [m]; steps leaving the network are retried.
+  double mobility_step_m = 30.0;
+  /// Task parameter ranges, sampled uniformly per task.
+  double min_megacycles = 500.0;
+  double max_megacycles = 4000.0;
+  double min_input_kb = 100.0;
+  double max_input_kb = 800.0;
+
+  void validate() const;
+};
+
+/// Outcome of one scheduling epoch.
+struct EpochStats {
+  std::size_t active_users = 0;
+  std::size_t offloaded = 0;
+  double utility = 0.0;
+  double mean_delay_s = 0.0;   ///< over active users
+  double mean_energy_j = 0.0;  ///< over active users
+  double solve_seconds = 0.0;
+};
+
+/// Aggregates over a full run.
+struct DynamicReport {
+  std::vector<EpochStats> epochs;
+  Accumulator utility;
+  Accumulator offload_ratio;
+  Accumulator mean_delay_s;
+  Accumulator mean_energy_j;
+  Accumulator solve_seconds;
+};
+
+class DynamicSimulator {
+ public:
+  /// `population` users on `num_servers` hexagonal cells; static per-user
+  /// parameters (CPU, power, preferences) come from `prototype`.
+  DynamicSimulator(std::size_t population, std::size_t num_servers,
+                   std::size_t num_subchannels, DynamicConfig config = {},
+                   mec::UserEquipment prototype = {},
+                   mec::EdgeServer server_prototype = {},
+                   double bandwidth_hz = 20e6, double noise_dbm = -100.0);
+
+  /// Runs the timeline, scheduling every epoch with `scheduler`.
+  [[nodiscard]] DynamicReport run(const algo::Scheduler& scheduler,
+                                  Rng& rng) const;
+
+  [[nodiscard]] const DynamicConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  std::size_t population_;
+  std::size_t num_subchannels_;
+  DynamicConfig config_;
+  mec::UserEquipment prototype_;
+  geo::HexLayout layout_;
+  std::vector<mec::EdgeServer> servers_;
+  radio::ChannelModel channel_;
+  double bandwidth_hz_;
+  double noise_w_;
+};
+
+}  // namespace tsajs::sim

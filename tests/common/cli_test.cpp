@@ -1,0 +1,117 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace tsajs {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  return {args.begin(), args.end()};
+}
+
+TEST(CliTest, DefaultsApplyWhenUnset) {
+  CliParser cli("test");
+  cli.add_flag("users", "number of users", "30");
+  const auto argv = argv_of({"prog"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("users"), 30);
+}
+
+TEST(CliTest, SpaceSeparatedValue) {
+  CliParser cli("test");
+  cli.add_flag("users", "number of users", "30");
+  const auto argv = argv_of({"prog", "--users", "50"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("users"), 50);
+}
+
+TEST(CliTest, EqualsSeparatedValue) {
+  CliParser cli("test");
+  cli.add_flag("seed", "rng seed", "1");
+  const auto argv = argv_of({"prog", "--seed=99"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("seed"), 99);
+}
+
+TEST(CliTest, SwitchPresence) {
+  CliParser cli("test");
+  cli.add_switch("verbose", "log more");
+  const auto argv = argv_of({"prog", "--verbose"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(CliTest, SwitchDefaultFalse) {
+  CliParser cli("test");
+  cli.add_switch("verbose", "log more");
+  const auto argv = argv_of({"prog"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(cli.get_bool("verbose"));
+}
+
+TEST(CliTest, UnknownFlagThrows) {
+  CliParser cli("test");
+  const auto argv = argv_of({"prog", "--bogus", "1"});
+  EXPECT_THROW((void)cli.parse(static_cast<int>(argv.size()), argv.data()),
+               InvalidArgumentError);
+}
+
+TEST(CliTest, MissingValueThrows) {
+  CliParser cli("test");
+  cli.add_flag("users", "number of users", "30");
+  const auto argv = argv_of({"prog", "--users"});
+  EXPECT_THROW((void)cli.parse(static_cast<int>(argv.size()), argv.data()),
+               InvalidArgumentError);
+}
+
+TEST(CliTest, NonNumericIntThrows) {
+  CliParser cli("test");
+  cli.add_flag("users", "number of users", "30");
+  const auto argv = argv_of({"prog", "--users", "abc"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW((void)cli.get_int("users"), InvalidArgumentError);
+}
+
+TEST(CliTest, DoubleParsing) {
+  CliParser cli("test");
+  cli.add_flag("beta", "time preference", "0.5");
+  const auto argv = argv_of({"prog", "--beta", "0.75"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_DOUBLE_EQ(cli.get_double("beta"), 0.75);
+}
+
+TEST(CliTest, DoubleListParsing) {
+  CliParser cli("test");
+  cli.add_flag("workloads", "Mcycle sweep", "1000,2000,3000");
+  const auto argv = argv_of({"prog"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_double_list("workloads"),
+            (std::vector<double>{1000.0, 2000.0, 3000.0}));
+}
+
+TEST(CliTest, PositionalArgumentsCollected) {
+  CliParser cli("test");
+  const auto argv = argv_of({"prog", "input.csv", "out.csv"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.csv");
+}
+
+TEST(CliTest, UnregisteredAccessThrows) {
+  CliParser cli("test");
+  EXPECT_THROW((void)cli.get_string("nope"), NotFoundError);
+}
+
+TEST(CliTest, HelpTextListsFlags) {
+  CliParser cli("my summary");
+  cli.add_flag("users", "number of users", "30");
+  const std::string help = cli.help_text();
+  EXPECT_NE(help.find("my summary"), std::string::npos);
+  EXPECT_NE(help.find("--users"), std::string::npos);
+  EXPECT_NE(help.find("number of users"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsajs

@@ -1,0 +1,76 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tsajs {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_log_sink(&sink_);
+    saved_level_ = log_level();
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(saved_level_);
+  }
+  std::ostringstream sink_;
+  LogLevel saved_level_ = LogLevel::Warn;
+};
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::Debug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::Info), "INFO");
+  EXPECT_STREQ(log_level_name(LogLevel::Warn), "WARN");
+  EXPECT_STREQ(log_level_name(LogLevel::Error), "ERROR");
+  EXPECT_STREQ(log_level_name(LogLevel::Off), "OFF");
+}
+
+TEST_F(LogTest, MessagesAtOrAboveLevelEmit) {
+  set_log_level(LogLevel::Info);
+  TSAJS_LOG(Info) << "hello " << 42;
+  const std::string out = sink_.str();
+  EXPECT_NE(out.find("[INFO]"), std::string::npos);
+  EXPECT_NE(out.find("hello 42"), std::string::npos);
+  EXPECT_NE(out.find("log_test.cpp"), std::string::npos);
+}
+
+TEST_F(LogTest, MessagesBelowLevelAreDiscarded) {
+  set_log_level(LogLevel::Warn);
+  TSAJS_LOG(Debug) << "invisible";
+  TSAJS_LOG(Info) << "also invisible";
+  EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::Off);
+  TSAJS_LOG(Error) << "nope";
+  EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST_F(LogTest, StreamArgumentsNotEvaluatedWhenDisabled) {
+  set_log_level(LogLevel::Error);
+  int evaluations = 0;
+  const auto count = [&evaluations]() {
+    ++evaluations;
+    return 1;
+  };
+  TSAJS_LOG(Debug) << count();
+  EXPECT_EQ(evaluations, 0);
+  TSAJS_LOG(Error) << count();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, EachMessageEndsWithNewline) {
+  set_log_level(LogLevel::Info);
+  TSAJS_LOG(Info) << "a";
+  TSAJS_LOG(Warn) << "b";
+  const std::string out = sink_.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace tsajs

@@ -1,0 +1,77 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace tsajs {
+namespace {
+
+TEST(Matrix2Test, DefaultEmpty) {
+  Matrix2<double> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix2Test, FillConstructorAndIndexing) {
+  Matrix2<int> m(3, 4, 7);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 7);
+  }
+  m(2, 3) = -1;
+  EXPECT_EQ(m(2, 3), -1);
+}
+
+TEST(Matrix2Test, BoundsChecked) {
+  Matrix2<int> m(2, 2);
+  EXPECT_THROW((void)m(2, 0), InvalidArgumentError);
+  EXPECT_THROW((void)m(0, 2), InvalidArgumentError);
+}
+
+TEST(Matrix2Test, RowMajorLayout) {
+  Matrix2<int> m(2, 3);
+  int v = 0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  }
+  EXPECT_EQ(m.data(), (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Matrix2Test, Equality) {
+  Matrix2<int> a(2, 2, 1);
+  Matrix2<int> b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b(1, 1) = 2;
+  EXPECT_NE(a, b);
+}
+
+TEST(Matrix3Test, FillAndIndex) {
+  Matrix3<double> t(2, 3, 4, 0.5);
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_DOUBLE_EQ(t(1, 2, 3), 0.5);
+  t(1, 2, 3) = 9.0;
+  EXPECT_DOUBLE_EQ(t(1, 2, 3), 9.0);
+  EXPECT_DOUBLE_EQ(t(1, 2, 2), 0.5);
+}
+
+TEST(Matrix3Test, BoundsChecked) {
+  Matrix3<int> t(1, 2, 3);
+  EXPECT_THROW((void)t(1, 0, 0), InvalidArgumentError);
+  EXPECT_THROW((void)t(0, 2, 0), InvalidArgumentError);
+  EXPECT_THROW((void)t(0, 0, 3), InvalidArgumentError);
+}
+
+TEST(Matrix3Test, FillResets) {
+  Matrix3<int> t(2, 2, 2, 1);
+  t(0, 0, 0) = 5;
+  t.fill(3);
+  EXPECT_EQ(t(0, 0, 0), 3);
+  EXPECT_EQ(t(1, 1, 1), 3);
+}
+
+}  // namespace
+}  // namespace tsajs

@@ -1,0 +1,150 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace tsajs {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndRange) {
+  Rng rng(11);
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(rng.uniform(-2.0, 6.0));
+  EXPECT_NEAR(acc.mean(), 2.0, 0.05);
+  EXPECT_GE(acc.min(), -2.0);
+  EXPECT_LT(acc.max(), 6.0);
+}
+
+TEST(Rng, UniformIndexCoversAllValuesUnbiased) {
+  Rng rng(13);
+  std::vector<int> counts(7, 0);
+  const int draws = 70000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_index(7)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, draws / 7, 500);  // ~5 sigma
+  }
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(17);
+  EXPECT_THROW((void)rng.uniform_index(0), InvalidArgumentError);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(19);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(-3, 3));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), -3);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(23);
+  Accumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(rng.normal());
+  EXPECT_NEAR(acc.mean(), 0.0, 0.02);
+  EXPECT_NEAR(acc.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaledMoments) {
+  Rng rng(29);
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(rng.normal(8.0, 8.0));
+  EXPECT_NEAR(acc.mean(), 8.0, 0.15);
+  EXPECT_NEAR(acc.stddev(), 8.0, 0.15);
+}
+
+TEST(Rng, NormalRejectsNegativeSigma) {
+  Rng rng(31);
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), InvalidArgumentError);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(37);
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(rng.exponential(2.0));
+  EXPECT_NEAR(acc.mean(), 0.5, 0.01);
+  EXPECT_GE(acc.min(), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(41);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits, 30000, 700);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, DerivedSeedsDecorrelated) {
+  Rng parent(47);
+  Rng child_a(parent.derive_seed(0));
+  Rng child_b(parent.derive_seed(1));
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child_a.next_u64() == child_b.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, WorksWithStdShuffle) {
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<int> original = values;
+  Rng rng(53);
+  std::shuffle(values.begin(), values.end(), rng);
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(SplitMix64, KnownFirstOutputsDistinct) {
+  SplitMix64 sm(0);
+  const auto a = sm.next();
+  const auto b = sm.next();
+  EXPECT_NE(a, b);
+  // Reference value of splitmix64(seed=0) first output.
+  EXPECT_EQ(a, 0xE220A8397B1DCDAFULL);
+}
+
+}  // namespace
+}  // namespace tsajs

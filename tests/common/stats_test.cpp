@@ -1,0 +1,126 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace tsajs {
+namespace {
+
+TEST(Accumulator, EmptyIsSane) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.stderr_mean(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(42.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 42.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 42.0);
+}
+
+TEST(Accumulator, KnownSampleStatistics) {
+  Accumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Rng rng(99);
+  Accumulator whole;
+  Accumulator left;
+  Accumulator right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a;
+  a.add(1.0);
+  a.add(3.0);
+  Accumulator empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(StudentT, TabulatedValues) {
+  EXPECT_NEAR(student_t_critical(1, 0.95), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_critical(9, 0.95), 2.262, 1e-3);
+  EXPECT_NEAR(student_t_critical(29, 0.95), 2.045, 1e-3);
+  EXPECT_NEAR(student_t_critical(9, 0.99), 3.250, 1e-3);
+}
+
+TEST(StudentT, LargeDofApproachesNormal) {
+  // z_{0.975} = 1.95996...
+  EXPECT_NEAR(student_t_critical(10000, 0.95), 1.96, 5e-3);
+}
+
+TEST(StudentT, RejectsBadInput) {
+  EXPECT_THROW((void)student_t_critical(0, 0.95), InvalidArgumentError);
+  EXPECT_THROW((void)student_t_critical(5, 0.0), InvalidArgumentError);
+  EXPECT_THROW((void)student_t_critical(5, 1.0), InvalidArgumentError);
+}
+
+TEST(ConfidenceIntervalTest, CoversTrueMeanAtNominalRate) {
+  // Property: a 95% CI over N(0,1) samples should contain 0 roughly 95% of
+  // the time. 400 repetitions, tolerance ~4 sigma of Binomial(400, .05).
+  Rng rng(7);
+  int covered = 0;
+  const int reps = 400;
+  for (int r = 0; r < reps; ++r) {
+    Accumulator acc;
+    for (int i = 0; i < 20; ++i) acc.add(rng.normal());
+    if (confidence_interval(acc, 0.95).contains(0.0)) ++covered;
+  }
+  EXPECT_GE(covered, 360);  // >= 90%
+  EXPECT_LE(covered, 400);
+}
+
+TEST(ConfidenceIntervalTest, DegenerateSamples) {
+  Accumulator acc;
+  acc.add(5.0);
+  const ConfidenceInterval ci = confidence_interval(acc);
+  EXPECT_DOUBLE_EQ(ci.mean, 5.0);
+  EXPECT_EQ(ci.half_width, 0.0);
+}
+
+TEST(Quantile, Interpolates) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW((void)quantile({}, 0.5), InvalidArgumentError);
+  EXPECT_THROW((void)quantile({1.0}, 1.5), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace tsajs

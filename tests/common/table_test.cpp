@@ -1,0 +1,73 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace tsajs {
+namespace {
+
+TEST(TableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), InvalidArgumentError);
+}
+
+TEST(TableTest, RejectsMisshapenRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgumentError);
+}
+
+TEST(TableTest, StoresRows) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.row(1)[0], "3");
+  EXPECT_THROW((void)t.row(2), InvalidArgumentError);
+}
+
+TEST(TableTest, PrintAligned) {
+  Table t({"scheme", "utility"});
+  t.add_row({"tsajs", "4.2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| scheme"), std::string::npos);
+  EXPECT_NE(out.find("| tsajs"), std::string::npos);
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(TableTest, CsvPlain) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, CsvEscapesSpecialCharacters) {
+  Table t({"name"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "name\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(TableTest, CsvFileRejectsBadPath) {
+  Table t({"a"});
+  EXPECT_THROW(t.write_csv_file("/nonexistent-dir/x.csv"), Error);
+}
+
+TEST(FormatHelpers, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 1), "-1.0");
+}
+
+TEST(FormatHelpers, FormatCi) {
+  EXPECT_EQ(format_ci(1.5, 0.25, 2), "1.50 ± 0.25");
+}
+
+}  // namespace
+}  // namespace tsajs

@@ -1,0 +1,65 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace tsajs::units {
+namespace {
+
+TEST(Units, DbToLinearKnownValues) {
+  EXPECT_DOUBLE_EQ(db_to_linear(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(db_to_linear(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(db_to_linear(20.0), 100.0);
+  EXPECT_NEAR(db_to_linear(3.0), 1.9952623, 1e-6);
+  EXPECT_NEAR(db_to_linear(-10.0), 0.1, 1e-12);
+}
+
+TEST(Units, LinearToDbRoundTrip) {
+  for (const double db : {-120.0, -37.5, 0.0, 3.0, 99.0}) {
+    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-9);
+  }
+}
+
+TEST(Units, LinearToDbRejectsNonPositive) {
+  EXPECT_THROW((void)linear_to_db(0.0), InvalidArgumentError);
+  EXPECT_THROW((void)linear_to_db(-1.0), InvalidArgumentError);
+}
+
+TEST(Units, DbmToWattsPaperParameters) {
+  // p_u = 10 dBm = 10 mW; sigma^2 = -100 dBm = 1e-13 W.
+  EXPECT_NEAR(dbm_to_watts(10.0), 0.01, 1e-12);
+  EXPECT_NEAR(dbm_to_watts(-100.0), 1e-13, 1e-25);
+  EXPECT_NEAR(dbm_to_watts(0.0), 1e-3, 1e-15);
+}
+
+TEST(Units, WattsToDbmRoundTrip) {
+  for (const double dbm : {-100.0, -30.0, 0.0, 10.0, 46.0}) {
+    EXPECT_NEAR(watts_to_dbm(dbm_to_watts(dbm)), dbm, 1e-9);
+  }
+}
+
+TEST(Units, KilobytesToBits) {
+  // The paper's default task input: 420 KB = 3.36 Mbit.
+  EXPECT_DOUBLE_EQ(kilobytes_to_bits(420.0), 3.36e6);
+  EXPECT_DOUBLE_EQ(kilobytes_to_bits(1.0), 8000.0);
+}
+
+TEST(Units, MegacyclesToCycles) {
+  EXPECT_DOUBLE_EQ(megacycles_to_cycles(1000.0), 1e9);
+}
+
+TEST(Units, SiStringPicksSensiblePrefix) {
+  EXPECT_EQ(si_string(20e9, "Hz"), "20 GHz");
+  EXPECT_EQ(si_string(20e6, "Hz"), "20 MHz");
+  EXPECT_EQ(si_string(1.5e-3, "s", 2), "1.5 ms");
+  EXPECT_EQ(si_string(0.0, "s"), "0 s");
+}
+
+TEST(Units, DurationString) {
+  EXPECT_EQ(duration_string(2.0), "2 s");
+  EXPECT_EQ(duration_string(3.25e-6, 3), "3.25 us");
+}
+
+}  // namespace
+}  // namespace tsajs::units

@@ -1,0 +1,84 @@
+#include "exp/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace tsajs::exp {
+namespace {
+
+TEST(JsonEscapeTest, PassThroughPlainText) {
+  EXPECT_EQ(json_escape("tsajs"), "tsajs");
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonOfTest, EncodesAccumulator) {
+  Accumulator acc;
+  acc.add(1.0);
+  acc.add(3.0);
+  const std::string json = json_of(acc);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"mean\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"min\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"ci\":["), std::string::npos);
+}
+
+TEST(JsonOfTest, EmptyAccumulatorIsSane) {
+  const std::string json = json_of(Accumulator{});
+  EXPECT_NE(json.find("\"count\":0"), std::string::npos);
+  // min/max of an empty accumulator must not leak +/-inf into the JSON.
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+std::vector<std::vector<SchemeStats>> tiny_rows() {
+  SchemeStats a;
+  a.scheme = "tsajs";
+  a.utility.add(1.5);
+  a.utility.add(2.5);
+  a.solve_seconds.add(0.01);
+  SchemeStats b;
+  b.scheme = "greedy";
+  b.utility.add(1.0);
+  b.solve_seconds.add(0.001);
+  return {{a, b}};
+}
+
+TEST(SweepJsonTest, StructureIsWellFormed) {
+  std::ostringstream os;
+  write_sweep_json(os, "w [Mcyc]", {"1000"}, tiny_rows());
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"sweep\":\"w [Mcyc]\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"1000\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"tsajs\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"greedy\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(SweepJsonTest, RejectsMismatchedLabels) {
+  std::ostringstream os;
+  EXPECT_THROW(write_sweep_json(os, "x", {"a", "b"}, tiny_rows()),
+               InvalidArgumentError);
+}
+
+TEST(SweepJsonTest, FileWriterRejectsBadPath) {
+  EXPECT_THROW(
+      write_sweep_json_file("/nonexistent-dir/x.json", "x", {"a"},
+                            tiny_rows()),
+      Error);
+}
+
+}  // namespace
+}  // namespace tsajs::exp

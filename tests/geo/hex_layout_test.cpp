@@ -1,0 +1,132 @@
+#include "geo/hex_layout.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace tsajs::geo {
+namespace {
+
+TEST(PointTest, Arithmetic) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Point{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Point{-2.0, 3.0}));
+  EXPECT_EQ(2.0 * a, (Point{2.0, 4.0}));
+}
+
+TEST(PointTest, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_squared({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(HexLayoutTest, RejectsBadArguments) {
+  EXPECT_THROW(HexLayout(0, 1000.0), InvalidArgumentError);
+  EXPECT_THROW(HexLayout(9, 0.0), InvalidArgumentError);
+}
+
+TEST(HexLayoutTest, SingleCellAtOrigin) {
+  HexLayout layout(1, 1000.0);
+  EXPECT_EQ(layout.num_cells(), 1u);
+  EXPECT_EQ(layout.site(0), (Point{0.0, 0.0}));
+}
+
+TEST(HexLayoutTest, FirstRingAtInterSiteDistance) {
+  // Cells 1..6 form the first ring: all exactly ISD from the center.
+  HexLayout layout(7, 1000.0);
+  for (std::size_t s = 1; s < 7; ++s) {
+    EXPECT_NEAR(distance(layout.site(0), layout.site(s)), 1000.0, 1e-9)
+        << "cell " << s;
+  }
+}
+
+TEST(HexLayoutTest, AllSitesDistinctAndAtLeastIsdApart) {
+  HexLayout layout(19, 1000.0);
+  for (std::size_t a = 0; a < 19; ++a) {
+    for (std::size_t b = a + 1; b < 19; ++b) {
+      EXPECT_GE(distance(layout.site(a), layout.site(b)), 1000.0 - 1e-6);
+    }
+  }
+}
+
+TEST(HexLayoutTest, CellRadiusRelation) {
+  HexLayout layout(9, 1000.0);
+  EXPECT_NEAR(layout.cell_radius(), 1000.0 / std::sqrt(3.0), 1e-9);
+}
+
+TEST(HexLayoutTest, SiteIndexOutOfRangeThrows) {
+  HexLayout layout(4, 1000.0);
+  EXPECT_THROW((void)layout.site(4), InvalidArgumentError);
+}
+
+TEST(HexLayoutTest, ContainsCenterAndRejectsFarPoints) {
+  HexLayout layout(9, 1000.0);
+  for (std::size_t s = 0; s < 9; ++s) {
+    EXPECT_TRUE(layout.contains(s, layout.site(s)));
+    EXPECT_FALSE(layout.contains(s, layout.site(s) + Point{5000.0, 0.0}));
+  }
+}
+
+TEST(HexLayoutTest, HexagonVertexAndEdgeMembership) {
+  HexLayout layout(1, 1000.0);
+  const double radius = layout.cell_radius();
+  // Vertex at (R, 0) is on the boundary.
+  EXPECT_TRUE(layout.contains(0, {radius, 0.0}));
+  // Just outside the vertex is not.
+  EXPECT_FALSE(layout.contains(0, {radius * 1.01, 0.0}));
+  // Directly above the center, the boundary is at sqrt(3)/2 * R.
+  EXPECT_TRUE(layout.contains(0, {0.0, std::sqrt(3.0) / 2.0 * radius - 1.0}));
+  EXPECT_FALSE(layout.contains(0, {0.0, std::sqrt(3.0) / 2.0 * radius + 1.0}));
+}
+
+TEST(HexLayoutTest, SampleInCellStaysInCell) {
+  HexLayout layout(9, 1000.0);
+  Rng rng(5);
+  for (std::size_t s = 0; s < 9; ++s) {
+    for (int i = 0; i < 200; ++i) {
+      const Point p = layout.sample_in_cell(s, rng);
+      EXPECT_TRUE(layout.contains(s, p));
+    }
+  }
+}
+
+TEST(HexLayoutTest, SampleInCellIsRoughlyUniform) {
+  // The mean of uniform samples in a symmetric hexagon is its center.
+  HexLayout layout(1, 1000.0);
+  Rng rng(17);
+  double sx = 0.0;
+  double sy = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const Point p = layout.sample_in_cell(0, rng);
+    sx += p.x;
+    sy += p.y;
+  }
+  EXPECT_NEAR(sx / n, 0.0, 10.0);
+  EXPECT_NEAR(sy / n, 0.0, 10.0);
+}
+
+TEST(HexLayoutTest, SampleInNetworkHitsEveryCell) {
+  HexLayout layout(9, 1000.0);
+  Rng rng(23);
+  std::set<std::size_t> cells_hit;
+  for (int i = 0; i < 2000; ++i) {
+    cells_hit.insert(layout.nearest_cell(layout.sample_in_network(rng)));
+  }
+  EXPECT_EQ(cells_hit.size(), 9u);
+}
+
+TEST(HexLayoutTest, NearestCellOfSiteIsItself) {
+  HexLayout layout(19, 500.0);
+  for (std::size_t s = 0; s < 19; ++s) {
+    EXPECT_EQ(layout.nearest_cell(layout.site(s)), s);
+  }
+}
+
+}  // namespace
+}  // namespace tsajs::geo

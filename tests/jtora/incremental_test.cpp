@@ -1,0 +1,207 @@
+#include "jtora/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/neighborhood.h"
+#include "algo/scheduler.h"
+#include "algo/tsajs.h"
+#include "common/error.h"
+#include "mec/scenario_builder.h"
+
+namespace tsajs::jtora {
+namespace {
+
+mec::Scenario make_scenario(std::size_t users = 10, std::size_t servers = 4,
+                            std::size_t subchannels = 3,
+                            std::uint64_t seed = 42) {
+  Rng rng(seed);
+  return mec::ScenarioBuilder()
+      .num_users(users)
+      .num_servers(servers)
+      .num_subchannels(subchannels)
+      .build(rng);
+}
+
+double reference_utility(const mec::Scenario& scenario, const Assignment& x) {
+  return UtilityEvaluator(scenario).system_utility(x);
+}
+
+TEST(IncrementalTest, InitialUtilityMatchesReference) {
+  const mec::Scenario scenario = make_scenario();
+  Rng rng(1);
+  const Assignment x = algo::random_feasible_assignment(scenario, rng, 0.6);
+  const IncrementalEvaluator inc(scenario, x);
+  EXPECT_NEAR(inc.utility(), reference_utility(scenario, x), 1e-9);
+}
+
+TEST(IncrementalTest, OffloadMatchesReference) {
+  const mec::Scenario scenario = make_scenario();
+  IncrementalEvaluator inc(scenario, Assignment(scenario));
+  inc.apply_offload(3, 1, 2);
+  EXPECT_NEAR(inc.utility(), reference_utility(scenario, inc.assignment()),
+              1e-9);
+  inc.apply_offload(5, 2, 2);  // same sub-channel: interference kicks in
+  EXPECT_NEAR(inc.utility(), reference_utility(scenario, inc.assignment()),
+              1e-9);
+}
+
+TEST(IncrementalTest, MakeLocalMatchesReference) {
+  const mec::Scenario scenario = make_scenario();
+  IncrementalEvaluator inc(scenario, Assignment(scenario));
+  inc.apply_offload(0, 0, 0);
+  inc.apply_offload(1, 1, 0);
+  inc.apply_make_local(0);
+  EXPECT_NEAR(inc.utility(), reference_utility(scenario, inc.assignment()),
+              1e-9);
+  EXPECT_FALSE(inc.is_offloaded(0));
+}
+
+TEST(IncrementalTest, SwapMatchesReference) {
+  const mec::Scenario scenario = make_scenario();
+  IncrementalEvaluator inc(scenario, Assignment(scenario));
+  inc.apply_offload(0, 0, 0);
+  inc.apply_offload(1, 1, 1);
+  inc.apply_swap(0, 1);
+  EXPECT_NEAR(inc.utility(), reference_utility(scenario, inc.assignment()),
+              1e-9);
+  EXPECT_EQ(inc.slot_of(0), (Slot{1, 1}));
+  EXPECT_EQ(inc.slot_of(1), (Slot{0, 0}));
+}
+
+TEST(IncrementalTest, MoveBetweenSubchannelsMatchesReference) {
+  const mec::Scenario scenario = make_scenario();
+  IncrementalEvaluator inc(scenario, Assignment(scenario));
+  inc.apply_offload(0, 0, 0);
+  inc.apply_offload(1, 1, 0);
+  inc.apply_offload(0, 0, 1);  // move away from user 1's sub-channel
+  EXPECT_NEAR(inc.utility(), reference_utility(scenario, inc.assignment()),
+              1e-9);
+}
+
+TEST(IncrementalTest, RollbackRestoresStateAndUtility) {
+  const mec::Scenario scenario = make_scenario();
+  Rng rng(2);
+  const Assignment start =
+      algo::random_feasible_assignment(scenario, rng, 0.5);
+  IncrementalEvaluator inc(scenario, start);
+  const double utility_before = inc.utility();
+  const Assignment snapshot = inc.assignment();
+
+  const std::size_t mark = inc.checkpoint();
+  inc.apply_offload(0, 3, 2);
+  inc.apply_swap(1, 2);
+  inc.apply_make_local(3);
+  inc.rollback(mark);
+
+  EXPECT_EQ(inc.assignment(), snapshot);
+  EXPECT_NEAR(inc.utility(), utility_before, 1e-9);
+}
+
+TEST(IncrementalTest, NestedCheckpointsRollbackInReverse) {
+  const mec::Scenario scenario = make_scenario();
+  IncrementalEvaluator inc(scenario, Assignment(scenario));
+  inc.apply_offload(0, 0, 0);
+  const Assignment after_first = inc.assignment();
+
+  const std::size_t outer = inc.checkpoint();
+  inc.apply_offload(1, 1, 0);
+  const Assignment after_second = inc.assignment();
+  const std::size_t inner = inc.checkpoint();
+  inc.apply_offload(2, 2, 0);
+
+  inc.rollback(inner);
+  EXPECT_EQ(inc.assignment(), after_second);
+  inc.rollback(outer);
+  EXPECT_EQ(inc.assignment(), after_first);
+  EXPECT_NEAR(inc.utility(), reference_utility(scenario, inc.assignment()),
+              1e-9);
+}
+
+TEST(IncrementalTest, RollbackAfterEvictionRestoresOccupant) {
+  // Eviction = make_local(occupant) + offload(mover): undo must restore both.
+  Rng rng_s(7);
+  const mec::Scenario scenario = mec::ScenarioBuilder()
+                                     .num_users(4)
+                                     .num_servers(2)
+                                     .num_subchannels(1)
+                                     .build(rng_s);
+  IncrementalEvaluator inc(scenario, Assignment(scenario));
+  inc.apply_offload(0, 0, 0);
+  const Assignment before = inc.assignment();
+  const double utility_before = inc.utility();
+
+  const std::size_t mark = inc.checkpoint();
+  inc.apply_make_local(0);   // evict
+  inc.apply_offload(1, 0, 0);  // mover takes the slot
+  inc.rollback(mark);
+  EXPECT_EQ(inc.assignment(), before);
+  EXPECT_NEAR(inc.utility(), utility_before, 1e-12);
+}
+
+TEST(IncrementalTest, RollbackMarkInFutureThrows) {
+  const mec::Scenario scenario = make_scenario();
+  IncrementalEvaluator inc(scenario, Assignment(scenario));
+  EXPECT_THROW(inc.rollback(5), InvalidArgumentError);
+}
+
+TEST(IncrementalProperty, LongRandomWalkTracksReferenceEvaluator) {
+  // The load-bearing property: after thousands of neighborhood operations
+  // with interleaved rollbacks, the incremental utility still matches a
+  // from-scratch evaluation and the assignment stays consistent.
+  for (const std::uint64_t seed : {3u, 4u, 5u}) {
+    const mec::Scenario scenario = make_scenario(12, 4, 3, seed);
+    const algo::Neighborhood neighborhood(scenario);
+    Rng rng(seed * 31 + 7);
+    IncrementalEvaluator inc(scenario, Assignment(scenario));
+    const UtilityEvaluator reference(scenario);
+    for (int step = 0; step < 2000; ++step) {
+      const std::size_t mark = inc.checkpoint();
+      const double before = inc.utility();
+      neighborhood.step(inc, rng);
+      if (rng.bernoulli(0.4)) {
+        inc.rollback(mark);
+        ASSERT_NEAR(inc.utility(), before, 1e-6);
+      }
+      if (step % 100 == 0) {
+        inc.assignment().check_consistency();
+        ASSERT_NEAR(inc.utility(), reference.system_utility(inc.assignment()),
+                    1e-6 * std::max(1.0, std::fabs(inc.utility())))
+            << "seed " << seed << " step " << step;
+      }
+    }
+    EXPECT_NO_THROW(inc.self_check());
+  }
+}
+
+TEST(IncrementalTest, RebuildResetsDrift) {
+  const mec::Scenario scenario = make_scenario();
+  const algo::Neighborhood neighborhood(scenario);
+  Rng rng(9);
+  IncrementalEvaluator inc(scenario, Assignment(scenario));
+  for (int i = 0; i < 500; ++i) neighborhood.step(inc, rng);
+  inc.rebuild();
+  EXPECT_NEAR(inc.utility(), reference_utility(scenario, inc.assignment()),
+              1e-12 * std::max(1.0, std::fabs(inc.utility())));
+}
+
+TEST(IncrementalTest, TsajsIncrementalAndPlainPathsAgree) {
+  // Same seed, same proposals: the two evaluation strategies must visit the
+  // same chain and return the same decision.
+  const mec::Scenario scenario = make_scenario(8, 3, 2, 11);
+  algo::TsajsConfig fast;
+  fast.use_incremental_evaluator = true;
+  algo::TsajsConfig slow;
+  slow.use_incremental_evaluator = false;
+  Rng rng_a(13);
+  Rng rng_b(13);
+  const auto a = algo::TsajsScheduler(fast).schedule(scenario, rng_a);
+  const auto b = algo::TsajsScheduler(slow).schedule(scenario, rng_b);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_NEAR(a.system_utility, b.system_utility,
+              1e-6 * std::max(1.0, std::fabs(b.system_utility)));
+}
+
+}  // namespace
+}  // namespace tsajs::jtora

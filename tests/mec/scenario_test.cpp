@@ -1,0 +1,257 @@
+#include "mec/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "mec/scenario_builder.h"
+#include "radio/channel.h"
+
+namespace tsajs::mec {
+namespace {
+
+UserEquipment default_user() {
+  UserEquipment ue;
+  ue.task = Task(3.36e6, 1e9);
+  return ue;
+}
+
+TEST(TaskTest, RejectsNonPositive) {
+  EXPECT_THROW(Task(0.0, 1e9), InvalidArgumentError);
+  EXPECT_THROW(Task(1e6, 0.0), InvalidArgumentError);
+  EXPECT_THROW(Task(-1.0, 1e9), InvalidArgumentError);
+}
+
+TEST(UserEquipmentTest, LocalTimeMatchesPaperFormula) {
+  // w = 1e9 cycles at f = 1 GHz => exactly 1 second.
+  const UserEquipment ue = default_user();
+  EXPECT_DOUBLE_EQ(ue.local_time_s(), 1.0);
+}
+
+TEST(UserEquipmentTest, LocalEnergyMatchesPaperFormula) {
+  // E = kappa f^2 w = 5e-27 * (1e9)^2 * 1e9 = 5 J.
+  const UserEquipment ue = default_user();
+  EXPECT_DOUBLE_EQ(ue.local_energy_j(), 5.0);
+}
+
+TEST(UserEquipmentTest, ValidateAcceptsDefaults) {
+  EXPECT_NO_THROW(default_user().validate());
+}
+
+TEST(UserEquipmentTest, ValidateRejectsBetaSumViolation) {
+  UserEquipment ue = default_user();
+  ue.beta_time = 0.5;
+  ue.beta_energy = 0.6;
+  EXPECT_THROW(ue.validate(), InvalidArgumentError);
+}
+
+TEST(UserEquipmentTest, ValidateRejectsBadLambda) {
+  UserEquipment ue = default_user();
+  ue.lambda = 0.0;
+  EXPECT_THROW(ue.validate(), InvalidArgumentError);
+  ue.lambda = 1.5;
+  EXPECT_THROW(ue.validate(), InvalidArgumentError);
+}
+
+TEST(ScenarioTest, BuilderProducesPaperDefaults) {
+  Rng rng(1);
+  const Scenario scenario = ScenarioBuilder().build(rng);
+  EXPECT_EQ(scenario.num_users(), 30u);
+  EXPECT_EQ(scenario.num_servers(), 9u);
+  EXPECT_EQ(scenario.num_subchannels(), 3u);
+  EXPECT_NEAR(scenario.noise_w(), 1e-13, 1e-25);           // -100 dBm
+  EXPECT_NEAR(scenario.subchannel_bandwidth_hz(), 20e6 / 3, 1e-6);
+  EXPECT_EQ(scenario.num_slots(), 27u);
+
+  const UserEquipment& ue = scenario.user(0);
+  EXPECT_NEAR(ue.tx_power_w, 0.01, 1e-12);                 // 10 dBm
+  EXPECT_DOUBLE_EQ(ue.local_cpu_hz, 1e9);
+  EXPECT_DOUBLE_EQ(ue.task.input_bits, 3.36e6);            // 420 KB
+  EXPECT_DOUBLE_EQ(ue.task.cycles, 1e9);                   // 1000 Mcycles
+  EXPECT_DOUBLE_EQ(scenario.server(0).cpu_hz, 20e9);
+}
+
+TEST(ScenarioTest, BuilderIsDeterministicPerSeed) {
+  Rng rng_a(77);
+  Rng rng_b(77);
+  const Scenario a = ScenarioBuilder().num_users(5).build(rng_a);
+  const Scenario b = ScenarioBuilder().num_users(5).build(rng_b);
+  for (std::size_t u = 0; u < 5; ++u) {
+    EXPECT_EQ(a.user(u).position, b.user(u).position);
+    for (std::size_t s = 0; s < a.num_servers(); ++s) {
+      EXPECT_DOUBLE_EQ(a.gain(u, s, 0), b.gain(u, s, 0));
+    }
+  }
+}
+
+TEST(ScenarioTest, DifferentSeedsProduceDifferentDrops) {
+  Rng rng_a(1);
+  Rng rng_b(2);
+  const Scenario a = ScenarioBuilder().num_users(3).build(rng_a);
+  const Scenario b = ScenarioBuilder().num_users(3).build(rng_b);
+  EXPECT_NE(a.user(0).position, b.user(0).position);
+}
+
+TEST(ScenarioTest, CustomizeUsersHookApplies) {
+  Rng rng(3);
+  const Scenario scenario =
+      ScenarioBuilder()
+          .num_users(4)
+          .customize_users([](std::size_t u, UserEquipment& ue) {
+            ue.lambda = (u == 2) ? 0.25 : 1.0;
+          })
+          .build(rng);
+  EXPECT_DOUBLE_EQ(scenario.user(2).lambda, 0.25);
+  EXPECT_DOUBLE_EQ(scenario.user(1).lambda, 1.0);
+}
+
+TEST(ScenarioTest, BuilderParameterSweepsApply) {
+  Rng rng(4);
+  const Scenario scenario = ScenarioBuilder()
+                                .num_users(6)
+                                .num_servers(4)
+                                .num_subchannels(2)
+                                .task_megacycles(4000.0)
+                                .task_input_kb(100.0)
+                                .beta_time(0.9)
+                                .build(rng);
+  EXPECT_EQ(scenario.num_servers(), 4u);
+  EXPECT_EQ(scenario.num_subchannels(), 2u);
+  EXPECT_DOUBLE_EQ(scenario.user(0).task.cycles, 4e9);
+  EXPECT_DOUBLE_EQ(scenario.user(0).task.input_bits, 8e5);
+  EXPECT_DOUBLE_EQ(scenario.user(0).beta_time, 0.9);
+  EXPECT_NEAR(scenario.user(0).beta_energy, 0.1, 1e-12);
+}
+
+TEST(ScenarioTest, UsersFallInsideNetworkArea) {
+  Rng rng(5);
+  const Scenario scenario = ScenarioBuilder().num_users(50).build(rng);
+  // Every user must be within one cell circumradius + slack of some BS.
+  const double max_dist = 1000.0 / std::sqrt(3.0) + 1e-6;
+  for (std::size_t u = 0; u < scenario.num_users(); ++u) {
+    double best = 1e18;
+    for (std::size_t s = 0; s < scenario.num_servers(); ++s) {
+      best = std::min(best, geo::distance(scenario.user(u).position,
+                                          scenario.server(s).position));
+    }
+    EXPECT_LE(best, max_dist);
+  }
+}
+
+TEST(ScenarioTest, RejectsMismatchedGainShape) {
+  Rng rng(6);
+  const Scenario good = ScenarioBuilder().num_users(2).build(rng);
+  Matrix3<double> wrong(1, good.num_servers(), good.num_subchannels(), 1e-10);
+  EXPECT_THROW(Scenario(good.users(), good.servers(), good.spectrum(),
+                        good.noise_w(), wrong),
+               InvalidArgumentError);
+}
+
+TEST(ScenarioTest, RejectsNonPositiveGains) {
+  Rng rng(7);
+  const Scenario good = ScenarioBuilder().num_users(2).build(rng);
+  Matrix3<double> zeros(good.num_users(), good.num_servers(),
+                        good.num_subchannels(), 0.0);
+  EXPECT_THROW(Scenario(good.users(), good.servers(), good.spectrum(),
+                        good.noise_w(), zeros),
+               InvalidArgumentError);
+}
+
+TEST(PowerControlTest, AlphaZeroGivesUniformPower) {
+  Rng rng(21);
+  const Scenario scenario = ScenarioBuilder()
+                                .num_users(10)
+                                .fractional_power_control(10.0, 0.0, 23.0)
+                                .build(rng);
+  for (std::size_t u = 0; u < 10; ++u) {
+    EXPECT_NEAR(scenario.user(u).tx_power_w, 0.01, 1e-12);
+  }
+}
+
+TEST(PowerControlTest, FullCompensationEqualizesReceivedPower) {
+  // alpha = 1 with an unreachable cap: p_u * mean_gain(best BS) is the same
+  // for every user (p0 above the compensated path loss).
+  Rng rng(22);
+  const Scenario scenario =
+      ScenarioBuilder()
+          .num_users(8)
+          .fractional_power_control(-70.0, 1.0, 200.0)
+          .build(rng);
+  const radio::ChannelModel channel = radio::make_paper_channel();
+  std::vector<double> received;
+  for (std::size_t u = 0; u < 8; ++u) {
+    double best_gain = 0.0;
+    for (std::size_t s = 0; s < scenario.num_servers(); ++s) {
+      best_gain = std::max(best_gain,
+                           channel.mean_gain(scenario.user(u).position,
+                                             scenario.server(s).position));
+    }
+    received.push_back(scenario.user(u).tx_power_w * best_gain);
+  }
+  for (std::size_t u = 1; u < received.size(); ++u) {
+    EXPECT_NEAR(received[u], received[0], received[0] * 1e-9);
+  }
+}
+
+TEST(PowerControlTest, PmaxClampsEdgeUsers) {
+  Rng rng(23);
+  const Scenario scenario = ScenarioBuilder()
+                                .num_users(20)
+                                .fractional_power_control(-40.0, 1.0, 0.0)
+                                .build(rng);
+  // With a 0 dBm cap and full compensation over >100 dB path losses, every
+  // user hits the cap.
+  for (std::size_t u = 0; u < 20; ++u) {
+    EXPECT_NEAR(scenario.user(u).tx_power_w, 1e-3, 1e-12);
+  }
+}
+
+TEST(PowerControlTest, EdgeUsersTransmitHotterThanCenterUsers) {
+  Rng rng(24);
+  const Scenario scenario =
+      ScenarioBuilder()
+          .num_users(40)
+          .fractional_power_control(-80.0, 0.8, 30.0)
+          .build(rng);
+  // Correlation check: the user farthest from every BS uses more power than
+  // the user closest to some BS.
+  double closest_power = 0.0;
+  double closest_dist = 1e18;
+  double farthest_power = 0.0;
+  double farthest_dist = 0.0;
+  for (std::size_t u = 0; u < 40; ++u) {
+    double best = 1e18;
+    for (std::size_t s = 0; s < scenario.num_servers(); ++s) {
+      best = std::min(best, geo::distance(scenario.user(u).position,
+                                          scenario.server(s).position));
+    }
+    if (best < closest_dist) {
+      closest_dist = best;
+      closest_power = scenario.user(u).tx_power_w;
+    }
+    if (best > farthest_dist) {
+      farthest_dist = best;
+      farthest_power = scenario.user(u).tx_power_w;
+    }
+  }
+  EXPECT_GT(farthest_power, closest_power);
+}
+
+TEST(PowerControlTest, RejectsBadParameters) {
+  EXPECT_THROW(ScenarioBuilder().fractional_power_control(10.0, 1.5, 23.0),
+               InvalidArgumentError);
+  EXPECT_THROW(ScenarioBuilder().fractional_power_control(10.0, 0.5, 5.0),
+               InvalidArgumentError);
+}
+
+TEST(ScenarioTest, IndexBoundsChecked) {
+  Rng rng(8);
+  const Scenario scenario = ScenarioBuilder().num_users(2).build(rng);
+  EXPECT_THROW((void)scenario.user(2), InvalidArgumentError);
+  EXPECT_THROW((void)scenario.server(99), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace tsajs::mec

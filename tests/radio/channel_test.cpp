@@ -1,0 +1,134 @@
+#include "radio/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "radio/spectrum.h"
+
+namespace tsajs::radio {
+namespace {
+
+std::vector<geo::Point> grid_points(std::size_t n, double spacing) {
+  std::vector<geo::Point> pts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts[i] = {static_cast<double>(i) * spacing, 0.0};
+  }
+  return pts;
+}
+
+TEST(SpectrumTest, SubchannelWidth) {
+  const Spectrum spectrum(20e6, 3);
+  EXPECT_NEAR(spectrum.subchannel_bandwidth_hz(), 20e6 / 3.0, 1e-6);
+  EXPECT_EQ(spectrum.num_subchannels(), 3u);
+}
+
+TEST(SpectrumTest, RejectsBadArguments) {
+  EXPECT_THROW(Spectrum(0.0, 3), InvalidArgumentError);
+  EXPECT_THROW(Spectrum(20e6, 0), InvalidArgumentError);
+}
+
+TEST(ChannelModelTest, ShapeMatchesInputs) {
+  ChannelModel model = make_paper_channel();
+  Rng rng(1);
+  const auto gains =
+      model.generate(grid_points(5, 300.0), grid_points(3, 1000.0), 4, rng);
+  EXPECT_EQ(gains.dim0(), 5u);
+  EXPECT_EQ(gains.dim1(), 3u);
+  EXPECT_EQ(gains.dim2(), 4u);
+}
+
+TEST(ChannelModelTest, GainsPositiveAndFinite) {
+  ChannelModel model = make_paper_channel();
+  Rng rng(2);
+  const auto gains =
+      model.generate(grid_points(10, 137.0), grid_points(4, 900.0), 3, rng);
+  for (std::size_t u = 0; u < 10; ++u) {
+    for (std::size_t s = 0; s < 4; ++s) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        ASSERT_GT(gains(u, s, j), 0.0);
+        ASSERT_TRUE(std::isfinite(gains(u, s, j)));
+      }
+    }
+  }
+}
+
+TEST(ChannelModelTest, NoFadingMeansEqualGainAcrossSubchannels) {
+  ChannelModel model = make_paper_channel();  // rayleigh_fading = false
+  Rng rng(3);
+  const auto gains =
+      model.generate(grid_points(4, 250.0), grid_points(2, 1000.0), 5, rng);
+  for (std::size_t u = 0; u < 4; ++u) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      for (std::size_t j = 1; j < 5; ++j) {
+        EXPECT_DOUBLE_EQ(gains(u, s, j), gains(u, s, 0));
+      }
+    }
+  }
+}
+
+TEST(ChannelModelTest, RayleighFadingVariesAcrossSubchannels) {
+  ChannelConfig config;
+  config.rayleigh_fading = true;
+  ChannelModel model(make_paper_pathloss(), config);
+  Rng rng(4);
+  const auto gains =
+      model.generate(grid_points(2, 400.0), grid_points(2, 1000.0), 4, rng);
+  EXPECT_NE(gains(0, 0, 0), gains(0, 0, 1));
+}
+
+TEST(ChannelModelTest, ShadowingMedianMatchesMeanPathloss) {
+  // With sigma = 8 dB, the median (in dB) of many draws of one link equals
+  // the deterministic path loss; test via the mean of the dB gains.
+  ChannelModel model = make_paper_channel();
+  const geo::Point user{500.0, 0.0};
+  const geo::Point bs{0.0, 0.0};
+  Rng rng(5);
+  Accumulator db_gain;
+  for (int i = 0; i < 5000; ++i) {
+    const auto gains = model.generate({user}, {bs}, 1, rng);
+    db_gain.add(units::linear_to_db(gains(0, 0, 0)));
+  }
+  const double expected_db = -make_paper_pathloss()->loss_db(500.0);
+  EXPECT_NEAR(db_gain.mean(), expected_db, 0.5);
+  EXPECT_NEAR(db_gain.stddev(), 8.0, 0.3);
+}
+
+TEST(ChannelModelTest, ZeroShadowingIsDeterministic) {
+  ChannelConfig config;
+  config.shadowing_sigma_db = 0.0;
+  ChannelModel model(make_paper_pathloss(), config);
+  Rng rng(6);
+  const geo::Point user{750.0, 0.0};
+  const geo::Point bs{0.0, 0.0};
+  const auto gains = model.generate({user}, {bs}, 1, rng);
+  EXPECT_NEAR(gains(0, 0, 0), model.mean_gain(user, bs), 1e-20);
+}
+
+TEST(ChannelModelTest, MeanGainDecreasesWithDistance) {
+  ChannelModel model = make_paper_channel();
+  const geo::Point bs{0.0, 0.0};
+  double prev = model.mean_gain({100.0, 0.0}, bs);
+  for (double d = 200.0; d <= 3000.0; d += 100.0) {
+    const double cur = model.mean_gain({d, 0.0}, bs);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(ChannelModelTest, CopyPreservesBehaviour) {
+  ChannelModel model = make_paper_channel();
+  const ChannelModel copy(model);
+  EXPECT_DOUBLE_EQ(copy.mean_gain({321.0, 0.0}, {0.0, 0.0}),
+                   model.mean_gain({321.0, 0.0}, {0.0, 0.0}));
+}
+
+TEST(ChannelModelTest, RejectsNullPathloss) {
+  EXPECT_THROW(ChannelModel(nullptr, ChannelConfig{}), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace tsajs::radio

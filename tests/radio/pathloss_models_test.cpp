@@ -1,0 +1,88 @@
+#include "radio/pathloss_models.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace tsajs::radio {
+namespace {
+
+TEST(TwoRayTest, SlopesOnEachSideOfBreakpoint) {
+  const TwoRayPathLoss model(100.0, 500.0);
+  // Below the breakpoint: 20 dB/decade.
+  EXPECT_NEAR(model.loss_db(500.0) - model.loss_db(50.0), 20.0, 1e-9);
+  // Above it: 40 dB/decade.
+  EXPECT_NEAR(model.loss_db(5000.0) - model.loss_db(500.0), 40.0, 1e-9);
+}
+
+TEST(TwoRayTest, ContinuousAtBreakpoint) {
+  const TwoRayPathLoss model(100.0, 500.0);
+  EXPECT_NEAR(model.loss_db(500.0 - 1e-6), model.loss_db(500.0 + 1e-6),
+              1e-6);
+  EXPECT_NEAR(model.loss_db(500.0), 100.0, 1e-9);
+}
+
+TEST(TwoRayTest, RejectsBadParameters) {
+  EXPECT_THROW(TwoRayPathLoss(100.0, 0.0), InvalidArgumentError);
+  EXPECT_THROW(TwoRayPathLoss(100.0, 500.0, 0.0), InvalidArgumentError);
+}
+
+TEST(TwoRayTest, CloneBehavesIdentically) {
+  const TwoRayPathLoss model(95.0, 300.0);
+  const auto copy = model.clone();
+  for (const double d : {10.0, 300.0, 2000.0}) {
+    EXPECT_DOUBLE_EQ(copy->loss_db(d), model.loss_db(d));
+  }
+}
+
+TEST(LosProbabilityTest, BoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(ProbabilisticLosPathLoss::los_probability(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ProbabilisticLosPathLoss::los_probability(18.0), 1.0);
+  // Far links are almost surely NLOS.
+  EXPECT_LT(ProbabilisticLosPathLoss::los_probability(2000.0), 0.02);
+}
+
+TEST(LosProbabilityTest, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double d = 20.0; d <= 3000.0; d += 20.0) {
+    const double p = ProbabilisticLosPathLoss::los_probability(d);
+    EXPECT_LE(p, prev + 1e-12);
+    EXPECT_GE(p, 0.0);
+    prev = p;
+  }
+}
+
+TEST(ProbabilisticLosTest, BlendsBetweenSubmodels) {
+  const auto blend = make_uma_blend_pathloss();
+  const FreeSpacePathLoss los(2.0e9);
+  const auto nlos = make_paper_pathloss();
+  for (const double d : {50.0, 200.0, 800.0, 2500.0}) {
+    const double loss = blend->loss_db(d);
+    EXPECT_GE(loss, los.loss_db(d) - 1e-9) << d;
+    EXPECT_LE(loss, nlos->loss_db(d) + 1e-9) << d;
+  }
+}
+
+TEST(ProbabilisticLosTest, ApproachesNlosAtDistance) {
+  const auto blend = make_uma_blend_pathloss();
+  const auto nlos = make_paper_pathloss();
+  EXPECT_NEAR(blend->loss_db(3000.0), nlos->loss_db(3000.0), 0.5);
+}
+
+TEST(ProbabilisticLosTest, RejectsNullSubmodels) {
+  EXPECT_THROW(
+      ProbabilisticLosPathLoss(nullptr, make_paper_pathloss()),
+      InvalidArgumentError);
+  EXPECT_THROW(
+      ProbabilisticLosPathLoss(make_paper_pathloss(), nullptr),
+      InvalidArgumentError);
+}
+
+TEST(ProbabilisticLosTest, CopyAndCloneIndependent) {
+  const auto blend = make_uma_blend_pathloss();
+  const auto copy = blend->clone();
+  EXPECT_DOUBLE_EQ(copy->loss_db(700.0), blend->loss_db(700.0));
+}
+
+}  // namespace
+}  // namespace tsajs::radio
