@@ -4,8 +4,10 @@
 // solves of each scheme on the default network.
 #include <benchmark/benchmark.h>
 
+#include "algo/neighborhood.h"
 #include "algo/registry.h"
 #include "algo/scheduler.h"
+#include "jtora/incremental.h"
 #include "jtora/utility.h"
 #include "mec/scenario_builder.h"
 
@@ -79,6 +81,45 @@ void BM_NeighborhoodStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NeighborhoodStep);
+
+// Cost of *rejecting* one annealer proposal on the preview/commit protocol:
+// propose, preview, discard. Nothing is mutated, so there is nothing to undo.
+void BM_IncrementalPreviewReject(benchmark::State& state) {
+  const mec::Scenario scenario =
+      default_scenario(static_cast<std::size_t>(state.range(0)));
+  const algo::Neighborhood neighborhood(scenario);
+  Rng rng(8);
+  const jtora::Assignment x =
+      algo::random_feasible_assignment(scenario, rng, 0.5);
+  jtora::IncrementalEvaluator inc(scenario, x);
+  inc.set_undo_logging(false);
+  algo::Neighborhood::Move move;
+  for (auto _ : state) {
+    move = neighborhood.propose(inc, rng);
+    benchmark::DoNotOptimize(neighborhood.preview(inc, move));
+  }
+}
+BENCHMARK(BM_IncrementalPreviewReject)->Arg(30)->Arg(90);
+
+// The same rejected proposal on the legacy protocol: apply the move, read
+// the utility, roll it back. This is what the annealer paid per rejection
+// before the preview API existed.
+void BM_IncrementalApplyRollback(benchmark::State& state) {
+  const mec::Scenario scenario =
+      default_scenario(static_cast<std::size_t>(state.range(0)));
+  const algo::Neighborhood neighborhood(scenario);
+  Rng rng(8);
+  const jtora::Assignment x =
+      algo::random_feasible_assignment(scenario, rng, 0.5);
+  jtora::IncrementalEvaluator inc(scenario, x);
+  for (auto _ : state) {
+    const std::size_t mark = inc.checkpoint();
+    neighborhood.step(inc, rng);
+    benchmark::DoNotOptimize(inc.utility());
+    inc.rollback(mark);
+  }
+}
+BENCHMARK(BM_IncrementalApplyRollback)->Arg(30)->Arg(90);
 
 void BM_AssignmentCopy(benchmark::State& state) {
   const mec::Scenario scenario = default_scenario(90);

@@ -1,14 +1,19 @@
 #include "algo/multi_start.h"
 
+#include <cstdint>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace tsajs::algo {
 
 MultiStartScheduler::MultiStartScheduler(std::unique_ptr<Scheduler> inner,
-                                         std::size_t restarts)
-    : inner_(std::move(inner)), restarts_(restarts) {
+                                         std::size_t restarts,
+                                         std::size_t num_threads)
+    : inner_(std::move(inner)), restarts_(restarts), num_threads_(num_threads) {
   TSAJS_REQUIRE(inner_ != nullptr, "multi-start needs an inner scheduler");
   TSAJS_REQUIRE(restarts >= 1, "need at least one restart");
 }
@@ -19,14 +24,34 @@ std::string MultiStartScheduler::name() const {
 
 ScheduleResult MultiStartScheduler::schedule(const mec::Scenario& scenario,
                                              Rng& rng) const {
+  // Derive every child seed up front, in restart order. This is the only
+  // point that touches the caller's rng, so the seed stream — and therefore
+  // each restart's entire run — is independent of how restarts are executed.
+  std::vector<std::uint64_t> seeds(restarts_);
+  for (std::size_t r = 0; r < restarts_; ++r) seeds[r] = rng.derive_seed(r);
+
+  std::vector<std::optional<ScheduleResult>> results(restarts_);
+  const auto run_restart = [&](std::size_t r) {
+    Rng child(seeds[r]);
+    results[r] = inner_->schedule(scenario, child);
+  };
+  if (num_threads_ != 1 && restarts_ > 1) {
+    ThreadPool pool(num_threads_);
+    pool.parallel_for(restarts_, run_restart);
+  } else {
+    for (std::size_t r = 0; r < restarts_; ++r) run_restart(r);
+  }
+
+  // Reduce in restart order: the lowest-index restart wins utility ties,
+  // matching the sequential loop exactly.
   std::optional<ScheduleResult> best;
   std::size_t evaluations = 0;
   for (std::size_t r = 0; r < restarts_; ++r) {
-    Rng child(rng.derive_seed(r));
-    ScheduleResult result = inner_->schedule(scenario, child);
-    evaluations += result.evaluations;
-    if (!best.has_value() || result.system_utility > best->system_utility) {
-      best = std::move(result);
+    TSAJS_CHECK(results[r].has_value(), "restart result missing");
+    evaluations += results[r]->evaluations;
+    if (!best.has_value() ||
+        results[r]->system_utility > best->system_utility) {
+      best = std::move(*results[r]);
     }
   }
   best->evaluations = evaluations;

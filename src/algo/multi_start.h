@@ -4,6 +4,13 @@
 // the cheapest variance reduction is to run R independent restarts and keep
 // the best decision. This wrapper does that generically (TSAJS by default),
 // deriving a child RNG per restart so results stay reproducible.
+//
+// Restarts are embarrassingly parallel: with `num_threads != 1` they run on
+// a ThreadPool. The per-restart seeds are derived up front in restart order
+// (`rng.derive_seed(0..R-1)`) and the reduction scans results in restart
+// order, so the parallel path is **bit-identical** to the sequential one —
+// same seeds, same winner, same tie-breaks — regardless of thread count or
+// completion order.
 #pragma once
 
 #include <memory>
@@ -15,17 +22,25 @@ namespace tsajs::algo {
 class MultiStartScheduler final : public Scheduler {
  public:
   /// Wraps `inner`, running it `restarts` times per schedule() call.
-  MultiStartScheduler(std::unique_ptr<Scheduler> inner, std::size_t restarts);
+  /// `num_threads` controls restart parallelism: 1 (default) runs
+  /// sequentially, 0 uses the hardware concurrency, any other value that
+  /// many workers. Results are identical for every setting.
+  MultiStartScheduler(std::unique_ptr<Scheduler> inner, std::size_t restarts,
+                      std::size_t num_threads = 1);
 
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] ScheduleResult schedule(const mec::Scenario& scenario,
                                         Rng& rng) const override;
 
   [[nodiscard]] std::size_t restarts() const noexcept { return restarts_; }
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return num_threads_;
+  }
 
  private:
   std::unique_ptr<Scheduler> inner_;
   std::size_t restarts_;
+  std::size_t num_threads_;
 };
 
 }  // namespace tsajs::algo

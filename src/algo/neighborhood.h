@@ -16,10 +16,20 @@
 //    slot's occupant to local execution, which keeps every intermediate
 //    state feasible under constraint (12d).
 //
-// `step` is generic over the decision type: it drives either a plain
-// jtora::Assignment or a jtora::IncrementalEvaluator (which maintains the
-// objective while being mutated) — both expose the same mutation/query
-// surface.
+// The draw is split into three stages so the annealer can reject proposals
+// without ever mutating state:
+//
+//   propose()    consumes the RNG and returns a compact `Move` description
+//                (read-only queries against the decision, no mutation);
+//   preview()    asks a jtora::IncrementalEvaluator for the candidate
+//                utility of a `Move` (read-only);
+//   apply_move() executes a `Move` against any decision type.
+//
+// `step(d, rng)` ≡ `apply_move(d, propose(d, rng))` — the classic
+// mutate-in-place entry point, generic over the decision type: it drives
+// either a plain jtora::Assignment or a jtora::IncrementalEvaluator (which
+// maintains the objective while being mutated) — both expose the same
+// mutation/query surface, and both paths consume identical RNG streams.
 #pragma once
 
 #include <cstddef>
@@ -45,26 +55,100 @@ struct NeighborhoodConfig {
 
 class Neighborhood {
  public:
+  /// One drawn perturbation, in primitive form. `kReplace` evicts the
+  /// occupant of (server, subchannel) to local execution before `user`
+  /// takes the slot; the other kinds are single-user primitives.
+  struct Move {
+    enum class Kind : unsigned char {
+      kNone,       ///< the draw degenerated (e.g. S == 1); nothing to do
+      kOffload,    ///< user -> (server, subchannel); slot is free
+      kMakeLocal,  ///< user goes local
+      kSwap,       ///< user and other exchange slots
+      kReplace,    ///< evict occupant of (server, subchannel), place user
+    };
+    Kind kind = Kind::kNone;
+    std::size_t user = 0;
+    std::size_t other = 0;  ///< swap partner (kSwap only)
+    std::size_t server = 0;
+    std::size_t subchannel = 0;
+  };
+
   explicit Neighborhood(const mec::Scenario& scenario,
                         NeighborhoodConfig config = {});
+
+  /// Draws a random neighbor of `decision` without mutating it. Consumes
+  /// exactly the same RNG stream as step() so proposal sequences are
+  /// identical across the preview and mutate-in-place protocols.
+  template <typename Decision>
+  [[nodiscard]] Move propose(const Decision& decision, Rng& rng) const {
+    const auto u =
+        static_cast<std::size_t>(rng.uniform_index(scenario_->num_users()));
+    const double r = rng.uniform();
+    if (r < config_.toggle_prob) return propose_toggle(decision, u, rng);
+    if (r < config_.toggle_prob + config_.swap_prob) {
+      return propose_swap(decision, u, rng);
+    }
+    // "move": split between server move and sub-channel move.
+    if (rng.uniform() < config_.move_server_share) {
+      return propose_move_server(decision, u, rng);
+    }
+    return propose_move_subchannel(decision, u, rng);
+  }
+
+  /// Candidate utility of `move` from a read-only evaluator (anything with
+  /// the IncrementalEvaluator preview surface). Does not mutate.
+  template <typename Evaluator>
+  [[nodiscard]] double preview(const Evaluator& evaluator,
+                               const Move& move) const {
+    switch (move.kind) {
+      case Move::Kind::kNone:
+        return evaluator.utility();
+      case Move::Kind::kOffload:
+        return evaluator.preview_offload(move.user, move.server,
+                                         move.subchannel);
+      case Move::Kind::kMakeLocal:
+        return evaluator.preview_make_local(move.user);
+      case Move::Kind::kSwap:
+        return evaluator.preview_swap(move.user, move.other);
+      case Move::Kind::kReplace:
+        return evaluator.preview_replace(move.user, move.server,
+                                         move.subchannel);
+    }
+    return evaluator.utility();  // unreachable
+  }
+
+  /// Executes `move` against `decision`. Returns false for kNone.
+  template <typename Decision>
+  bool apply_move(Decision& decision, const Move& move) const {
+    switch (move.kind) {
+      case Move::Kind::kNone:
+        return false;
+      case Move::Kind::kOffload:
+        decision.offload(move.user, move.server, move.subchannel);
+        return true;
+      case Move::Kind::kMakeLocal:
+        decision.make_local(move.user);
+        return true;
+      case Move::Kind::kSwap:
+        decision.swap(move.user, move.other);
+        return true;
+      case Move::Kind::kReplace: {
+        const auto occupant = decision.occupant(move.server, move.subchannel);
+        TSAJS_CHECK(occupant.has_value(), "replace move expects an occupant");
+        decision.make_local(*occupant);
+        decision.offload(move.user, move.server, move.subchannel);
+        return true;
+      }
+    }
+    return false;
+  }
 
   /// Mutates `decision` into a random neighbor. Returns false when the
   /// drawn operation was a no-op (e.g. S == 1 so no other server exists);
   /// callers typically just re-evaluate regardless.
   template <typename Decision>
   bool step(Decision& decision, Rng& rng) const {
-    const auto u =
-        static_cast<std::size_t>(rng.uniform_index(scenario_->num_users()));
-    const double r = rng.uniform();
-    if (r < config_.toggle_prob) return toggle(decision, u, rng);
-    if (r < config_.toggle_prob + config_.swap_prob) {
-      return swap_users(decision, u, rng);
-    }
-    // "move": split between server move and sub-channel move.
-    if (rng.uniform() < config_.move_server_share) {
-      return move_to_other_server(decision, u, rng);
-    }
-    return move_to_other_subchannel(decision, u, rng);
+    return apply_move(decision, propose(decision, rng));
   }
 
   [[nodiscard]] const NeighborhoodConfig& config() const noexcept {
@@ -72,31 +156,29 @@ class Neighborhood {
   }
 
  private:
-  /// Assigns `u` to a sub-channel of `s`: a random free one, else evicts a
-  /// random occupant (constraint-preserving reading of Alg. 2 lines 9/13).
+  /// Picks a sub-channel of `s` for `u`: a random free one (kOffload), else
+  /// a random occupied one to evict (kReplace) — the constraint-preserving
+  /// reading of Alg. 2 lines 9/13.
   template <typename Decision>
-  void place_on_server(Decision& decision, std::size_t u, std::size_t s,
-                       Rng& rng) const {
+  Move propose_place(const Decision& decision, std::size_t u, std::size_t s,
+                     Rng& rng) const {
     if (const auto j = decision.random_free_subchannel(s, rng);
         j.has_value()) {
-      decision.offload(u, s, *j);
-      return;
+      return {Move::Kind::kOffload, u, 0, s, *j};
     }
     // No free sub-channel: evict a random occupant (Alg. 2 "allocate one
     // randomly if none are free", feasibility-preserving reading).
-    const auto j = rng.uniform_index(scenario_->num_subchannels());
-    const auto occupant = decision.occupant(s, static_cast<std::size_t>(j));
-    TSAJS_CHECK(occupant.has_value(), "full server must have occupants");
-    decision.make_local(*occupant);
-    decision.offload(u, s, static_cast<std::size_t>(j));
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_index(scenario_->num_subchannels()));
+    return {Move::Kind::kReplace, u, 0, s, j};
   }
 
   template <typename Decision>
-  bool move_to_other_server(Decision& decision, std::size_t u,
-                            Rng& rng) const {
+  Move propose_move_server(const Decision& decision, std::size_t u,
+                           Rng& rng) const {
     const std::size_t num_servers = scenario_->num_servers();
     const auto slot = decision.slot_of(u);
-    if (slot.has_value() && num_servers == 1) return false;
+    if (slot.has_value() && num_servers == 1) return {};
     std::size_t target;
     if (slot.has_value()) {
       // Uniform over servers other than the current one.
@@ -106,69 +188,60 @@ class Neighborhood {
       // Local user: the "move" degenerates to offloading somewhere random.
       target = static_cast<std::size_t>(rng.uniform_index(num_servers));
     }
-    place_on_server(decision, u, target, rng);
-    return true;
+    return propose_place(decision, u, target, rng);
   }
 
   template <typename Decision>
-  bool move_to_other_subchannel(Decision& decision, std::size_t u,
-                                Rng& rng) const {
+  Move propose_move_subchannel(const Decision& decision, std::size_t u,
+                               Rng& rng) const {
     const std::size_t num_subchannels = scenario_->num_subchannels();
-    if (num_subchannels <= 1) return false;  // Alg. 2's K > 1 guard.
+    if (num_subchannels <= 1) return {};  // Alg. 2's K > 1 guard.
     const auto slot = decision.slot_of(u);
     if (!slot.has_value()) {
       // Local user: offload to a random server instead (DESIGN.md §5).
-      const auto s = rng.uniform_index(scenario_->num_servers());
-      place_on_server(decision, u, static_cast<std::size_t>(s), rng);
-      return true;
+      const auto s = static_cast<std::size_t>(
+          rng.uniform_index(scenario_->num_servers()));
+      return propose_place(decision, u, s, rng);
     }
     const std::size_t s = slot->server;
     // Prefer a free sub-channel different from the current one.
     const std::vector<std::size_t> free = decision.free_subchannels(s);
     if (!free.empty()) {
       const std::size_t j = free[rng.uniform_index(free.size())];
-      decision.make_local(u);
-      decision.offload(u, s, j);
-      return true;
+      return {Move::Kind::kOffload, u, 0, s, j};
     }
     // Server full: pick a random other sub-channel and evict its occupant.
     auto j = rng.uniform_index(num_subchannels - 1);
     if (j >= slot->subchannel) ++j;
-    const auto occupant = decision.occupant(s, static_cast<std::size_t>(j));
-    TSAJS_CHECK(occupant.has_value(), "full server must have occupants");
-    decision.make_local(*occupant);
-    decision.make_local(u);
-    decision.offload(u, s, static_cast<std::size_t>(j));
-    return true;
+    return {Move::Kind::kReplace, u, 0, s, static_cast<std::size_t>(j)};
   }
 
   template <typename Decision>
-  bool swap_users(Decision& decision, std::size_t u, Rng& rng) const {
+  Move propose_swap(const Decision& decision, std::size_t u, Rng& rng) const {
+    (void)decision;
     const std::size_t num_users = scenario_->num_users();
-    if (num_users < 2) return false;
+    if (num_users < 2) return {};
     auto other = rng.uniform_index(num_users - 1);
     if (other >= u) ++other;
-    decision.swap(u, static_cast<std::size_t>(other));
-    return true;
+    return {Move::Kind::kSwap, u, static_cast<std::size_t>(other), 0, 0};
   }
 
   template <typename Decision>
-  bool toggle(Decision& decision, std::size_t u, Rng& rng) const {
+  Move propose_toggle(const Decision& decision, std::size_t u,
+                      Rng& rng) const {
     if (decision.is_offloaded(u)) {
-      decision.make_local(u);
-      return true;
+      return {Move::Kind::kMakeLocal, u, 0, 0, 0};
     }
     // Offload to a random server with a free sub-channel, if any.
     std::vector<std::size_t> candidates;
     for (std::size_t s = 0; s < scenario_->num_servers(); ++s) {
       if (!decision.free_subchannels(s).empty()) candidates.push_back(s);
     }
-    if (candidates.empty()) return false;
+    if (candidates.empty()) return {};
     const std::size_t s = candidates[rng.uniform_index(candidates.size())];
     const auto j = decision.random_free_subchannel(s, rng);
     TSAJS_CHECK(j.has_value(), "candidate server must have a free channel");
-    decision.offload(u, s, *j);
-    return true;
+    return {Move::Kind::kOffload, u, 0, s, *j};
   }
 
   const mec::Scenario* scenario_;

@@ -43,8 +43,9 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
   if (name == "tsajs-x4") {
     TsajsConfig config;
     config.chain_length = options.chain_length;
+    config.use_incremental_evaluator = options.incremental_evaluator;
     return std::make_unique<MultiStartScheduler>(
-        std::make_unique<TsajsScheduler>(config), 4);
+        std::make_unique<TsajsScheduler>(config), 4, options.threads);
   }
   throw NotFoundError("unknown scheduler: " + name);
 }

@@ -21,6 +21,10 @@ struct RegistryOptions {
   /// literal per-iteration full recompute of Eqs. 22/24. Results are
   /// identical; only the runtime profile differs (relevant to Fig. 8).
   bool incremental_evaluator = true;
+  /// Worker threads for multi-start wrappers ("tsajs-x4"): 1 = sequential
+  /// (default), 0 = hardware concurrency. Restart results are bit-identical
+  /// for every setting; only the wall clock changes.
+  std::size_t threads = 1;
 };
 
 /// Creates a scheduler by name: "tsajs", "tsajs-geo" (geometric-cooling

@@ -37,13 +37,15 @@ std::string TsajsScheduler::name() const {
 namespace {
 
 // The annealing loop, generic over the evaluation strategy. `Propose` takes
-// (rng) and returns the candidate utility; `Commit`/`Reject` finalize the
-// proposal; `Snapshot` returns the current assignment by value.
-template <typename Propose, typename Commit, typename Reject,
-          typename Snapshot>
+// (rng) and returns the candidate utility without changing the current
+// state; `Commit` realizes the last proposal and returns the utility
+// actually reached (the evaluation strategy's own bookkeeping value);
+// `Snapshot` returns the current assignment by value. Rejection is free by
+// construction: an unrealized proposal leaves no trace.
+template <typename Propose, typename Commit, typename Snapshot>
 ScheduleResult anneal(const mec::Scenario& scenario, const TsajsConfig& config,
                       Rng& rng, double initial_utility, Propose&& propose,
-                      Commit&& commit, Reject&& reject, Snapshot&& snapshot) {
+                      Commit&& commit, Snapshot&& snapshot) {
   // Algorithm 1 lines 3-4: temperature schedule parameters.
   double temperature = config.initial_temperature.value_or(
       static_cast<double>(scenario.num_subchannels()));
@@ -64,20 +66,17 @@ ScheduleResult anneal(const mec::Scenario& scenario, const TsajsConfig& config,
 
       const double delta = candidate_utility - current_utility;
       if (delta > 0.0) {
-        commit();
-        current_utility = candidate_utility;
+        current_utility = commit();
         if (current_utility > result.system_utility) {
           result.assignment = snapshot();
           result.system_utility = current_utility;
         }
       } else if (std::exp(delta / temperature) > rng.uniform()) {
         // Lines 20-22: accept a worse solution, count it.
-        commit();
-        current_utility = candidate_utility;
+        current_utility = commit();
         ++worse_accept_count;
-      } else {
-        reject();
       }
+      // else: reject — the unrealized proposal simply evaporates.
     }
     // Lines 26-30: threshold-triggered cooling.
     if (config.cooling == CoolingMode::kGeometric) {
@@ -102,34 +101,47 @@ ScheduleResult TsajsScheduler::schedule(const mec::Scenario& scenario,
       random_feasible_assignment(scenario, rng, config_.initial_offload_prob);
 
   if (config_.use_incremental_evaluator) {
+    // Preview/commit protocol: propose() only *describes* the move and
+    // previews its utility from the flattened caches; nothing is mutated
+    // until the annealer accepts, so rejected proposals cost no
+    // apply+rollback round trip and no undo bookkeeping.
     jtora::IncrementalEvaluator state(scenario, initial);
-    std::size_t mark = 0;
+    state.set_undo_logging(false);
+    state.set_rebuild_interval(config_.rebuild_interval);
+    Neighborhood::Move move;
     return anneal(
         scenario, config_, rng, state.utility(),
         /*propose=*/
         [&](Rng& r) {
-          mark = state.checkpoint();
-          neighborhood.step(state, r);
+          move = neighborhood.propose(state, r);
+          return neighborhood.preview(state, move);
+        },
+        /*commit=*/
+        [&] {
+          neighborhood.apply_move(state, move);
           return state.utility();
         },
-        /*commit=*/[] {},
-        /*reject=*/[&] { state.rollback(mark); },
         /*snapshot=*/[&] { return state.assignment(); });
   }
 
   const jtora::UtilityEvaluator evaluator(scenario);
   jtora::Assignment current = initial;
   jtora::Assignment candidate = current;
+  double candidate_utility = 0.0;
   return anneal(
       scenario, config_, rng, evaluator.system_utility(current),
       /*propose=*/
       [&](Rng& r) {
         candidate = current;
         neighborhood.step(candidate, r);
-        return evaluator.system_utility(candidate);
+        candidate_utility = evaluator.system_utility(candidate);
+        return candidate_utility;
       },
-      /*commit=*/[&] { current = candidate; },
-      /*reject=*/[] {},
+      /*commit=*/
+      [&] {
+        current = candidate;
+        return candidate_utility;
+      },
       /*snapshot=*/[&] { return current; });
 }
 

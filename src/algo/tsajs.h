@@ -48,9 +48,16 @@ struct TsajsConfig {
   CoolingMode cooling = CoolingMode::kThresholdTriggered;
   NeighborhoodConfig neighborhood;
   /// Evaluate proposals with the O(co-channel) incremental evaluator
-  /// instead of a full recompute. Identical results (a property test pins
-  /// the two evaluators to each other); ~5-10x faster solves.
+  /// instead of a full recompute: every proposal is *previewed* read-only
+  /// and only accepted moves are applied, so rejected moves (the vast
+  /// majority at low temperature) cost a single pass over the affected
+  /// co-channel users. Identical results (a property test pins the two
+  /// evaluators to each other); order-of-magnitude faster solves.
   bool use_incremental_evaluator = true;
+  /// Commits between automatic full rebuilds of the incremental evaluator
+  /// (0 disables). Bounds floating-point drift of its running sums on long
+  /// annealing chains; the default rebuild is amortized to noise.
+  std::size_t rebuild_interval = 4096;
 
   void validate() const;
 };

@@ -92,6 +92,14 @@ std::int64_t CliParser::get_int(const std::string& name) const {
   return result;
 }
 
+std::uint64_t CliParser::get_uint(const std::string& name) const {
+  const std::int64_t value = get_int(name);
+  TSAJS_REQUIRE(value >= 0,
+                "--" + name + ": must be non-negative, got " +
+                    std::to_string(value));
+  return static_cast<std::uint64_t>(value);
+}
+
 double CliParser::get_double(const std::string& name) const {
   const std::string text = get_string(name);
   std::size_t consumed = 0;

@@ -30,6 +30,9 @@ class CliParser {
 
   [[nodiscard]] std::string get_string(const std::string& name) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  /// Like get_int but rejects negative values; for counts (threads, trials,
+  /// chain lengths) that would otherwise wrap when cast to unsigned.
+  [[nodiscard]] std::uint64_t get_uint(const std::string& name) const;
   [[nodiscard]] double get_double(const std::string& name) const;
   [[nodiscard]] bool get_bool(const std::string& name) const;
 

@@ -44,15 +44,20 @@ void ThreadPool::parallel_for(std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(submit([&fn, i] { fn(i); }));
   }
-  std::exception_ptr first_error;
+  // Drain every future before rethrowing: all tasks must have finished when
+  // parallel_for returns (callers' captured state dies with the frame). The
+  // index-ordered scan makes the propagated exception the *lowest-index*
+  // failure, deterministically, no matter which worker threw first on the
+  // wall clock.
+  std::exception_ptr lowest_index_error;
   for (auto& future : futures) {
     try {
       future.get();
     } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+      if (!lowest_index_error) lowest_index_error = std::current_exception();
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (lowest_index_error) std::rethrow_exception(lowest_index_error);
 }
 
 }  // namespace tsajs

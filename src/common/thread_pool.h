@@ -42,8 +42,10 @@ class ThreadPool {
     return result;
   }
 
-  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
-  /// Exceptions from tasks are rethrown (the first one encountered).
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for *all* tasks
+  /// to finish. If any tasks threw, the exception of the lowest-index
+  /// failing task is rethrown — a deterministic choice, independent of the
+  /// temporal order in which workers hit their errors.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

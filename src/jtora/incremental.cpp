@@ -11,7 +11,10 @@ IncrementalEvaluator::IncrementalEvaluator(const mec::Scenario& scenario,
     : scenario_(&scenario),
       evaluator_(scenario),
       rates_(scenario),
-      x_(initial) {
+      x_(initial),
+      num_servers_(scenario.num_servers()),
+      num_subchannels_(scenario.num_subchannels()),
+      noise_w_(scenario.noise_w()) {
   const std::size_t num_users = scenario.num_users();
   const double w = scenario.subchannel_bandwidth_hz();
   user_gain_.assign(num_users, 0.0);
@@ -19,7 +22,12 @@ IncrementalEvaluator::IncrementalEvaluator(const mec::Scenario& scenario,
   gain_const_.resize(num_users);
   gamma_coef_.resize(num_users);
   time_cost_scale_.resize(num_users);
-  server_sqrt_eta_.assign(scenario.num_servers(), 0.0);
+  server_sqrt_eta_.assign(num_servers_, 0.0);
+  server_count_.assign(num_servers_, 0);
+  server_cpu_.resize(num_servers_);
+  for (std::size_t s = 0; s < num_servers_; ++s) {
+    server_cpu_[s] = scenario.server(s).cpu_hz;
+  }
   for (std::size_t u = 0; u < num_users; ++u) {
     const mec::UserEquipment& ue = scenario.user(u);
     sqrt_eta_[u] = std::sqrt(eta(ue));
@@ -30,6 +38,32 @@ IncrementalEvaluator::IncrementalEvaluator(const mec::Scenario& scenario,
                        (ue.local_energy_j() * w);
     gamma_coef_[u] = phi + psi * ue.tx_power_w;
     time_cost_scale_[u] = ue.lambda * ue.beta_time / ue.local_time_s();
+    if (ue.task.output_bits > 0.0) has_downlink_ = true;
+  }
+  // Flattened per-(user, sub-channel, server) caches: the received signal
+  // power p_u * h_us^j behind every SINR read, and the constant downlink
+  // return times. Server-contiguous so co-channel sweeps are linear scans.
+  signal_.resize(num_users * num_subchannels_ * num_servers_);
+  for (std::size_t u = 0; u < num_users; ++u) {
+    const double p = scenario.user(u).tx_power_w;
+    for (std::size_t j = 0; j < num_subchannels_; ++j) {
+      double* row = signal_.data() + (u * num_subchannels_ + j) * num_servers_;
+      for (std::size_t s = 0; s < num_servers_; ++s) {
+        row[s] = p * scenario.gain(u, s, j);
+      }
+    }
+  }
+  if (has_downlink_) {
+    downlink_.resize(num_users * num_subchannels_ * num_servers_);
+    for (std::size_t u = 0; u < num_users; ++u) {
+      for (std::size_t j = 0; j < num_subchannels_; ++j) {
+        double* row =
+            downlink_.data() + (u * num_subchannels_ + j) * num_servers_;
+        for (std::size_t s = 0; s < num_servers_; ++s) {
+          row[s] = rates_.downlink_time_s(u, s, j);
+        }
+      }
+    }
   }
   rebuild();
 }
@@ -37,22 +71,23 @@ IncrementalEvaluator::IncrementalEvaluator(const mec::Scenario& scenario,
 void IncrementalEvaluator::rebuild() {
   gain_minus_gamma_ = 0.0;
   lambda_cost_ = 0.0;
-  server_sqrt_eta_.assign(scenario_->num_servers(), 0.0);
+  server_sqrt_eta_.assign(num_servers_, 0.0);
+  server_count_.assign(num_servers_, 0);
   user_gain_.assign(scenario_->num_users(), 0.0);
-  channel_power_ = Matrix2<double>(scenario_->num_servers(),
-                                   scenario_->num_subchannels(), 0.0);
+  channel_power_.assign(num_servers_ * num_subchannels_, 0.0);
   for (const std::size_t u : x_.offloaded_users()) {
     const Slot slot = *x_.slot_of(u);
     server_sqrt_eta_[slot.server] += sqrt_eta_[u];
+    ++server_count_[slot.server];
     add_channel_power(u, slot.subchannel, +1.0);
   }
   for (const std::size_t u : x_.offloaded_users()) {
     refresh_user_cost(u);
   }
-  for (std::size_t s = 0; s < scenario_->num_servers(); ++s) {
-    if (server_sqrt_eta_[s] > 0.0) {
-      lambda_cost_ += server_sqrt_eta_[s] * server_sqrt_eta_[s] /
-                      scenario_->server(s).cpu_hz;
+  for (std::size_t s = 0; s < num_servers_; ++s) {
+    if (server_count_[s] > 0) {
+      lambda_cost_ +=
+          server_sqrt_eta_[s] * server_sqrt_eta_[s] / server_cpu_[s];
     }
   }
   utility_ = gain_minus_gamma_ - lambda_cost_;
@@ -60,31 +95,39 @@ void IncrementalEvaluator::rebuild() {
 
 void IncrementalEvaluator::add_channel_power(std::size_t u, std::size_t j,
                                              double sign) {
-  const double p = scenario_->user(u).tx_power_w;
-  for (std::size_t s = 0; s < scenario_->num_servers(); ++s) {
-    channel_power_(s, j) += sign * p * scenario_->gain(u, s, j);
+  double* power = channel_power_.data() + j * num_servers_;
+  const double* sig =
+      signal_.data() + (u * num_subchannels_ + j) * num_servers_;
+  for (std::size_t s = 0; s < num_servers_; ++s) {
+    power[s] += sign * sig[s];
   }
+}
+
+double IncrementalEvaluator::gain_of(std::size_t u, std::size_t s,
+                                     std::size_t j,
+                                     double channel_power_total) const {
+  // O(1) SINR via the received-power cache (Eq. 3): everything arriving at
+  // this server on this sub-channel, minus the user's own signal, is
+  // interference. Intra-cell users are orthogonal by (12d), so the only
+  // same-channel co-users are in other cells — exactly Eq. 3's sum.
+  const double signal = signal_at(u, j, s);
+  const double interference = std::max(channel_power_total - signal, 0.0);
+  const double sinr = signal / (interference + noise_w_);
+  const double log_term = std::log2(1.0 + sinr);
+  double gain = gain_const_[u] - gamma_coef_[u] / log_term;
+  if (has_downlink_) {
+    gain -= time_cost_scale_[u] *
+            downlink_[(u * num_subchannels_ + j) * num_servers_ + s];
+  }
+  return gain;
 }
 
 void IncrementalEvaluator::refresh_user_cost(std::size_t u) {
   TSAJS_CHECK(x_.is_offloaded(u), "refresh_user_cost needs an offloader");
   const Slot slot = *x_.slot_of(u);
-  // O(1) SINR via the received-power cache (Eq. 3): everything arriving at
-  // this server on this sub-channel, minus the user's own signal, is
-  // interference. Intra-cell users are orthogonal by (12d), so the only
-  // same-channel co-users are in other cells — exactly Eq. 3's sum.
-  const double signal =
-      scenario_->user(u).tx_power_w *
-      scenario_->gain(u, slot.server, slot.subchannel);
-  const double interference = std::max(
-      channel_power_(slot.server, slot.subchannel) - signal, 0.0);
-  const double sinr = signal / (interference + scenario_->noise_w());
-  const double log_term = std::log2(1.0 + sinr);
-  double gain = gain_const_[u] - gamma_coef_[u] / log_term;
-  if (scenario_->user(u).task.output_bits > 0.0) {
-    gain -= time_cost_scale_[u] *
-            rates_.downlink_time_s(u, slot.server, slot.subchannel);
-  }
+  const double gain =
+      gain_of(u, slot.server, slot.subchannel,
+              channel_power_[slot.subchannel * num_servers_ + slot.server]);
   gain_minus_gamma_ += gain - user_gain_[u];
   user_gain_[u] = gain;
 }
@@ -96,7 +139,7 @@ void IncrementalEvaluator::drop_user_cost(std::size_t u) {
 
 void IncrementalEvaluator::refresh_cochannel(std::size_t j,
                                              std::optional<std::size_t> skip) {
-  for (std::size_t s = 0; s < scenario_->num_servers(); ++s) {
+  for (std::size_t s = 0; s < num_servers_; ++s) {
     const auto occupant = x_.occupant(s, j);
     if (!occupant.has_value()) continue;
     if (skip.has_value() && *occupant == *skip) continue;
@@ -107,22 +150,33 @@ void IncrementalEvaluator::refresh_cochannel(std::size_t j,
 void IncrementalEvaluator::server_add(std::size_t s, double sqrt_eta) {
   const double before = server_sqrt_eta_[s];
   const double after = before + sqrt_eta;
+  ++server_count_[s];
   server_sqrt_eta_[s] = after;
-  lambda_cost_ +=
-      (after * after - before * before) / scenario_->server(s).cpu_hz;
+  lambda_cost_ += (after * after - before * before) / server_cpu_[s];
 }
 
 void IncrementalEvaluator::server_remove(std::size_t s, double sqrt_eta) {
   const double before = server_sqrt_eta_[s];
-  const double after = before - sqrt_eta;
+  TSAJS_CHECK(server_count_[s] > 0, "server_remove on an empty server");
+  --server_count_[s];
+  // Snap to exact zero when the last user leaves: the subtraction chain
+  // would otherwise leave ~1-ulp residue that compounds over long runs.
+  const double after = server_count_[s] == 0 ? 0.0 : before - sqrt_eta;
   server_sqrt_eta_[s] = after;
-  lambda_cost_ +=
-      (after * after - before * before) / scenario_->server(s).cpu_hz;
+  lambda_cost_ += (after * after - before * before) / server_cpu_[s];
 }
 
-double IncrementalEvaluator::apply_make_local(std::size_t u) {
+void IncrementalEvaluator::note_commit() {
+  if (rebuild_interval_ == 0) return;
+  if (++commits_since_rebuild_ >= rebuild_interval_) {
+    rebuild();
+    commits_since_rebuild_ = 0;
+  }
+}
+
+void IncrementalEvaluator::do_make_local(std::size_t u) {
   const auto slot = x_.slot_of(u);
-  if (!slot.has_value()) return utility_;
+  if (!slot.has_value()) return;
   if (logging_) undo_log_.push_back({u, slot});
   drop_user_cost(u);
   server_remove(slot->server, sqrt_eta_[u]);
@@ -131,18 +185,17 @@ double IncrementalEvaluator::apply_make_local(std::size_t u) {
   // Users sharing the old sub-channel lost an interferer.
   refresh_cochannel(slot->subchannel, std::nullopt);
   utility_ = gain_minus_gamma_ - lambda_cost_;
-  return utility_;
 }
 
-double IncrementalEvaluator::apply_offload(std::size_t u, std::size_t s,
-                                           std::size_t j) {
+void IncrementalEvaluator::do_offload(std::size_t u, std::size_t s,
+                                      std::size_t j) {
   const auto old_slot = x_.slot_of(u);
   if (old_slot.has_value() && old_slot->server == s &&
       old_slot->subchannel == j) {
-    return utility_;
+    return;
   }
   if (old_slot.has_value()) {
-    apply_make_local(u);
+    do_make_local(u);
   }
   if (logging_) undo_log_.push_back({u, std::nullopt});
   x_.offload(u, s, j);
@@ -153,6 +206,18 @@ double IncrementalEvaluator::apply_offload(std::size_t u, std::size_t s,
   refresh_cochannel(j, u);
   refresh_user_cost(u);
   utility_ = gain_minus_gamma_ - lambda_cost_;
+}
+
+double IncrementalEvaluator::apply_make_local(std::size_t u) {
+  do_make_local(u);
+  note_commit();
+  return utility_;
+}
+
+double IncrementalEvaluator::apply_offload(std::size_t u, std::size_t s,
+                                           std::size_t j) {
+  do_offload(u, s, j);
+  note_commit();
   return utility_;
 }
 
@@ -160,33 +225,185 @@ double IncrementalEvaluator::apply_swap(std::size_t u1, std::size_t u2) {
   if (u1 == u2) return utility_;
   const auto slot1 = x_.slot_of(u1);
   const auto slot2 = x_.slot_of(u2);
-  apply_make_local(u1);
-  apply_make_local(u2);
+  do_make_local(u1);
+  do_make_local(u2);
   if (slot2.has_value()) {
-    apply_offload(u1, slot2->server, slot2->subchannel);
+    do_offload(u1, slot2->server, slot2->subchannel);
   }
   if (slot1.has_value()) {
-    apply_offload(u2, slot1->server, slot1->subchannel);
+    do_offload(u2, slot1->server, slot1->subchannel);
   }
+  note_commit();
   return utility_;
+}
+
+double IncrementalEvaluator::preview_changes(const SlotChange* changes,
+                                             std::size_t n) const {
+  TSAJS_CHECK(n >= 1 && n <= 2, "previews cover one- and two-user moves");
+
+  // ---- Lambda (Eq. 23) delta over the affected servers (≤ 4). ----
+  std::size_t srv[4];
+  double srv_delta[4];
+  int srv_count_delta[4];
+  std::size_t num_srv = 0;
+  const auto touch_server = [&](std::size_t s, double d, int dc) {
+    for (std::size_t i = 0; i < num_srv; ++i) {
+      if (srv[i] == s) {
+        srv_delta[i] += d;
+        srv_count_delta[i] += dc;
+        return;
+      }
+    }
+    srv[num_srv] = s;
+    srv_delta[num_srv] = d;
+    srv_count_delta[num_srv] = dc;
+    ++num_srv;
+  };
+  for (std::size_t c = 0; c < n; ++c) {
+    if (changes[c].from.has_value()) {
+      touch_server(changes[c].from->server, -sqrt_eta_[changes[c].user], -1);
+    }
+    if (changes[c].to.has_value()) {
+      touch_server(changes[c].to->server, +sqrt_eta_[changes[c].user], +1);
+    }
+  }
+  double lambda_delta = 0.0;
+  for (std::size_t i = 0; i < num_srv; ++i) {
+    const double before = server_sqrt_eta_[srv[i]];
+    const auto count_after =
+        static_cast<int>(server_count_[srv[i]]) + srv_count_delta[i];
+    // Mirror server_remove's exact-zero snap so preview matches apply.
+    const double after = count_after == 0 ? 0.0 : before + srv_delta[i];
+    lambda_delta += (after * after - before * before) / server_cpu_[srv[i]];
+  }
+
+  // ---- Gamma-side delta: moved users plus affected co-channel users. ----
+  // Received-power delta at (sub-channel j, server s) from the changes.
+  const auto power_delta = [&](std::size_t j, std::size_t s) {
+    double d = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (changes[c].from.has_value() && changes[c].from->subchannel == j) {
+        d -= signal_at(changes[c].user, j, s);
+      }
+      if (changes[c].to.has_value() && changes[c].to->subchannel == j) {
+        d += signal_at(changes[c].user, j, s);
+      }
+    }
+    return d;
+  };
+
+  double gain_delta = 0.0;
+  // Moved users: new gain at the target slot (or zero when going local).
+  for (std::size_t c = 0; c < n; ++c) {
+    const SlotChange& change = changes[c];
+    if (change.to.has_value()) {
+      const std::size_t s = change.to->server;
+      const std::size_t j = change.to->subchannel;
+      const double power =
+          channel_power_[j * num_servers_ + s] + power_delta(j, s);
+      gain_delta += gain_of(change.user, s, j, power) - user_gain_[change.user];
+    } else {
+      gain_delta -= user_gain_[change.user];
+    }
+  }
+  // Affected sub-channels, deduplicated (≤ 4).
+  std::size_t chan[4];
+  std::size_t num_chan = 0;
+  const auto touch_chan = [&](std::size_t j) {
+    for (std::size_t i = 0; i < num_chan; ++i) {
+      if (chan[i] == j) return;
+    }
+    chan[num_chan++] = j;
+  };
+  for (std::size_t c = 0; c < n; ++c) {
+    if (changes[c].from.has_value()) touch_chan(changes[c].from->subchannel);
+    if (changes[c].to.has_value()) touch_chan(changes[c].to->subchannel);
+  }
+  // Standing occupants of the affected sub-channels whose interference
+  // actually changes. A zero power delta (e.g. a same-channel server move)
+  // leaves the cached gain valid — those users are skipped, never re-derived.
+  for (std::size_t i = 0; i < num_chan; ++i) {
+    const std::size_t j = chan[i];
+    for (std::size_t s = 0; s < num_servers_; ++s) {
+      const double d = power_delta(j, s);
+      if (d == 0.0) continue;
+      const auto occupant = x_.occupant(s, j);
+      if (!occupant.has_value()) continue;
+      bool moved = false;
+      for (std::size_t c = 0; c < n; ++c) {
+        if (changes[c].user == *occupant) moved = true;
+      }
+      if (moved) continue;  // handled above (or vacated the slot)
+      gain_delta +=
+          gain_of(*occupant, s, j, channel_power_[j * num_servers_ + s] + d) -
+          user_gain_[*occupant];
+    }
+  }
+  return utility_ + gain_delta - lambda_delta;
+}
+
+double IncrementalEvaluator::preview_offload(std::size_t u, std::size_t s,
+                                             std::size_t j) const {
+  const auto old_slot = x_.slot_of(u);
+  if (old_slot.has_value() && old_slot->server == s &&
+      old_slot->subchannel == j) {
+    return utility_;
+  }
+  const auto holder = x_.occupant(s, j);
+  TSAJS_CHECK(!holder.has_value() || *holder == u,
+              "preview_offload target slot must be free");
+  const SlotChange change{u, old_slot, Slot{s, j}};
+  return preview_changes(&change, 1);
+}
+
+double IncrementalEvaluator::preview_make_local(std::size_t u) const {
+  const auto slot = x_.slot_of(u);
+  if (!slot.has_value()) return utility_;
+  const SlotChange change{u, slot, std::nullopt};
+  return preview_changes(&change, 1);
+}
+
+double IncrementalEvaluator::preview_swap(std::size_t u1,
+                                          std::size_t u2) const {
+  if (u1 == u2) return utility_;
+  const auto slot1 = x_.slot_of(u1);
+  const auto slot2 = x_.slot_of(u2);
+  if (!slot1.has_value() && !slot2.has_value()) return utility_;
+  const SlotChange changes[2] = {{u1, slot1, slot2}, {u2, slot2, slot1}};
+  return preview_changes(changes, 2);
+}
+
+double IncrementalEvaluator::preview_replace(std::size_t u, std::size_t s,
+                                             std::size_t j) const {
+  const auto occupant = x_.occupant(s, j);
+  TSAJS_CHECK(occupant.has_value() && *occupant != u,
+              "preview_replace needs a different occupant to evict");
+  const SlotChange changes[2] = {{*occupant, Slot{s, j}, std::nullopt},
+                                 {u, x_.slot_of(u), Slot{s, j}}};
+  return preview_changes(changes, 2);
 }
 
 void IncrementalEvaluator::rollback(std::size_t mark) {
   TSAJS_REQUIRE(mark <= undo_log_.size(), "rollback mark is in the future");
+  const bool was_logging = logging_;
   logging_ = false;
   while (undo_log_.size() > mark) {
     const UndoEntry entry = undo_log_.back();
     undo_log_.pop_back();
     if (entry.prior.has_value()) {
       // The user held a slot before this change: put it back.
-      apply_offload(entry.user, entry.prior->server,
-                    entry.prior->subchannel);
+      do_offload(entry.user, entry.prior->server, entry.prior->subchannel);
     } else {
       // The user was local before this change.
-      apply_make_local(entry.user);
+      do_make_local(entry.user);
     }
   }
-  logging_ = true;
+  logging_ = was_logging;
+}
+
+void IncrementalEvaluator::set_undo_logging(bool enabled) {
+  logging_ = enabled;
+  if (!enabled) undo_log_.clear();
 }
 
 void IncrementalEvaluator::self_check(double tolerance) const {

@@ -8,15 +8,39 @@
 //     other servers (their interference changed), and
 //   * the sqrt(eta) sums of the old and new server (Lambda, Eq. 23).
 //
-// `IncrementalEvaluator` maintains exactly that state behind an
-// apply/revert interface, turning a proposal evaluation into an
-// O(co-channel users * S) update. A property test pins its output to the
-// plain evaluator across long random operation sequences, and the TSAJS
-// scheduler uses it when `TsajsConfig::use_incremental_evaluator` is set
-// (the default).
+// `IncrementalEvaluator` maintains exactly that state behind two protocols:
+//
+//   * apply/rollback — mutate, read utility(), undo on rejection. Kept for
+//     callers that need nested checkpoints (and for the property tests).
+//   * preview/commit — `preview_offload` / `preview_make_local` /
+//     `preview_swap` / `preview_replace` compute the candidate utility of a
+//     move *without mutating anything*, so a rejected proposal costs a
+//     single read-only pass over the affected co-channel users instead of a
+//     full mutate-then-rollback round trip (two co-channel refresh sweeps
+//     plus undo bookkeeping). The TSAJS annealer previews every proposal
+//     and applies only the accepted ones.
+//
+// All hot-path reads go through flattened contiguous caches precomputed at
+// construction: `signal_` holds p_u * h_us^j in (user, sub-channel, server)
+// order (server-contiguous, so co-channel sweeps and received-power updates
+// are linear scans), and `downlink_` holds the constant per-slot result
+// return times, eliminating the repeated `scenario().gain()` indexing and
+// `log2` re-derivations of the naive path. Users whose interference did not
+// change are never recomputed: their cached `user_gain_` entry stands, and a
+// preview skips any server whose received-power delta is exactly zero.
+//
+// Floating-point drift: the running sums `gain_minus_gamma_` / `lambda_cost_`
+// accumulate rounding error over long move chains. Every `rebuild_interval()`
+// committed operations (default 4096, 0 disables) the evaluator transparently
+// recomputes itself from scratch, and a server's sqrt(eta) sum snaps to exact
+// 0 when its last user leaves, so drift stays bounded on arbitrarily long
+// runs. A property test pins the incremental output to the plain evaluator
+// across long random operation sequences, and the TSAJS scheduler uses this
+// class when `TsajsConfig::use_incremental_evaluator` is set (the default).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -28,7 +52,7 @@
 namespace tsajs::jtora {
 
 /// Tracks an assignment and its utility, supporting trial single-operation
-/// changes with commit/rollback semantics.
+/// changes with commit/rollback semantics and read-only previews.
 class IncrementalEvaluator {
  public:
   /// Binds to a scenario and adopts `initial` as the current decision.
@@ -50,6 +74,24 @@ class IncrementalEvaluator {
   /// Swaps the slots of two users.
   double apply_swap(std::size_t u1, std::size_t u2);
 
+  // --- read-only previews -------------------------------------------------
+  // Each returns the utility the corresponding apply_* would yield, without
+  // touching any state. A rejected proposal therefore costs one pass over
+  // the co-channel users of the affected sub-channels and nothing else.
+
+  /// Utility if user `u` moved to (s, j). The slot must be free or held
+  /// by `u`.
+  [[nodiscard]] double preview_offload(std::size_t u, std::size_t s,
+                                       std::size_t j) const;
+  /// Utility if user `u` went local.
+  [[nodiscard]] double preview_make_local(std::size_t u) const;
+  /// Utility if users `u1` and `u2` exchanged slots.
+  [[nodiscard]] double preview_swap(std::size_t u1, std::size_t u2) const;
+  /// Utility if the occupant of (s, j) were evicted to local execution and
+  /// user `u` took the slot. Requires an occupant other than `u`.
+  [[nodiscard]] double preview_replace(std::size_t u, std::size_t s,
+                                       std::size_t j) const;
+
   // --- proposal protocol --------------------------------------------------
   // The annealer wraps each proposal in checkpoint()/rollback(): apply the
   // neighborhood operations, read utility(), and roll back when rejecting.
@@ -63,8 +105,23 @@ class IncrementalEvaluator {
   /// operation applied since, in reverse order.
   void rollback(std::size_t mark);
 
+  /// Enables/disables the undo log. Callers on the preview/commit protocol
+  /// never roll back, so they disable logging to keep commits allocation-
+  /// free; disabling clears any recorded history.
+  void set_undo_logging(bool enabled);
+
+  /// Sets the automatic full-rebuild cadence: a rebuild() is triggered after
+  /// every `interval` committed operations (0 disables). Bounds FP drift of
+  /// the running sums on long chains.
+  void set_rebuild_interval(std::size_t interval) noexcept {
+    rebuild_interval_ = interval;
+  }
+  [[nodiscard]] std::size_t rebuild_interval() const noexcept {
+    return rebuild_interval_;
+  }
+
   /// Recomputes everything from scratch (O(U_off * S)); used after bulk
-  /// edits and by the self-check.
+  /// edits, on the periodic anti-drift cadence, and by the self-check.
   void rebuild();
 
   /// Verifies the cached utility against a fresh UtilityEvaluator run;
@@ -102,11 +159,40 @@ class IncrementalEvaluator {
   void swap(std::size_t u1, std::size_t u2) { apply_swap(u1, u2); }
 
  private:
+  /// One user's slot transition inside a previewed move; `from`/`to` empty
+  /// means local before/after.
+  struct SlotChange {
+    std::size_t user;
+    std::optional<Slot> from;
+    std::optional<Slot> to;
+  };
+
+  // Raw mutation cores (no commit accounting); apply_* wrap these with the
+  // rebuild cadence, rollback() replays them.
+  void do_offload(std::size_t u, std::size_t s, std::size_t j);
+  void do_make_local(std::size_t u);
+
+  /// Candidate utility after the (≤ 2) slot changes, computed purely from
+  /// the flattened caches. The preview_* entry points funnel here.
+  [[nodiscard]] double preview_changes(const SlotChange* changes,
+                                       std::size_t n) const;
+
+  /// p_u * h_us^j from the flattened signal table.
+  [[nodiscard]] double signal_at(std::size_t u, std::size_t j,
+                                 std::size_t s) const noexcept {
+    return signal_[(u * num_subchannels_ + j) * num_servers_ + s];
+  }
+  /// Gamma-side gain of user `u` on slot (s, j) given the total received
+  /// power on that (sub-channel, server). Shared by refresh and preview so
+  /// both paths derive identical values from identical inputs.
+  [[nodiscard]] double gain_of(std::size_t u, std::size_t s, std::size_t j,
+                               double channel_power_total) const;
+
   /// Recomputes the cached cost of one offloaded user (Gamma contribution)
   /// and updates the running total. O(1) thanks to the received-power cache.
   void refresh_user_cost(std::size_t u);
   /// Adds/removes user `u`'s received power on sub-channel `j` at every
-  /// server (the cache behind O(1) SINR reads). O(S).
+  /// server (the cache behind O(1) SINR reads). Contiguous O(S) scan.
   void add_channel_power(std::size_t u, std::size_t j, double sign);
   /// Removes a user's cached cost contribution.
   void drop_user_cost(std::size_t u);
@@ -116,21 +202,37 @@ class IncrementalEvaluator {
   /// Adjusts a server's sqrt(eta) sum and the Lambda total.
   void server_add(std::size_t s, double sqrt_eta);
   void server_remove(std::size_t s, double sqrt_eta);
+  /// Commit accounting: triggers the periodic anti-drift rebuild.
+  void note_commit();
 
   const mec::Scenario* scenario_;
   UtilityEvaluator evaluator_;  // for phi/psi constants and self-check
   RateEvaluator rates_;
   Assignment x_;
 
+  std::size_t num_servers_ = 0;
+  std::size_t num_subchannels_ = 0;
+  double noise_w_ = 0.0;
+
   // Cached per-user Gamma-side cost: lambda_u*(bt+be) - (phi+psi p)/log2(..)
   // i.e. the user's net gain term; zero when local.
   std::vector<double> user_gain_;
-  // Per-server sum of sqrt(eta_u) over its users.
+  // Per-server sum of sqrt(eta_u) over its users, and the matching user
+  // count (so the sum can snap to exact 0 when the last user leaves).
   std::vector<double> server_sqrt_eta_;
-  // Received-power cache: channel_power_(s, j) = sum over users k currently
-  // offloaded on sub-channel j of p_k * h_{k->s}^j. The SINR of the
-  // occupant u of (s, j) is then p_u h_us / (cache - own signal + noise).
-  Matrix2<double> channel_power_;
+  std::vector<std::uint32_t> server_count_;
+  // Received-power cache, flattened (sub-channel, server) row-major:
+  // channel_power_[j * S + s] = sum over users k currently offloaded on
+  // sub-channel j of p_k * h_{k->s}^j. The SINR of the occupant u of (s, j)
+  // is then p_u h_us / (cache - own signal + noise). The sub-channel-major
+  // layout makes every power update a contiguous AXPY against `signal_`.
+  std::vector<double> channel_power_;
+  // Flattened (user, sub-channel, server) signal-power table p_u * h_us^j.
+  std::vector<double> signal_;
+  // Flattened (user, sub-channel, server) downlink return times (constant
+  // per scenario); empty when no task declares output bits.
+  std::vector<double> downlink_;
+  bool has_downlink_ = false;
   // Per-user sqrt(eta) (constant).
   std::vector<double> sqrt_eta_;
   // Per-user precomputed constants (duplicated from UtilityEvaluator since
@@ -138,10 +240,15 @@ class IncrementalEvaluator {
   std::vector<double> gain_const_;   // lambda_u * (beta_t + beta_e)
   std::vector<double> gamma_coef_;   // phi_u + psi_u * p_u
   std::vector<double> time_cost_scale_;  // lambda_u * beta_t / t_local
+  // Per-server CPU capacity f_s (constant), for the Lambda updates.
+  std::vector<double> server_cpu_;
 
   double gain_minus_gamma_ = 0.0;  // sum over offloaded users of user_gain_
   double lambda_cost_ = 0.0;       // Eq. 23 total
   double utility_ = 0.0;
+
+  std::size_t rebuild_interval_ = 4096;
+  std::size_t commits_since_rebuild_ = 0;
 
   // Undo log: the slot each touched user held *before* its state change.
   struct UndoEntry {

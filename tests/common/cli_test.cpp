@@ -74,6 +74,22 @@ TEST(CliTest, NonNumericIntThrows) {
   EXPECT_THROW((void)cli.get_int("users"), InvalidArgumentError);
 }
 
+TEST(CliTest, UintParsing) {
+  CliParser cli("test");
+  cli.add_flag("trials", "Monte-Carlo drops", "10");
+  const auto argv = argv_of({"prog", "--trials", "250"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_uint("trials"), 250u);
+}
+
+TEST(CliTest, NegativeUintThrows) {
+  CliParser cli("test");
+  cli.add_flag("trials", "Monte-Carlo drops", "10");
+  const auto argv = argv_of({"prog", "--trials", "-3"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW((void)cli.get_uint("trials"), InvalidArgumentError);
+}
+
 TEST(CliTest, DoubleParsing) {
   CliParser cli("test");
   cli.add_flag("beta", "time preference", "0.5");

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace tsajs {
@@ -36,6 +38,42 @@ TEST(ThreadPoolTest, ParallelForPropagatesFirstError) {
                                    if (i == 3) throw std::runtime_error("x");
                                  }),
                std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesLowestIndexError) {
+  // Index 7 throws immediately; index 3 sleeps first so it is (almost
+  // certainly) the *later* failure on the wall clock. The propagated
+  // exception must still be index 3's: parallel_for picks the lowest-index
+  // failure, not the first one encountered by a worker.
+  ThreadPool pool(4);
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    try {
+      pool.parallel_for(10, [](std::size_t i) {
+        if (i == 3) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          throw std::runtime_error("slow-low");
+        }
+        if (i == 7) throw std::runtime_error("fast-high");
+      });
+      FAIL() << "parallel_for should have thrown";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "slow-low");
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForFinishesAllTasksDespiteError) {
+  // Even when a task throws, every other task must have completed by the
+  // time parallel_for returns: callers free captured state right after.
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  EXPECT_THROW(pool.parallel_for(50,
+                                 [&](std::size_t i) {
+                                   hits[i].fetch_add(1);
+                                   if (i == 0) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ThreadPoolTest, ZeroThreadsUsesHardwareConcurrency) {

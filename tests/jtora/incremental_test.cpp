@@ -186,6 +186,122 @@ TEST(IncrementalTest, RebuildResetsDrift) {
               1e-12 * std::max(1.0, std::fabs(inc.utility())));
 }
 
+TEST(IncrementalPreviewTest, PreviewsMatchApplyWithoutMutating) {
+  const mec::Scenario scenario = make_scenario();
+  IncrementalEvaluator inc(scenario, Assignment(scenario));
+  inc.apply_offload(0, 0, 0);
+  inc.apply_offload(1, 1, 0);  // shares sub-channel 0 with user 0
+  inc.apply_offload(2, 2, 1);
+  const Assignment before = inc.assignment();
+  const double utility_before = inc.utility();
+
+  // Each preview must (a) leave the state untouched and (b) predict the
+  // utility the matching apply_* then realizes.
+  const double p_offload = inc.preview_offload(0, 3, 2);
+  EXPECT_EQ(inc.assignment(), before);
+  EXPECT_EQ(inc.utility(), utility_before);
+  const std::size_t mark = inc.checkpoint();
+  const double a_offload = inc.apply_offload(0, 3, 2);
+  EXPECT_NEAR(p_offload, a_offload,
+              1e-9 * std::max(1.0, std::fabs(a_offload)));
+  inc.rollback(mark);
+
+  const double p_local = inc.preview_make_local(1);
+  EXPECT_EQ(inc.assignment(), before);
+  const double a_local = inc.apply_make_local(1);
+  EXPECT_NEAR(p_local, a_local, 1e-9 * std::max(1.0, std::fabs(a_local)));
+  inc.rollback(mark);
+
+  const double p_swap = inc.preview_swap(0, 1);
+  EXPECT_EQ(inc.assignment(), before);
+  const double a_swap = inc.apply_swap(0, 1);
+  EXPECT_NEAR(p_swap, a_swap, 1e-9 * std::max(1.0, std::fabs(a_swap)));
+  inc.rollback(mark);
+  EXPECT_EQ(inc.assignment(), before);
+}
+
+TEST(IncrementalPreviewTest, PreviewReplaceEvictsOccupant) {
+  Rng rng_s(7);
+  const mec::Scenario scenario = mec::ScenarioBuilder()
+                                     .num_users(4)
+                                     .num_servers(2)
+                                     .num_subchannels(1)
+                                     .build(rng_s);
+  IncrementalEvaluator inc(scenario, Assignment(scenario));
+  inc.apply_offload(0, 0, 0);
+  inc.apply_offload(1, 1, 0);
+  const Assignment before = inc.assignment();
+
+  // User 2 takes (0, 0); user 0 is evicted to local.
+  const double previewed = inc.preview_replace(2, 0, 0);
+  EXPECT_EQ(inc.assignment(), before);
+  const std::size_t mark = inc.checkpoint();
+  inc.apply_make_local(0);
+  const double applied = inc.apply_offload(2, 0, 0);
+  EXPECT_NEAR(previewed, applied, 1e-9 * std::max(1.0, std::fabs(applied)));
+  EXPECT_NEAR(previewed, reference_utility(scenario, inc.assignment()),
+              1e-9 * std::max(1.0, std::fabs(applied)));
+  inc.rollback(mark);
+}
+
+TEST(IncrementalPreviewProperty, ProposedMovesPreviewExactly) {
+  // The annealer's contract: for any proposed neighborhood move, the
+  // preview equals the utility reached by applying the move — across long
+  // random walks with every move kind (offload, local, swap, replace).
+  for (const std::uint64_t seed : {23u, 24u}) {
+    const mec::Scenario scenario = make_scenario(12, 4, 3, seed);
+    const algo::Neighborhood neighborhood(scenario);
+    Rng rng(seed * 17 + 3);
+    IncrementalEvaluator inc(scenario, Assignment(scenario));
+    for (int step = 0; step < 3000; ++step) {
+      const auto move = neighborhood.propose(inc, rng);
+      const double previewed = neighborhood.preview(inc, move);
+      neighborhood.apply_move(inc, move);
+      const double applied = inc.utility();
+      ASSERT_NEAR(previewed, applied,
+                  1e-9 * std::max(1.0, std::fabs(applied)))
+          << "seed " << seed << " step " << step << " kind "
+          << static_cast<int>(move.kind);
+    }
+    EXPECT_NO_THROW(inc.self_check());
+  }
+}
+
+TEST(IncrementalDriftTest, LongChainStaysPinnedWithRebuildCadence) {
+  // ~50k committed moves: the periodic rebuild (default every 4096 commits)
+  // must keep the accumulated running sums within self_check tolerance of a
+  // from-scratch evaluation at the end of the chain.
+  const mec::Scenario scenario = make_scenario(20, 5, 4, 31);
+  const algo::Neighborhood neighborhood(scenario);
+  Rng rng(77);
+  IncrementalEvaluator inc(scenario, Assignment(scenario));
+  inc.set_undo_logging(false);
+  ASSERT_EQ(inc.rebuild_interval(), 4096u);
+  for (int step = 0; step < 50000; ++step) {
+    neighborhood.step(inc, rng);
+  }
+  EXPECT_NO_THROW(inc.self_check(1e-9));
+  inc.assignment().check_consistency();
+}
+
+TEST(IncrementalDriftTest, EmptiedServerSnapsToExactZero) {
+  // Filling and draining a server many times must not leave sqrt(eta)
+  // residue in the Lambda term: after each drain the cached utility has to
+  // match a fresh evaluation to near machine precision.
+  const mec::Scenario scenario = make_scenario(6, 2, 3, 37);
+  IncrementalEvaluator inc(scenario, Assignment(scenario));
+  inc.set_rebuild_interval(0);  // no rebuild assistance — the snap must do it
+  for (int round = 0; round < 2000; ++round) {
+    inc.apply_offload(0, 0, 0);
+    inc.apply_offload(1, 0, 1);
+    inc.apply_offload(2, 0, 2);
+    inc.apply_make_local(1);
+    inc.apply_make_local(0);
+    inc.apply_make_local(2);
+  }
+  EXPECT_NO_THROW(inc.self_check(1e-12));
+}
+
 TEST(IncrementalTest, TsajsIncrementalAndPlainPathsAgree) {
   // Same seed, same proposals: the two evaluation strategies must visit the
   // same chain and return the same decision.
