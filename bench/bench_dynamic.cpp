@@ -1,0 +1,141 @@
+// Warm-start vs cold-start epoch scheduling in the dynamic simulator.
+//
+// Runs the same simulated timeline (mobility, arrivals, channels — the
+// environment RNG stream is identical in both modes) twice per population
+// point: once solving every epoch from scratch, once seeding each solve
+// with the previous epoch's repaired assignment (sim::WarmStart::kWarm).
+// Reported per point:
+//
+//   * mean per-epoch solve time (the headline: warm starts skip the high-
+//     temperature random-walk phase of the anneal),
+//   * mean per-epoch system utility with a 95% CI across scheduled epochs
+//     (the guardrail: warm means must stay inside the cold CI),
+//   * the cold/warm solve-time ratio ("speedup").
+//
+// With --json PATH the raw accumulators are dumped as a JSON document; the
+// checked-in reference lives in bench/BENCH_dynamic.json.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "algo/registry.h"
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "exp/json_writer.h"
+#include "sim/dynamic.h"
+
+using namespace tsajs;
+
+namespace {
+
+struct Point {
+  std::size_t population = 0;
+  sim::DynamicReport cold;
+  sim::DynamicReport warm;
+
+  [[nodiscard]] double speedup() const {
+    const double warm_s = warm.solve_seconds.mean();
+    return warm_s > 0.0 ? cold.solve_seconds.mean() / warm_s : 0.0;
+  }
+};
+
+std::string json_of_report(const sim::DynamicReport& report) {
+  std::ostringstream os;
+  os << "{\"utility\":" << exp::json_of(report.utility)
+     << ",\"solve_seconds\":" << exp::json_of(report.solve_seconds)
+     << ",\"offload_ratio\":" << exp::json_of(report.offload_ratio)
+     << ",\"mean_delay_s\":" << exp::json_of(report.mean_delay_s)
+     << ",\"mean_energy_j\":" << exp::json_of(report.mean_energy_j)
+     << ",\"empty_epochs\":" << report.empty_epochs << '}';
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "bench_dynamic — warm-start vs cold-start per-epoch solve time in the "
+      "dynamic simulator, over identical timelines");
+  cli.add_flag("populations", "population sweep", "60,90");
+  cli.add_flag("epochs", "scheduling epochs per run", "30");
+  cli.add_flag("scheme", "scheduler under test", "tsajs");
+  cli.add_flag("chain-length", "TSAJS Markov-chain length L", "30");
+  cli.add_flag("warm-reheat",
+               "reheat temperature for warm starts (0 = TsajsConfig default)",
+               "0");
+  cli.add_flag("activity", "per-epoch task arrival probability", "0.6");
+  cli.add_flag("servers", "edge servers (hex cells)", "9");
+  cli.add_flag("subchannels", "sub-channels per server", "3");
+  cli.add_flag("seed", "RNG seed shared by the paired runs", "20250704");
+  cli.add_flag("json", "JSON output path (empty = off)", "");
+  if (!cli.parse(argc, argv)) return 0;
+
+  algo::RegistryOptions options;
+  options.chain_length = static_cast<std::size_t>(cli.get_uint("chain-length"));
+  const double reheat = cli.get_double("warm-reheat");
+  TSAJS_REQUIRE(reheat >= 0.0, "--warm-reheat must be >= 0");
+  if (reheat > 0.0) options.warm_reheat = reheat;
+  const auto scheduler = algo::make_scheduler(cli.get_string("scheme"), options);
+
+  sim::DynamicConfig config;
+  config.epochs = static_cast<std::size_t>(cli.get_uint("epochs"));
+  config.activity_prob = cli.get_double("activity");
+  const auto num_servers = static_cast<std::size_t>(cli.get_uint("servers"));
+  const auto num_subchannels =
+      static_cast<std::size_t>(cli.get_uint("subchannels"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::vector<Point> points;
+  for (const double p : cli.get_double_list("populations")) {
+    Point point;
+    point.population = static_cast<std::size_t>(p);
+    const sim::DynamicSimulator simulator(point.population, num_servers,
+                                          num_subchannels, config);
+    Rng rng_cold(seed);
+    point.cold = simulator.run(*scheduler, rng_cold, sim::WarmStart::kCold);
+    Rng rng_warm(seed);  // identical timeline — a paired comparison
+    point.warm = simulator.run(*scheduler, rng_warm, sim::WarmStart::kWarm);
+    points.push_back(std::move(point));
+  }
+
+  Table table({"population", "cold solve", "warm solve", "speedup",
+               "cold utility (95% CI)", "warm utility", "warm in CI"});
+  for (const Point& point : points) {
+    const ConfidenceInterval ci = confidence_interval(point.cold.utility);
+    const double warm_mean = point.warm.utility.mean();
+    table.add_row(
+        {std::to_string(point.population),
+         units::duration_string(point.cold.solve_seconds.mean()),
+         units::duration_string(point.warm.solve_seconds.mean()),
+         format_double(point.speedup(), 2) + "x",
+         format_double(ci.mean, 3) + " +- " + format_double(ci.half_width, 3),
+         format_double(warm_mean, 3), ci.contains(warm_mean) ? "yes" : "no"});
+  }
+  std::cout << "\n== Warm-start vs cold-start (" << scheduler->name() << ", "
+            << config.epochs << " epochs, seed " << seed << ") ==\n";
+  table.print(std::cout);
+
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    TSAJS_REQUIRE(out.good(), "cannot open JSON output: " + json_path);
+    out << "{\"bench\":\"dynamic_warm_start\",\"scheme\":\""
+        << exp::json_escape(scheduler->name())
+        << "\",\"epochs\":" << config.epochs
+        << ",\"chain_length\":" << options.chain_length << ",\"seed\":" << seed
+        << ",\"points\":[";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (i > 0) out << ',';
+      out << "{\"population\":" << points[i].population
+          << ",\"cold\":" << json_of_report(points[i].cold)
+          << ",\"warm\":" << json_of_report(points[i].warm)
+          << ",\"speedup\":" << format_double(points[i].speedup(), 4) << '}';
+    }
+    out << "]}\n";
+    TSAJS_REQUIRE(out.good(), "failed writing JSON output: " + json_path);
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+  return 0;
+}

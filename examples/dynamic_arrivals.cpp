@@ -8,11 +8,13 @@
 // same timeline, epoch by epoch.
 //
 //   ./build/examples/dynamic_arrivals [--epochs E] [--population P]
+//                                     [--seed S] [--warm | --cold]
 #include <iostream>
 
 #include "algo/greedy.h"
 #include "algo/tsajs.h"
 #include "common/cli.h"
+#include "common/error.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "sim/dynamic.h"
@@ -27,7 +29,15 @@ int main(int argc, char** argv) {
   cli.add_flag("population", "users in the network", "40");
   cli.add_flag("activity", "per-epoch task arrival probability", "0.6");
   cli.add_flag("seed", "RNG seed for the whole timeline", "17");
+  cli.add_switch("warm",
+                 "seed each epoch's solve with the previous epoch's repaired "
+                 "assignment");
+  cli.add_switch("cold", "solve every epoch from scratch (the default)");
   if (!cli.parse(argc, argv)) return 0;
+  TSAJS_REQUIRE(!(cli.get_bool("warm") && cli.get_bool("cold")),
+                "--warm and --cold are mutually exclusive");
+  const sim::WarmStart warm = cli.get_bool("warm") ? sim::WarmStart::kWarm
+                                                   : sim::WarmStart::kCold;
 
   sim::DynamicConfig config;
   config.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
@@ -41,10 +51,10 @@ int main(int argc, char** argv) {
   tsajs_config.chain_length = 10;  // online setting: favour fast solves
   Rng rng_tsajs(seed);
   const sim::DynamicReport tsajs =
-      simulator.run(algo::TsajsScheduler(tsajs_config), rng_tsajs);
+      simulator.run(algo::TsajsScheduler(tsajs_config), rng_tsajs, warm);
   Rng rng_greedy(seed);  // identical timeline
   const sim::DynamicReport greedy =
-      simulator.run(algo::GreedyScheduler(), rng_greedy);
+      simulator.run(algo::GreedyScheduler(), rng_greedy, warm);
 
   Table summary({"metric", "tsajs", "greedy"});
   summary.add_row({"mean epoch utility",
@@ -63,8 +73,9 @@ int main(int argc, char** argv) {
   summary.add_row({"mean solve time",
                    units::duration_string(tsajs.solve_seconds.mean()),
                    units::duration_string(greedy.solve_seconds.mean())});
-  std::cout << "\n== Online scheduling over " << config.epochs
-            << " epochs ==\n";
+  std::cout << "\n== Online scheduling over " << config.epochs << " epochs ("
+            << (warm == sim::WarmStart::kWarm ? "warm" : "cold")
+            << " starts) ==\n";
   summary.print(std::cout);
 
   Table timeline({"epoch", "active", "tsajs offloaded", "tsajs utility",

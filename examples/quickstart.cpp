@@ -6,6 +6,14 @@
 // with each user's delay/energy outcome versus local execution.
 //
 //   ./build/examples/quickstart [--users N] [--seed S]
+
+// GCC 12 reports a spurious -Wrestrict from std::string internals inlined
+// into the decision-label concatenation below (GCC PR105651); the warning is
+// a diagnostic bug, not a real overlap.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
 #include <iostream>
 
 #include "algo/tsajs.h"

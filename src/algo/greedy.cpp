@@ -20,6 +20,17 @@ struct Candidate {
 
 ScheduleResult GreedyScheduler::schedule(const mec::Scenario& scenario,
                                          Rng& /*rng*/) const {
+  return fill_and_prune(scenario, jtora::Assignment(scenario));
+}
+
+ScheduleResult GreedyScheduler::schedule_from(const mec::Scenario& scenario,
+                                              const jtora::Assignment& hint,
+                                              Rng& /*rng*/) const {
+  return fill_and_prune(scenario, repair_hint(scenario, hint));
+}
+
+ScheduleResult GreedyScheduler::fill_and_prune(const mec::Scenario& scenario,
+                                               jtora::Assignment x) const {
   std::vector<Candidate> candidates;
   candidates.reserve(scenario.num_users() * scenario.num_slots());
   for (std::size_t u = 0; u < scenario.num_users(); ++u) {
@@ -38,7 +49,6 @@ ScheduleResult GreedyScheduler::schedule(const mec::Scenario& scenario,
                      std::tie(b.user, b.server, b.subchannel);
             });
 
-  jtora::Assignment x(scenario);
   for (const Candidate& c : candidates) {
     if (x.num_offloaded() == std::min(scenario.num_users(),
                                       scenario.num_slots())) {

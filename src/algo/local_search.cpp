@@ -1,5 +1,7 @@
 #include "algo/local_search.h"
 
+#include <utility>
+
 #include "common/error.h"
 
 namespace tsajs::algo {
@@ -19,11 +21,25 @@ LocalSearchScheduler::LocalSearchScheduler(LocalSearchConfig config)
 
 ScheduleResult LocalSearchScheduler::schedule(const mec::Scenario& scenario,
                                               Rng& rng) const {
+  return climb(scenario,
+               random_feasible_assignment(scenario, rng,
+                                          config_.initial_offload_prob),
+               rng);
+}
+
+ScheduleResult LocalSearchScheduler::schedule_from(
+    const mec::Scenario& scenario, const jtora::Assignment& hint,
+    Rng& rng) const {
+  return climb(scenario, repair_hint(scenario, hint), rng);
+}
+
+ScheduleResult LocalSearchScheduler::climb(const mec::Scenario& scenario,
+                                           jtora::Assignment initial,
+                                           Rng& rng) const {
   const jtora::UtilityEvaluator evaluator(scenario);
   const Neighborhood neighborhood(scenario, config_.neighborhood);
 
-  jtora::Assignment current =
-      random_feasible_assignment(scenario, rng, config_.initial_offload_prob);
+  jtora::Assignment current = std::move(initial);
   double current_utility = evaluator.system_utility(current);
   ScheduleResult result{current, current_utility, 0.0, 1};
 

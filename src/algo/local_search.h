@@ -31,7 +31,7 @@ struct LocalSearchConfig {
   void validate() const;
 };
 
-class LocalSearchScheduler final : public Scheduler {
+class LocalSearchScheduler final : public Scheduler, public WarmStartable {
  public:
   explicit LocalSearchScheduler(LocalSearchConfig config = {});
 
@@ -39,7 +39,18 @@ class LocalSearchScheduler final : public Scheduler {
   [[nodiscard]] ScheduleResult schedule(const mec::Scenario& scenario,
                                         Rng& rng) const override;
 
+  /// Warm start: hill-climbs from the repaired hint instead of the random
+  /// initial solution — the natural reading for a pure descent method,
+  /// which keeps whatever start it is given.
+  [[nodiscard]] ScheduleResult schedule_from(const mec::Scenario& scenario,
+                                             const jtora::Assignment& hint,
+                                             Rng& rng) const override;
+
  private:
+  [[nodiscard]] ScheduleResult climb(const mec::Scenario& scenario,
+                                     jtora::Assignment initial,
+                                     Rng& rng) const;
+
   LocalSearchConfig config_;
 };
 

@@ -24,16 +24,36 @@ std::string MultiStartScheduler::name() const {
 
 ScheduleResult MultiStartScheduler::schedule(const mec::Scenario& scenario,
                                              Rng& rng) const {
+  return run_restarts(scenario, nullptr, rng);
+}
+
+ScheduleResult MultiStartScheduler::schedule_from(
+    const mec::Scenario& scenario, const jtora::Assignment& hint,
+    Rng& rng) const {
+  return run_restarts(scenario, &hint, rng);
+}
+
+ScheduleResult MultiStartScheduler::run_restarts(
+    const mec::Scenario& scenario, const jtora::Assignment* hint,
+    Rng& rng) const {
   // Derive every child seed up front, in restart order. This is the only
   // point that touches the caller's rng, so the seed stream — and therefore
   // each restart's entire run — is independent of how restarts are executed.
   std::vector<std::uint64_t> seeds(restarts_);
   for (std::size_t r = 0; r < restarts_; ++r) seeds[r] = rng.derive_seed(r);
 
+  const auto* warm_inner =
+      hint != nullptr ? dynamic_cast<const WarmStartable*>(inner_.get())
+                      : nullptr;
   std::vector<std::optional<ScheduleResult>> results(restarts_);
   const auto run_restart = [&](std::size_t r) {
     Rng child(seeds[r]);
-    results[r] = inner_->schedule(scenario, child);
+    // Restart 0 carries the hint; the rest explore from cold starts.
+    if (r == 0 && warm_inner != nullptr) {
+      results[r] = warm_inner->schedule_from(scenario, *hint, child);
+    } else {
+      results[r] = inner_->schedule(scenario, child);
+    }
   };
   if (num_threads_ != 1 && restarts_ > 1) {
     ThreadPool pool(num_threads_);

@@ -19,7 +19,7 @@
 
 namespace tsajs::algo {
 
-class MultiStartScheduler final : public Scheduler {
+class MultiStartScheduler final : public Scheduler, public WarmStartable {
  public:
   /// Wraps `inner`, running it `restarts` times per schedule() call.
   /// `num_threads` controls restart parallelism: 1 (default) runs
@@ -32,12 +32,24 @@ class MultiStartScheduler final : public Scheduler {
   [[nodiscard]] ScheduleResult schedule(const mec::Scenario& scenario,
                                         Rng& rng) const override;
 
+  /// Warm start: restart 0 runs the inner scheduler warm from `hint` (when
+  /// the inner scheduler is itself WarmStartable), the remaining restarts
+  /// stay cold for diversity. Seeds are derived exactly as in schedule(),
+  /// so the parallel path stays bit-identical to the sequential one.
+  [[nodiscard]] ScheduleResult schedule_from(const mec::Scenario& scenario,
+                                             const jtora::Assignment& hint,
+                                             Rng& rng) const override;
+
   [[nodiscard]] std::size_t restarts() const noexcept { return restarts_; }
   [[nodiscard]] std::size_t num_threads() const noexcept {
     return num_threads_;
   }
 
  private:
+  [[nodiscard]] ScheduleResult run_restarts(const mec::Scenario& scenario,
+                                            const jtora::Assignment* hint,
+                                            Rng& rng) const;
+
   std::unique_ptr<Scheduler> inner_;
   std::size_t restarts_;
   std::size_t num_threads_;

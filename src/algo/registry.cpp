@@ -21,6 +21,9 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
     TsajsConfig config;
     config.chain_length = options.chain_length;
     config.use_incremental_evaluator = options.incremental_evaluator;
+    if (options.warm_reheat.has_value()) {
+      config.warm_reheat = *options.warm_reheat;
+    }
     if (name == "tsajs-geo") config.cooling = CoolingMode::kGeometric;
     return std::make_unique<TsajsScheduler>(config);
   }
@@ -44,6 +47,9 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
     TsajsConfig config;
     config.chain_length = options.chain_length;
     config.use_incremental_evaluator = options.incremental_evaluator;
+    if (options.warm_reheat.has_value()) {
+      config.warm_reheat = *options.warm_reheat;
+    }
     return std::make_unique<MultiStartScheduler>(
         std::make_unique<TsajsScheduler>(config), 4, options.threads);
   }

@@ -4,6 +4,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,10 @@ struct RegistryOptions {
   /// (default), 0 = hardware concurrency. Restart results are bit-identical
   /// for every setting; only the wall clock changes.
   std::size_t threads = 1;
+  /// Reheat temperature for TSAJS warm starts (schedule_from); unset keeps
+  /// TsajsConfig's default. Only consulted when the caller drives the
+  /// scheduler through the warm-start path.
+  std::optional<double> warm_reheat;
 };
 
 /// Creates a scheduler by name: "tsajs", "tsajs-geo" (geometric-cooling

@@ -1,5 +1,6 @@
 #include "algo/scheduler.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -8,12 +9,12 @@
 
 namespace tsajs::algo {
 
-ScheduleResult run_and_validate(const Scheduler& scheduler,
-                                const mec::Scenario& scenario, Rng& rng) {
-  Stopwatch timer;
-  ScheduleResult result = scheduler.schedule(scenario, rng);
-  result.solve_seconds = timer.elapsed_seconds();
+namespace {
 
+// Shared post-conditions of every solve: consistent assignment, and the
+// scheduler-reported utility must agree with an independent evaluation.
+void validate_result(const Scheduler& scheduler, const mec::Scenario& scenario,
+                     const ScheduleResult& result) {
   result.assignment.check_consistency();
   const jtora::UtilityEvaluator evaluator(scenario);
   const double recomputed = evaluator.system_utility(result.assignment);
@@ -22,7 +23,50 @@ ScheduleResult run_and_validate(const Scheduler& scheduler,
   TSAJS_CHECK(std::fabs(recomputed - result.system_utility) <= tolerance,
               "scheduler-reported utility disagrees with evaluator (" +
                   scheduler.name() + ")");
+}
+
+}  // namespace
+
+ScheduleResult run_and_validate(const Scheduler& scheduler,
+                                const mec::Scenario& scenario, Rng& rng) {
+  Stopwatch timer;
+  ScheduleResult result = scheduler.schedule(scenario, rng);
+  result.solve_seconds = timer.elapsed_seconds();
+  validate_result(scheduler, scenario, result);
   return result;
+}
+
+ScheduleResult run_and_validate(const Scheduler& scheduler,
+                                const mec::Scenario& scenario,
+                                const jtora::Assignment& hint, Rng& rng) {
+  Stopwatch timer;
+  const auto* warm = dynamic_cast<const WarmStartable*>(&scheduler);
+  ScheduleResult result = warm != nullptr
+                              ? warm->schedule_from(scenario, hint, rng)
+                              : scheduler.schedule(scenario, rng);
+  result.solve_seconds = timer.elapsed_seconds();
+  validate_result(scheduler, scenario, result);
+  return result;
+}
+
+jtora::Assignment repair_hint(const mec::Scenario& scenario,
+                              const jtora::Assignment& hint) {
+  jtora::Assignment x(scenario);
+  const std::size_t users =
+      std::min(scenario.num_users(), hint.num_users());
+  for (std::size_t u = 0; u < users; ++u) {
+    const auto slot = hint.slot_of(u);
+    if (!slot.has_value()) continue;
+    if (slot->server >= scenario.num_servers() ||
+        slot->subchannel >= scenario.num_subchannels()) {
+      continue;  // the slot no longer exists; the user re-enters local
+    }
+    if (x.occupant(slot->server, slot->subchannel).has_value()) {
+      continue;  // first-come (lowest user index) keeps a contested slot
+    }
+    x.offload(u, slot->server, slot->subchannel);
+  }
+  return x;
 }
 
 jtora::Assignment random_feasible_assignment(const mec::Scenario& scenario,

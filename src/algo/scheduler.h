@@ -43,10 +43,47 @@ class Scheduler {
       const mec::Scenario& scenario, Rng& rng) const = 0;
 };
 
+/// Capability interface for schedulers that can start from a previous
+/// solution instead of a cold start. In an epoichal (online) setting
+/// consecutive scenarios are highly correlated — users take one mobility
+/// step, a few tasks arrive or complete — so the last epoch's assignment is
+/// a near-optimal start and the search only has to polish it.
+///
+/// `hint` may be shaped for a *different* scenario (stale user count,
+/// occupied slots that no longer exist); implementations repair it against
+/// `scenario` first (see repair_hint) and therefore accept any hint.
+class WarmStartable {
+ public:
+  virtual ~WarmStartable() = default;
+
+  /// Like Scheduler::schedule, but seeds the search with `hint`.
+  [[nodiscard]] virtual ScheduleResult schedule_from(
+      const mec::Scenario& scenario, const jtora::Assignment& hint,
+      Rng& rng) const = 0;
+};
+
+/// Clamps `hint` to a feasible assignment for `scenario`: users beyond the
+/// scenario's user count are dropped, slots outside the scenario's
+/// server/sub-channel grid are released (the user falls back to local), and
+/// surviving slots are taken first-come in ascending user order — so the
+/// result satisfies constraints (12b)-(12d) by construction for *any* hint.
+/// Users the hint does not cover start local.
+[[nodiscard]] jtora::Assignment repair_hint(const mec::Scenario& scenario,
+                                            const jtora::Assignment& hint);
+
 /// Runs `scheduler`, fills in solve_seconds, re-checks the utility against
 /// an independent evaluation, and validates assignment consistency.
 [[nodiscard]] ScheduleResult run_and_validate(const Scheduler& scheduler,
                                               const mec::Scenario& scenario,
+                                              Rng& rng);
+
+/// Warm-start variant: when `scheduler` implements WarmStartable, solves via
+/// schedule_from(scenario, hint, rng); otherwise falls back to a cold
+/// schedule() (the hint is ignored). Validation is identical to the cold
+/// overload, so every path through the simulator stays guarded.
+[[nodiscard]] ScheduleResult run_and_validate(const Scheduler& scheduler,
+                                              const mec::Scenario& scenario,
+                                              const jtora::Assignment& hint,
                                               Rng& rng);
 
 /// Draws the random feasible initial solution used by TSAJS and LocalSearch

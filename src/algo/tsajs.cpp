@@ -21,6 +21,8 @@ void TsajsConfig::validate() const {
                 "initial temperature must be positive");
   TSAJS_REQUIRE(initial_offload_prob >= 0.0 && initial_offload_prob <= 1.0,
                 "initial offload probability must lie in [0,1]");
+  TSAJS_REQUIRE(warm_reheat > min_temperature,
+                "warm reheat temperature must exceed the minimum temperature");
   neighborhood.validate();
 }
 
@@ -43,12 +45,12 @@ namespace {
 // `Snapshot` returns the current assignment by value. Rejection is free by
 // construction: an unrealized proposal leaves no trace.
 template <typename Propose, typename Commit, typename Snapshot>
-ScheduleResult anneal(const mec::Scenario& scenario, const TsajsConfig& config,
-                      Rng& rng, double initial_utility, Propose&& propose,
-                      Commit&& commit, Snapshot&& snapshot) {
+ScheduleResult anneal(const TsajsConfig& config, Rng& rng,
+                      double initial_temperature, double initial_utility,
+                      Propose&& propose, Commit&& commit,
+                      Snapshot&& snapshot) {
   // Algorithm 1 lines 3-4: temperature schedule parameters.
-  double temperature = config.initial_temperature.value_or(
-      static_cast<double>(scenario.num_subchannels()));
+  double temperature = initial_temperature;
   TSAJS_CHECK(temperature > config.min_temperature,
               "initial temperature must exceed the minimum");
   const double max_count =
@@ -95,10 +97,29 @@ ScheduleResult anneal(const mec::Scenario& scenario, const TsajsConfig& config,
 
 ScheduleResult TsajsScheduler::schedule(const mec::Scenario& scenario,
                                         Rng& rng) const {
-  const Neighborhood neighborhood(scenario, config_.neighborhood);
-  // Algorithm 1 line 5: random feasible initial solution.
+  // Algorithm 1 line 5: random feasible initial solution; line 3: T <- N.
   jtora::Assignment initial =
       random_feasible_assignment(scenario, rng, config_.initial_offload_prob);
+  const double initial_temperature = config_.initial_temperature.value_or(
+      static_cast<double>(scenario.num_subchannels()));
+  return solve(scenario, std::move(initial), initial_temperature, rng);
+}
+
+ScheduleResult TsajsScheduler::schedule_from(const mec::Scenario& scenario,
+                                             const jtora::Assignment& hint,
+                                             Rng& rng) const {
+  // The hint replaces the random start; repair makes it feasible for this
+  // scenario whatever it was shaped for. Annealing restarts from the low
+  // warm_reheat temperature instead of re-melting at T = N.
+  return solve(scenario, repair_hint(scenario, hint), config_.warm_reheat,
+               rng);
+}
+
+ScheduleResult TsajsScheduler::solve(const mec::Scenario& scenario,
+                                     jtora::Assignment initial,
+                                     double initial_temperature,
+                                     Rng& rng) const {
+  const Neighborhood neighborhood(scenario, config_.neighborhood);
 
   if (config_.use_incremental_evaluator) {
     // Preview/commit protocol: propose() only *describes* the move and
@@ -110,7 +131,7 @@ ScheduleResult TsajsScheduler::schedule(const mec::Scenario& scenario,
     state.set_rebuild_interval(config_.rebuild_interval);
     Neighborhood::Move move;
     return anneal(
-        scenario, config_, rng, state.utility(),
+        config_, rng, initial_temperature, state.utility(),
         /*propose=*/
         [&](Rng& r) {
           move = neighborhood.propose(state, r);
@@ -129,7 +150,7 @@ ScheduleResult TsajsScheduler::schedule(const mec::Scenario& scenario,
   jtora::Assignment candidate = current;
   double candidate_utility = 0.0;
   return anneal(
-      scenario, config_, rng, evaluator.system_utility(current),
+      config_, rng, initial_temperature, evaluator.system_utility(current),
       /*propose=*/
       [&](Rng& r) {
         candidate = current;

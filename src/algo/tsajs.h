@@ -39,6 +39,15 @@ struct TsajsConfig {
   /// Initial temperature; defaults to the number of sub-channels N
   /// (Algorithm 1 line 3, "T <- N").
   std::optional<double> initial_temperature;
+  /// Initial temperature of *warm* (hint-started) solves via
+  /// schedule_from(). A warm start is already near-optimal, so instead of
+  /// reheating to T = N and re-melting the solution, the annealer restarts
+  /// the cooling schedule far down the curve and spends its whole budget
+  /// polishing. Well below N by design; at the default the warm chain is
+  /// effectively a stochastic descent with occasional tiny uphill escapes,
+  /// which empirically keeps utility inside the cold run's confidence
+  /// interval at a fraction of the iterations (bench/bench_dynamic.cpp).
+  double warm_reheat = 1e-6;
   /// Offload probability of the random initial solution (Algorithm 1 line 5
   /// only requires feasibility). Defaults to all-local: on large instances a
   /// dense random start sits so deep in negative-utility territory that the
@@ -62,7 +71,7 @@ struct TsajsConfig {
   void validate() const;
 };
 
-class TsajsScheduler final : public Scheduler {
+class TsajsScheduler final : public Scheduler, public WarmStartable {
  public:
   explicit TsajsScheduler(TsajsConfig config = {});
 
@@ -70,9 +79,21 @@ class TsajsScheduler final : public Scheduler {
   [[nodiscard]] ScheduleResult schedule(const mec::Scenario& scenario,
                                         Rng& rng) const override;
 
+  /// Warm start (Algorithm 1 with lines 3/5 replaced): the hint is repaired
+  /// against `scenario` (repair_hint) and annealing starts from it at
+  /// `config().warm_reheat` instead of T = N.
+  [[nodiscard]] ScheduleResult schedule_from(const mec::Scenario& scenario,
+                                             const jtora::Assignment& hint,
+                                             Rng& rng) const override;
+
   [[nodiscard]] const TsajsConfig& config() const noexcept { return config_; }
 
  private:
+  [[nodiscard]] ScheduleResult solve(const mec::Scenario& scenario,
+                                     jtora::Assignment initial,
+                                     double initial_temperature,
+                                     Rng& rng) const;
+
   TsajsConfig config_;
 };
 

@@ -77,6 +77,20 @@ class Matrix3 {
 
   void fill(const T& value) { data_.assign(data_.size(), value); }
 
+  /// Re-dimensions the tensor in place, keeping the underlying allocation
+  /// whenever the new extent fits the existing capacity. Element values are
+  /// unspecified afterwards; callers are expected to overwrite every entry
+  /// (e.g. radio::ChannelModel::regenerate_into re-drawing an epoch's gains
+  /// into a tensor that outlives the epoch).
+  void reshape(std::size_t dim0, std::size_t dim1, std::size_t dim2) {
+    dim0_ = dim0;
+    dim1_ = dim1;
+    dim2_ = dim2;
+    data_.resize(dim0 * dim1 * dim2);
+  }
+
+  [[nodiscard]] const std::vector<T>& data() const noexcept { return data_; }
+
   friend bool operator==(const Matrix3&, const Matrix3&) = default;
 
  private:

@@ -21,7 +21,13 @@ class Accumulator {
   void merge(const Accumulator& other) noexcept;
 
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
-  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Mean of the samples; defined as 0.0 when no samples have been added
+  /// (rather than NaN), so downstream arithmetic on empty accumulators —
+  /// e.g. a dynamic-simulation report whose every epoch was empty — stays
+  /// finite.
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : mean_;
+  }
   /// Unbiased sample variance. Zero when fewer than two samples.
   [[nodiscard]] double variance() const noexcept;
   [[nodiscard]] double stddev() const noexcept;

@@ -65,6 +65,11 @@ class Scenario {
   }
 
  private:
+  /// ScenarioWorkspace rebuilds scenarios epoch after epoch; it is allowed
+  /// to reclaim the user/gain buffers of a scenario it created (and only
+  /// then), so the storage round-trips instead of being reallocated.
+  friend class ScenarioWorkspace;
+
   std::vector<UserEquipment> users_;
   std::vector<EdgeServer> servers_;
   radio::Spectrum spectrum_;

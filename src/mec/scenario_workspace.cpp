@@ -1,0 +1,39 @@
+#include "mec/scenario_workspace.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace tsajs::mec {
+
+ScenarioWorkspace::ScenarioWorkspace(std::vector<EdgeServer> servers,
+                                     radio::Spectrum spectrum, double noise_w)
+    : servers_(std::move(servers)), spectrum_(spectrum), noise_w_(noise_w) {
+  TSAJS_REQUIRE(!servers_.empty(), "a workspace needs at least one server");
+  TSAJS_REQUIRE(noise_w_ > 0.0, "noise power must be positive");
+  for (const auto& server : servers_) server.validate();
+}
+
+void ScenarioWorkspace::begin_epoch() {
+  if (scenario_.has_value()) {
+    // Reclaim the storage the last commit() moved into the scenario; the
+    // scenario object itself is discarded.
+    users_ = std::move(scenario_->users_);
+    gains_ = std::move(scenario_->gains_);
+    scenario_.reset();
+  }
+  users_.clear();
+}
+
+const Scenario& ScenarioWorkspace::commit() {
+  TSAJS_CHECK(!scenario_.has_value(),
+              "commit() without an intervening begin_epoch()");
+  // The servers are copied (they are small and epoch-invariant); the user
+  // vector and gain tensor are moved, so their allocations travel into the
+  // scenario and come back in begin_epoch().
+  scenario_.emplace(std::move(users_), servers_, spectrum_, noise_w_,
+                    std::move(gains_));
+  return *scenario_;
+}
+
+}  // namespace tsajs::mec

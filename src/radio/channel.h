@@ -31,6 +31,38 @@ struct ChannelConfig {
   bool rayleigh_fading = false;
 };
 
+/// Memoized deterministic path loss for a fixed population of users against
+/// a fixed set of base stations, keyed by a *stable* user id (not the row
+/// index of one epoch's active subset). ChannelModel::regenerate_into
+/// consults it so that per-epoch channel redraws only re-evaluate the
+/// path-loss model for users whose position actually changed — under
+/// random-walk mobility a user that rejected every step keeps its exact
+/// position and therefore its cached row.
+class PathLossCache {
+ public:
+  PathLossCache() = default;
+
+  /// Sizes the cache for `num_ids` stable user ids × `num_bs` base stations
+  /// and invalidates every row. Base-station geometry is assumed fixed for
+  /// the cache's lifetime.
+  void reset(std::size_t num_ids, std::size_t num_bs) {
+    loss_db_ = Matrix2<double>(num_ids, num_bs, 0.0);
+    position_.assign(num_ids, geo::Point{});
+    valid_.assign(num_ids, 0);
+  }
+
+  [[nodiscard]] std::size_t num_ids() const noexcept {
+    return position_.size();
+  }
+  [[nodiscard]] std::size_t num_bs() const noexcept { return loss_db_.cols(); }
+
+ private:
+  friend class ChannelModel;
+  Matrix2<double> loss_db_;          ///< (id, bs) path loss [dB]
+  std::vector<geo::Point> position_;  ///< position the row was computed at
+  std::vector<char> valid_;
+};
+
 /// Generates channel gains for a deployment snapshot.
 class ChannelModel {
  public:
@@ -46,6 +78,24 @@ class ChannelModel {
       const std::vector<geo::Point>& user_positions,
       const std::vector<geo::Point>& bs_positions,
       std::size_t num_subchannels, Rng& rng) const;
+
+  /// Draws a fresh set of gains *into* `out`, reshaping it in place so the
+  /// tensor's allocation is reused across calls (the per-epoch hot path of
+  /// sim::DynamicSimulator). Consumes exactly the same RNG stream as
+  /// generate(), so the two are bit-for-bit interchangeable.
+  ///
+  /// With a `cache`, the deterministic path-loss term is memoized per user:
+  /// `user_ids[u]` names the stable identity of row `u` (pass nullptr when
+  /// row indices are themselves stable), and only rows whose position
+  /// changed since their last draw re-evaluate the path-loss model. The
+  /// shadowing/fading draws are unconditionally redrawn either way — the
+  /// cache never changes results, only skips deterministic recomputation.
+  void regenerate_into(const std::vector<geo::Point>& user_positions,
+                       const std::vector<geo::Point>& bs_positions,
+                       std::size_t num_subchannels, Rng& rng,
+                       Matrix3<double>& out, PathLossCache* cache = nullptr,
+                       const std::vector<std::size_t>* user_ids =
+                           nullptr) const;
 
   /// Deterministic mean gain of a single link (no shadowing/fading); used by
   /// tests and by the Greedy baseline's "strongest signal" ordering intuition.

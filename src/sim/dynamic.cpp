@@ -1,11 +1,15 @@
 #include "sim/dynamic.h"
 
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "common/error.h"
 #include "common/stopwatch.h"
 #include "common/units.h"
+#include "jtora/assignment.h"
 #include "jtora/utility.h"
+#include "mec/scenario_workspace.h"
 #include "radio/spectrum.h"
 
 namespace tsajs::sim {
@@ -48,7 +52,7 @@ DynamicSimulator::DynamicSimulator(std::size_t population,
 }
 
 DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
-                                    Rng& rng) const {
+                                    Rng& rng, WarmStart warm) const {
   // Initial placement.
   std::vector<geo::Point> positions(population_);
   for (auto& p : positions) p = layout_.sample_in_network(rng);
@@ -56,6 +60,21 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
   for (std::size_t s = 0; s < servers_.size(); ++s) {
     bs_positions[s] = servers_[s].position;
   }
+
+  // Epoch-persistent state: the workspace keeps the user vector and gain
+  // tensor allocated; the path-loss cache memoizes the deterministic term
+  // per population member; `carried` remembers, per population member, the
+  // slot held after the most recent scheduled epoch (the warm-start hint).
+  mec::ScenarioWorkspace workspace(
+      servers_, radio::Spectrum(bandwidth_hz_, num_subchannels_), noise_w_);
+  radio::PathLossCache pathloss_cache;
+  pathloss_cache.reset(population_, servers_.size());
+  std::vector<std::optional<jtora::Slot>> carried(population_);
+
+  std::vector<std::size_t> active;
+  std::vector<geo::Point> user_positions;
+  active.reserve(population_);
+  user_positions.reserve(population_);
 
   DynamicReport report;
   report.epochs.reserve(config_.epochs);
@@ -75,9 +94,10 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
       }
     }
 
-    // 2. Task arrivals: the epoch's active set.
-    std::vector<std::size_t> active;
-    std::vector<mec::UserEquipment> users;
+    // 2. Task arrivals: the epoch's active set, staged into the workspace.
+    workspace.begin_epoch();
+    std::vector<mec::UserEquipment>& users = workspace.users();
+    active.clear();
     for (std::size_t g = 0; g < population_; ++g) {
       if (!rng.bernoulli(config_.activity_prob)) continue;
       mec::UserEquipment ue = prototype_;
@@ -91,32 +111,56 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
       users.push_back(std::move(ue));
     }
     if (users.empty()) {
+      // Nothing to schedule: the epoch appears in the timeline but adds no
+      // sample to the aggregates, so every accumulator keeps the same
+      // count (one per *scheduled* epoch).
       report.epochs.push_back({});
-      report.utility.add(0.0);
-      report.offload_ratio.add(0.0);
-      report.solve_seconds.add(0.0);
+      ++report.empty_epochs;
       continue;
     }
 
-    // 3. Fresh channel gains for the epoch's geometry.
-    std::vector<geo::Point> user_positions(users.size());
+    // 3. Fresh channel draws for the epoch's geometry, written into the
+    // workspace tensor; path loss is only recomputed for users that moved.
+    user_positions.resize(users.size());
     for (std::size_t i = 0; i < users.size(); ++i) {
       user_positions[i] = users[i].position;
     }
-    Matrix3<double> gains = channel_.generate(user_positions, bs_positions,
-                                              num_subchannels_, rng);
-    const mec::Scenario scenario(
-        std::move(users), servers_,
-        radio::Spectrum(bandwidth_hz_, num_subchannels_), noise_w_,
-        std::move(gains));
+    channel_.regenerate_into(user_positions, bs_positions, num_subchannels_,
+                             rng, workspace.gains(), &pathloss_cache,
+                             &active);
+    const mec::Scenario& scenario = workspace.commit();
 
     // 4. Solve the snapshot. The scheduler gets a derived child RNG so that
     // its own randomness cannot perturb the environment stream — two
     // schedulers fed the same seed therefore see the *identical* timeline
-    // (paired comparison).
+    // (paired comparison; this also makes warm vs. cold a paired
+    // comparison, since the warm hint only reaches the scheduler's side).
     Rng scheduler_rng(rng.derive_seed(epoch));
-    const algo::ScheduleResult result =
-        algo::run_and_validate(scheduler, scenario, scheduler_rng);
+    algo::ScheduleResult result = [&] {
+      if (warm == WarmStart::kWarm) {
+        // Repair the carried assignment for this epoch's active set: users
+        // that went inactive are simply absent (their slots free), newly
+        // active users enter local, and survivors keep their slots.
+        jtora::Assignment hint(scenario);
+        for (std::size_t i = 0; i < active.size(); ++i) {
+          const auto& slot = carried[active[i]];
+          if (!slot.has_value()) continue;
+          if (hint.occupant(slot->server, slot->subchannel).has_value()) {
+            continue;
+          }
+          hint.offload(i, slot->server, slot->subchannel);
+        }
+        return algo::run_and_validate(scheduler, scenario, hint,
+                                      scheduler_rng);
+      }
+      return algo::run_and_validate(scheduler, scenario, scheduler_rng);
+    }();
+
+    // Remember this epoch's outcome as the next epoch's hint.
+    carried.assign(population_, std::nullopt);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      carried[active[i]] = result.assignment.slot_of(i);
+    }
 
     // 5. Record.
     const jtora::UtilityEvaluator evaluator(scenario);

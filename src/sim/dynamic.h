@@ -13,6 +13,17 @@
 //
 // Everything is driven by one caller-supplied Rng, so a whole simulated
 // timeline is reproducible from a single seed.
+//
+// The per-epoch loop runs over a mec::ScenarioWorkspace — the user vector,
+// gain tensor and spectrum stay allocated across epochs, channel gains are
+// re-drawn in place (radio::ChannelModel::regenerate_into with a path-loss
+// cache), and with WarmStart::kWarm the previous epoch's assignment is
+// repaired (inactive users dropped, their slots released, newly active
+// users entering local) and handed to the scheduler as a warm-start hint.
+// The environment RNG stream is identical in both modes and identical to
+// the original allocate-per-epoch implementation, so cold runs are
+// bit-for-bit reproductions of the historical behavior and warm-vs-cold is
+// a paired comparison over the same timeline.
 #pragma once
 
 #include <cstddef>
@@ -41,6 +52,16 @@ struct DynamicConfig {
   void validate() const;
 };
 
+/// How each epoch's solve is seeded.
+enum class WarmStart {
+  /// Every epoch solves from scratch (the scheduler's own initialisation).
+  kCold,
+  /// The previous epoch's assignment, repaired for the new active set, is
+  /// passed as a hint; WarmStartable schedulers resume from it, others
+  /// silently fall back to a cold solve.
+  kWarm,
+};
+
 /// Outcome of one scheduling epoch.
 struct EpochStats {
   std::size_t active_users = 0;
@@ -51,9 +72,14 @@ struct EpochStats {
   double solve_seconds = 0.0;
 };
 
-/// Aggregates over a full run.
+/// Aggregates over a full run. The accumulators aggregate *scheduled*
+/// (non-empty) epochs only, so utility / offload_ratio / mean_delay_s /
+/// mean_energy_j / solve_seconds all hold the same sample count; epochs in
+/// which no task arrived are counted in `empty_epochs` and appear in
+/// `epochs` as all-zero entries.
 struct DynamicReport {
   std::vector<EpochStats> epochs;
+  std::size_t empty_epochs = 0;
   Accumulator utility;
   Accumulator offload_ratio;
   Accumulator mean_delay_s;
@@ -71,9 +97,11 @@ class DynamicSimulator {
                    mec::EdgeServer server_prototype = {},
                    double bandwidth_hz = 20e6, double noise_dbm = -100.0);
 
-  /// Runs the timeline, scheduling every epoch with `scheduler`.
-  [[nodiscard]] DynamicReport run(const algo::Scheduler& scheduler,
-                                  Rng& rng) const;
+  /// Runs the timeline, scheduling every epoch with `scheduler`. The warm
+  /// policy only changes how solves are *seeded* — the simulated
+  /// environment (mobility, arrivals, channels) is identical either way.
+  [[nodiscard]] DynamicReport run(const algo::Scheduler& scheduler, Rng& rng,
+                                  WarmStart warm = WarmStart::kCold) const;
 
   [[nodiscard]] const DynamicConfig& config() const noexcept {
     return config_;

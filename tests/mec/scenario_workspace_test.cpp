@@ -1,0 +1,105 @@
+#include "mec/scenario_workspace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "radio/channel.h"
+#include "radio/spectrum.h"
+
+namespace tsajs::mec {
+namespace {
+
+std::vector<EdgeServer> two_servers() {
+  std::vector<EdgeServer> servers(2);
+  servers[0].position = {0.0, 0.0};
+  servers[1].position = {1000.0, 0.0};
+  return servers;
+}
+
+UserEquipment user_at(double x, double y) {
+  UserEquipment ue;
+  ue.task = Task(3.36e6, 1e9);
+  ue.position = {x, y};
+  return ue;
+}
+
+void stage_epoch(ScenarioWorkspace& ws, std::size_t num_users,
+                 std::uint64_t seed) {
+  ws.begin_epoch();
+  std::vector<geo::Point> positions;
+  for (std::size_t u = 0; u < num_users; ++u) {
+    ws.users().push_back(user_at(100.0 + 50.0 * static_cast<double>(u), 40.0));
+    positions.push_back(ws.users().back().position);
+  }
+  std::vector<geo::Point> sites;
+  for (const auto& server : ws.servers()) sites.push_back(server.position);
+  Rng rng(seed);
+  radio::make_paper_channel().regenerate_into(
+      positions, sites, ws.spectrum().num_subchannels(), rng, ws.gains());
+}
+
+TEST(ScenarioWorkspaceTest, CommitBuildsValidScenario) {
+  ScenarioWorkspace ws(two_servers(), radio::Spectrum(20e6, 3), 1e-13);
+  stage_epoch(ws, 4, 1);
+  const Scenario& scenario = ws.commit();
+  EXPECT_TRUE(ws.has_scenario());
+  EXPECT_EQ(scenario.num_users(), 4u);
+  EXPECT_EQ(scenario.num_servers(), 2u);
+  EXPECT_EQ(scenario.gains().dim0(), 4u);
+  EXPECT_EQ(scenario.gains().dim1(), 2u);
+  EXPECT_EQ(scenario.gains().dim2(), 3u);
+  EXPECT_DOUBLE_EQ(scenario.noise_w(), 1e-13);
+}
+
+TEST(ScenarioWorkspaceTest, BuffersAreReusedAcrossEpochs) {
+  ScenarioWorkspace ws(two_servers(), radio::Spectrum(20e6, 2), 1e-13);
+  stage_epoch(ws, 6, 2);
+  const double* gains_storage = ws.gains().data().data();
+  const UserEquipment* users_storage = ws.users().data();
+  (void)ws.commit();
+  // A same-or-smaller epoch must land in the very same allocations after
+  // the round trip through the committed scenario.
+  stage_epoch(ws, 5, 3);
+  EXPECT_EQ(ws.gains().data().data(), gains_storage);
+  EXPECT_EQ(ws.users().data(), users_storage);
+  const Scenario& scenario = ws.commit();
+  EXPECT_EQ(scenario.num_users(), 5u);
+  EXPECT_EQ(scenario.gains().data().data(), gains_storage);
+}
+
+TEST(ScenarioWorkspaceTest, CommittedScenarioMatchesHandBuiltOne) {
+  // The workspace is a storage optimisation only: committing staged data
+  // must equal constructing a Scenario from the same inputs directly.
+  ScenarioWorkspace ws(two_servers(), radio::Spectrum(20e6, 2), 1e-13);
+  stage_epoch(ws, 3, 7);
+  const std::vector<UserEquipment> users_copy = ws.users();
+  const Matrix3<double> gains_copy = ws.gains();
+  const Scenario& committed = ws.commit();
+  const Scenario direct(users_copy, two_servers(), radio::Spectrum(20e6, 2),
+                        1e-13, gains_copy);
+  ASSERT_EQ(committed.num_users(), direct.num_users());
+  EXPECT_EQ(committed.gains().data(), direct.gains().data());
+  for (std::size_t u = 0; u < direct.num_users(); ++u) {
+    EXPECT_EQ(committed.users()[u].position, direct.users()[u].position);
+  }
+}
+
+TEST(ScenarioWorkspaceTest, DoubleCommitIsAnError) {
+  ScenarioWorkspace ws(two_servers(), radio::Spectrum(20e6, 2), 1e-13);
+  stage_epoch(ws, 2, 4);
+  (void)ws.commit();
+  EXPECT_THROW((void)ws.commit(), InternalError);
+  // begin_epoch() resets the cycle.
+  stage_epoch(ws, 2, 5);
+  EXPECT_NO_THROW((void)ws.commit());
+}
+
+TEST(ScenarioWorkspaceTest, RejectsBadConstruction) {
+  EXPECT_THROW(ScenarioWorkspace({}, radio::Spectrum(20e6, 2), 1e-13),
+               InvalidArgumentError);
+  EXPECT_THROW(ScenarioWorkspace(two_servers(), radio::Spectrum(20e6, 2), 0.0),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace tsajs::mec

@@ -130,5 +130,83 @@ TEST(ChannelModelTest, RejectsNullPathloss) {
   EXPECT_THROW(ChannelModel(nullptr, ChannelConfig{}), InvalidArgumentError);
 }
 
+TEST(RegenerateIntoTest, MatchesGenerateBitForBit) {
+  // regenerate_into draws in exactly generate()'s order, so same-seeded
+  // runs of the two must agree exactly — including with Rayleigh fading,
+  // which adds an extra exponential draw per (u, s, j).
+  for (const bool fading : {false, true}) {
+    ChannelConfig config;
+    config.rayleigh_fading = fading;
+    const ChannelModel model(make_paper_pathloss(), config);
+    const auto users = grid_points(7, 240.0);
+    const auto sites = grid_points(3, 1100.0);
+    Rng rng_a(5);
+    Rng rng_b(5);
+    const Matrix3<double> reference = model.generate(users, sites, 4, rng_a);
+    Matrix3<double> out;
+    model.regenerate_into(users, sites, 4, rng_b, out);
+    ASSERT_EQ(out.dim0(), reference.dim0());
+    ASSERT_EQ(out.dim1(), reference.dim1());
+    ASSERT_EQ(out.dim2(), reference.dim2());
+    EXPECT_EQ(out.data(), reference.data());
+  }
+}
+
+TEST(RegenerateIntoTest, PathLossCacheDoesNotChangeResults) {
+  // Drawing with a warm cache must be bit-identical to the uncached path,
+  // whether users moved or not: only deterministic work is memoized.
+  ChannelModel model = make_paper_channel();
+  const auto sites = grid_points(3, 1000.0);
+  auto users = grid_points(6, 310.0);
+  PathLossCache cache;
+  cache.reset(6, sites.size());
+
+  Rng rng_cached(11);
+  Rng rng_plain(11);
+  Matrix3<double> cached;
+  Matrix3<double> plain;
+  // Epoch 1: cold cache, every row computed.
+  model.regenerate_into(users, sites, 3, rng_cached, cached, &cache);
+  model.regenerate_into(users, sites, 3, rng_plain, plain);
+  EXPECT_EQ(cached.data(), plain.data());
+  // Epoch 2: users 0 and 3 move, the rest hit the cache.
+  users[0].x += 55.0;
+  users[3].y += 31.0;
+  model.regenerate_into(users, sites, 3, rng_cached, cached, &cache);
+  model.regenerate_into(users, sites, 3, rng_plain, plain);
+  EXPECT_EQ(cached.data(), plain.data());
+}
+
+TEST(RegenerateIntoTest, CacheKeyedByStableIdsAcrossActiveSubsets) {
+  // With `user_ids`, rows cache under population ids: a user keeps its
+  // cached path loss even when its index inside the active subset shifts.
+  ChannelModel model = make_paper_channel();
+  const auto sites = grid_points(2, 900.0);
+  const auto population = grid_points(5, 270.0);
+  PathLossCache cache;
+  cache.reset(population.size(), sites.size());
+
+  // Epoch 1: users {1, 3, 4} active; epoch 2: users {3, 4} active at the
+  // same positions but different subset indices.
+  const std::vector<std::size_t> active1 = {1, 3, 4};
+  const std::vector<std::size_t> active2 = {3, 4};
+  Rng rng_cached(17);
+  Rng rng_plain(17);
+  Matrix3<double> cached;
+  Matrix3<double> plain;
+  std::vector<geo::Point> positions;
+  for (const std::size_t id : active1) positions.push_back(population[id]);
+  model.regenerate_into(positions, sites, 2, rng_cached, cached, &cache,
+                        &active1);
+  model.regenerate_into(positions, sites, 2, rng_plain, plain);
+  EXPECT_EQ(cached.data(), plain.data());
+  positions.clear();
+  for (const std::size_t id : active2) positions.push_back(population[id]);
+  model.regenerate_into(positions, sites, 2, rng_cached, cached, &cache,
+                        &active2);
+  model.regenerate_into(positions, sites, 2, rng_plain, plain);
+  EXPECT_EQ(cached.data(), plain.data());
+}
+
 }  // namespace
 }  // namespace tsajs::radio

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "algo/greedy.h"
+#include "algo/hjtora.h"
 #include "algo/tsajs.h"
 #include "common/error.h"
 
@@ -114,6 +115,198 @@ TEST(DynamicSimulatorTest, ZeroMobilityKeepsUsersStill) {
 TEST(DynamicSimulatorTest, RejectsBadConstruction) {
   EXPECT_THROW(DynamicSimulator(0, 4, 2), InvalidArgumentError);
   EXPECT_THROW(DynamicSimulator(10, 4, 0), InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------------------
+// Cold-path bit-identity. These hexfloat tables were captured from the
+// original allocate-per-epoch simulator (before ScenarioWorkspace /
+// regenerate_into / warm starts existed). The workspace-based loop must
+// reproduce them bit for bit: any change here means the environment RNG
+// stream moved and every downstream experiment silently changed.
+// ---------------------------------------------------------------------------
+
+struct GoldenEpoch {
+  std::size_t active_users;
+  std::size_t offloaded;
+  double utility;
+  double mean_delay_s;
+  double mean_energy_j;
+};
+
+void expect_matches_golden(const DynamicReport& report,
+                           const std::vector<GoldenEpoch>& golden) {
+  ASSERT_EQ(report.epochs.size(), golden.size());
+  for (std::size_t e = 0; e < golden.size(); ++e) {
+    SCOPED_TRACE("epoch " + std::to_string(e));
+    EXPECT_EQ(report.epochs[e].active_users, golden[e].active_users);
+    EXPECT_EQ(report.epochs[e].offloaded, golden[e].offloaded);
+    EXPECT_DOUBLE_EQ(report.epochs[e].utility, golden[e].utility);
+    EXPECT_DOUBLE_EQ(report.epochs[e].mean_delay_s, golden[e].mean_delay_s);
+    EXPECT_DOUBLE_EQ(report.epochs[e].mean_energy_j, golden[e].mean_energy_j);
+  }
+}
+
+TEST(DynamicGoldenTest, GreedyColdPathBitIdentical) {
+  DynamicConfig config;
+  config.epochs = 10;
+  const DynamicSimulator simulator(15, 4, 2, config);
+  Rng rng(7);
+  const DynamicReport report = simulator.run(algo::GreedyScheduler(), rng);
+  expect_matches_golden(
+      report,
+      {{11, 4, 0x1.b9540f4b42d3fp+1, 0x1.a3c9f3773a25ep+0,
+        0x1.a80685a180d35p+2},
+       {9, 4, 0x1.8f45aa7f260fap+1, 0x1.89b263e00bdadp+0,
+        0x1.9db0156476504p+2},
+       {9, 3, 0x1.cbb5682d77598p+0, 0x1.a5c4bb3ea1d14p+0,
+        0x1.e3086ec25a33cp+1},
+       {9, 4, 0x1.bd8331f8374d5p+1, 0x1.6544b3206e9e3p+0,
+        0x1.5750aa3b2a00dp+2},
+       {7, 3, 0x1.5424762fd373cp+1, 0x1.71e16ded179cap+0,
+        0x1.6a755afcd66b6p+2},
+       {9, 3, 0x1.a57ff552c9641p+0, 0x1.e25a6708e804ep+0,
+        0x1.f91e182e87ec2p+2},
+       {10, 3, 0x1.4c7a61823c7a3p+1, 0x1.9b760703aa282p+0,
+        0x1.adec1d9eff604p+2},
+       {11, 5, 0x1.b4bc5e33e11e7p+1, 0x1.13ce973da3c4ap+1,
+        0x1.b5db95f03217cp+2},
+       {11, 4, 0x1.8e1ba7b9a069dp+1, 0x1.2723a751c2ac3p+0,
+        0x1.1bdf7bf48fe5ap+2},
+       {11, 6, 0x1.ed3abbd93c162p+1, 0x1.9ec52f0e7dc0ap+0,
+        0x1.811b41e59ed13p+1}});
+}
+
+TEST(DynamicGoldenTest, TsajsColdPathBitIdentical) {
+  DynamicConfig config;
+  config.epochs = 8;
+  config.activity_prob = 0.4;
+  const DynamicSimulator simulator(6, 3, 2, config);
+  algo::TsajsConfig tsajs_config;
+  tsajs_config.chain_length = 5;
+  Rng rng(21);
+  const DynamicReport report =
+      simulator.run(algo::TsajsScheduler(tsajs_config), rng);
+  expect_matches_golden(
+      report,
+      {{2, 1, 0x1.c365bd1dce8d6p-2, 0x1.2993f60da934bp+1,
+        0x1.00a5a54cd6e4cp+2},
+       {2, 1, 0x1.63b36f543dc97p-1, 0x1.3661b96bfa6d8p+0,
+        0x1.4ff65c44a6849p+1},
+       {2, 0, 0x0p+0, 0x1.481d595b66b92p+0, 0x1.9a24afb240677p+2},
+       {4, 1, 0x1.d5fe1e2df6167p-2, 0x1.49e2eb7cfb734p+1,
+        0x1.15c03fc40001dp+3},
+       {1, 0, 0x0p+0, 0x1.746dee1b8f6cdp+1, 0x1.d18969a273481p+3},
+       {3, 1, 0x1.747793660964cp-1, 0x1.5d746308a75ffp+1,
+        0x1.5fd334c9b3eddp+3},
+       {3, 2, 0x1.d1a9584e5c707p+0, 0x1.5e594246f220ap+0,
+        0x1.47f95b51674f4p+2},
+       {2, 0, 0x0p+0, 0x1.32827a0b019edp+1, 0x1.7f23188dc2068p+3}});
+}
+
+TEST(DynamicGoldenTest, EmptyEpochsPreserveStreamAndAreBitIdentical) {
+  // Epochs 2 and 4 of this timeline have no arrivals: the pre-change
+  // simulator skipped channel generation and seed derivation for them, and
+  // the workspace path must do the same or every later epoch diverges.
+  DynamicConfig config;
+  config.epochs = 8;
+  config.activity_prob = 0.3;
+  const DynamicSimulator simulator(5, 3, 2, config);
+  Rng rng(3);
+  const DynamicReport report = simulator.run(algo::GreedyScheduler(), rng);
+  expect_matches_golden(
+      report,
+      {{1, 1, 0x1.daf0b7498f5c3p-1, 0x1.3de4ea9dfa4ep-2,
+        0x1.0a2e34ff7a172p-9},
+       {1, 1, 0x1.ecd10dafed459p-3, 0x1.8d45ce48cdcc1p+1,
+        0x1.ebbc4569b3829p-6},
+       {0, 0, 0x0p+0, 0x0p+0, 0x0p+0},
+       {1, 0, 0x0p+0, 0x1.cc4202044b385p+1, 0x1.1fa94142af033p+4},
+       {0, 0, 0x0p+0, 0x0p+0, 0x0p+0},
+       {1, 1, 0x1.80a2800addcd6p-1, 0x1.38ea8a3e43d8cp-2,
+        0x1.683518e2a2356p-9},
+       {4, 2, 0x1.593e0bab05ca2p+0, 0x1.481bf34dd392dp+1,
+        0x1.0bd0405a8d9d3p+3},
+       {2, 1, 0x1.1819a95767b9ap-2, 0x1.61a0be013a8d6p+1,
+        0x1.fbe5012556f03p+1}});
+}
+
+TEST(DynamicSimulatorTest, EmptyEpochAccountingIsConsistent) {
+  // The same timeline as above has exactly two empty epochs. They appear in
+  // the timeline but contribute no aggregate sample, so every accumulator
+  // holds one sample per *scheduled* epoch.
+  DynamicConfig config;
+  config.epochs = 8;
+  config.activity_prob = 0.3;
+  const DynamicSimulator simulator(5, 3, 2, config);
+  Rng rng(3);
+  const DynamicReport report = simulator.run(algo::GreedyScheduler(), rng);
+  EXPECT_EQ(report.empty_epochs, 2u);
+  const std::size_t scheduled = report.epochs.size() - report.empty_epochs;
+  EXPECT_EQ(report.utility.count(), scheduled);
+  EXPECT_EQ(report.offload_ratio.count(), scheduled);
+  EXPECT_EQ(report.mean_delay_s.count(), scheduled);
+  EXPECT_EQ(report.mean_energy_j.count(), scheduled);
+  EXPECT_EQ(report.solve_seconds.count(), scheduled);
+}
+
+TEST(DynamicSimulatorTest, WarmRunsSeeTheIdenticalTimeline) {
+  // WarmStart only changes how solves are seeded; the environment stream
+  // (arrivals, mobility, channels) must match the cold run epoch by epoch.
+  DynamicConfig config;
+  config.epochs = 12;
+  const DynamicSimulator simulator(18, 4, 2, config);
+  algo::TsajsConfig tsajs_config;
+  tsajs_config.chain_length = 6;
+  const algo::TsajsScheduler scheduler(tsajs_config);
+  Rng rng_cold(29);
+  Rng rng_warm(29);
+  const DynamicReport cold =
+      simulator.run(scheduler, rng_cold, WarmStart::kCold);
+  const DynamicReport warm =
+      simulator.run(scheduler, rng_warm, WarmStart::kWarm);
+  ASSERT_EQ(cold.epochs.size(), warm.epochs.size());
+  for (std::size_t e = 0; e < cold.epochs.size(); ++e) {
+    EXPECT_EQ(cold.epochs[e].active_users, warm.epochs[e].active_users);
+  }
+}
+
+TEST(DynamicSimulatorTest, WarmStartIsDeterministicPerSeed) {
+  DynamicConfig config;
+  config.epochs = 10;
+  const DynamicSimulator simulator(16, 4, 2, config);
+  algo::TsajsConfig tsajs_config;
+  tsajs_config.chain_length = 6;
+  const algo::TsajsScheduler scheduler(tsajs_config);
+  Rng rng_a(37);
+  Rng rng_b(37);
+  const DynamicReport a = simulator.run(scheduler, rng_a, WarmStart::kWarm);
+  const DynamicReport b = simulator.run(scheduler, rng_b, WarmStart::kWarm);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (std::size_t e = 0; e < a.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(a.epochs[e].utility, b.epochs[e].utility);
+    EXPECT_EQ(a.epochs[e].offloaded, b.epochs[e].offloaded);
+    EXPECT_DOUBLE_EQ(a.epochs[e].mean_delay_s, b.epochs[e].mean_delay_s);
+  }
+}
+
+TEST(DynamicSimulatorTest, WarmStartWorksForColdOnlySchedulers) {
+  // A scheduler without the WarmStartable capability silently falls back
+  // to cold solves — the warm run then equals the cold run exactly.
+  DynamicConfig config;
+  config.epochs = 6;
+  const DynamicSimulator simulator(12, 3, 2, config);
+  const algo::HjtoraScheduler scheduler;
+  Rng rng_cold(41);
+  Rng rng_warm(41);
+  const DynamicReport cold =
+      simulator.run(scheduler, rng_cold, WarmStart::kCold);
+  const DynamicReport warm =
+      simulator.run(scheduler, rng_warm, WarmStart::kWarm);
+  ASSERT_EQ(cold.epochs.size(), warm.epochs.size());
+  for (std::size_t e = 0; e < cold.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(cold.epochs[e].utility, warm.epochs[e].utility);
+    EXPECT_EQ(cold.epochs[e].offloaded, warm.epochs[e].offloaded);
+  }
 }
 
 }  // namespace
