@@ -12,6 +12,8 @@
 
 #include "algo/registry.h"
 #include "common/cli.h"
+#include "common/error.h"
+#include "common/log.h"
 #include "exp/report.h"
 #include "exp/trial_runner.h"
 
@@ -44,13 +46,14 @@ inline void add_common_flags(CliParser& cli, const std::string& trials_default,
                "(1 = sequential, 0 = hardware)",
                "1");
   cli.add_flag("csv", "CSV output path prefix (empty = off)", "");
+  cli.add_flag("verbose", "log per-point sweep progress to stderr", "false");
 }
 
 /// Reads the shared flags back out of a parsed `cli`.
 inline BenchOptions read_common_flags(const CliParser& cli) {
   BenchOptions options;
   options.trials = static_cast<std::size_t>(cli.get_uint("trials"));
-  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  options.seed = cli.get_uint("seed");
   options.schemes = algo::parse_scheme_list(cli.get_string("schemes"));
   options.chain_length =
       static_cast<std::size_t>(cli.get_uint("chain-length"));
@@ -58,6 +61,7 @@ inline BenchOptions read_common_flags(const CliParser& cli) {
   options.restart_threads =
       static_cast<std::size_t>(cli.get_uint("restart-threads"));
   options.csv_prefix = cli.get_string("csv");
+  if (cli.get_bool("verbose")) set_log_level(LogLevel::Info);
   return options;
 }
 
@@ -74,10 +78,13 @@ inline exp::TrialSpec make_spec(const BenchOptions& options) {
 }
 
 /// Runs one sweep: for each (label, builder) point, runs all trials and
-/// returns the per-point stats (in label order).
+/// returns the per-point stats (in label order). Progress is logged per
+/// point at Info level, labelled with the sweep point just finished.
 inline std::vector<std::vector<exp::SchemeStats>> run_sweep(
     const BenchOptions& options, const std::vector<std::string>& labels,
     const std::vector<mec::ScenarioBuilder>& builders) {
+  TSAJS_REQUIRE(labels.size() == builders.size(),
+                "one label per sweep point expected");
   std::vector<std::vector<exp::SchemeStats>> rows;
   rows.reserve(builders.size());
   const exp::TrialRunner runner(options.threads);
@@ -88,7 +95,9 @@ inline std::vector<std::vector<exp::SchemeStats>> run_sweep(
     // parameters then share their drops (paired comparison, lower variance
     // along the x-axis).
     rows.push_back(runner.run(spec));
-    (void)labels;
+    TSAJS_LOG(Info) << "sweep point " << (i + 1) << "/" << builders.size()
+                    << " (" << labels[i] << "): " << options.trials
+                    << " trials done";
   }
   return rows;
 }

@@ -7,6 +7,7 @@
 #include "algo/neighborhood.h"
 #include "algo/registry.h"
 #include "algo/scheduler.h"
+#include "jtora/compiled_problem.h"
 #include "jtora/incremental.h"
 #include "jtora/utility.h"
 #include "mec/scenario_builder.h"
@@ -30,6 +31,56 @@ void BM_ScenarioBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScenarioBuild)->Arg(10)->Arg(50)->Arg(90);
+
+// Compiling a scenario into the shared flat-array problem layer: the price
+// every one-shot caller pays before any evaluator can run.
+void BM_CompileProblem(benchmark::State& state) {
+  const mec::Scenario scenario =
+      default_scenario(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const jtora::CompiledProblem problem(scenario);
+    benchmark::DoNotOptimize(problem.num_users());
+  }
+}
+BENCHMARK(BM_CompileProblem)->Arg(10)->Arg(50)->Arg(90);
+
+// Epoch-style recompilation into an existing CompiledProblem: buffers are
+// reused and unchanged per-user constant blocks are skipped, so this is the
+// steady-state cost of the dynamic simulator's per-epoch compile().
+void BM_CompileProblemReuse(benchmark::State& state) {
+  const mec::Scenario scenario =
+      default_scenario(static_cast<std::size_t>(state.range(0)));
+  jtora::CompiledProblem problem(scenario);
+  for (auto _ : state) {
+    problem.compile(scenario);
+    benchmark::DoNotOptimize(problem.num_users());
+  }
+}
+BENCHMARK(BM_CompileProblemReuse)->Arg(10)->Arg(50)->Arg(90);
+
+// Evaluator construction on top of an already-compiled problem (the shared
+// path schedulers take per solve) vs. from a raw scenario (the legacy path,
+// which compiles its own problem first).
+void BM_EvaluatorConstruction_Shared(benchmark::State& state) {
+  const mec::Scenario scenario =
+      default_scenario(static_cast<std::size_t>(state.range(0)));
+  const jtora::CompiledProblem problem(scenario);
+  for (auto _ : state) {
+    const jtora::UtilityEvaluator evaluator(problem);
+    benchmark::DoNotOptimize(&evaluator);
+  }
+}
+BENCHMARK(BM_EvaluatorConstruction_Shared)->Arg(50);
+
+void BM_EvaluatorConstruction_Fresh(benchmark::State& state) {
+  const mec::Scenario scenario =
+      default_scenario(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const jtora::UtilityEvaluator evaluator(scenario);
+    benchmark::DoNotOptimize(&evaluator);
+  }
+}
+BENCHMARK(BM_EvaluatorConstruction_Fresh)->Arg(50);
 
 void BM_SystemUtility(benchmark::State& state) {
   const mec::Scenario scenario =

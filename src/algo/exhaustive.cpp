@@ -11,12 +11,12 @@ namespace {
 
 class Enumerator {
  public:
-  Enumerator(const mec::Scenario& scenario, std::size_t max_leaves)
-      : scenario_(scenario),
-        evaluator_(scenario),
+  Enumerator(const jtora::CompiledProblem& problem, std::size_t max_leaves)
+      : scenario_(problem.scenario()),
+        evaluator_(problem),
         max_leaves_(max_leaves),
-        current_(scenario),
-        best_(scenario) {}
+        current_(scenario_),
+        best_(scenario_) {}
 
   ScheduleResult run() {
     best_utility_ = evaluator_.system_utility(current_);  // all-local = 0
@@ -64,9 +64,9 @@ class Enumerator {
 
 }  // namespace
 
-ScheduleResult ExhaustiveScheduler::schedule(const mec::Scenario& scenario,
+ScheduleResult ExhaustiveScheduler::schedule(const jtora::CompiledProblem& problem,
                                              Rng& /*rng*/) const {
-  Enumerator enumerator(scenario, max_leaves_);
+  Enumerator enumerator(problem, max_leaves_);
   return enumerator.run();
 }
 

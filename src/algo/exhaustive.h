@@ -16,13 +16,15 @@ namespace tsajs::algo {
 
 class ExhaustiveScheduler final : public Scheduler {
  public:
+  using Scheduler::schedule;
+
   /// `max_leaves` guards against accidental use on big instances: the solve
   /// throws InvalidArgumentError once more than this many complete
   /// assignments would be evaluated. 0 disables the guard.
   explicit ExhaustiveScheduler(std::size_t max_leaves = 200'000'000);
 
   [[nodiscard]] std::string name() const override { return "exhaustive"; }
-  [[nodiscard]] ScheduleResult schedule(const mec::Scenario& scenario,
+  [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
                                         Rng& rng) const override;
 
  private:

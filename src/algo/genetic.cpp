@@ -58,9 +58,10 @@ jtora::Assignment crossover(const mec::Scenario& scenario,
 
 }  // namespace
 
-ScheduleResult GeneticScheduler::schedule(const mec::Scenario& scenario,
+ScheduleResult GeneticScheduler::schedule(const jtora::CompiledProblem& problem,
                                           Rng& rng) const {
-  const jtora::UtilityEvaluator evaluator(scenario);
+  const mec::Scenario& scenario = problem.scenario();
+  const jtora::UtilityEvaluator evaluator(problem);
   const Neighborhood neighborhood(scenario, config_.neighborhood);
   std::size_t evaluations = 0;
 

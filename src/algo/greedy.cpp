@@ -18,26 +18,27 @@ struct Candidate {
 
 }  // namespace
 
-ScheduleResult GreedyScheduler::schedule(const mec::Scenario& scenario,
+ScheduleResult GreedyScheduler::schedule(const jtora::CompiledProblem& problem,
                                          Rng& /*rng*/) const {
-  return fill_and_prune(scenario, jtora::Assignment(scenario));
+  return fill_and_prune(problem, jtora::Assignment(problem.scenario()));
 }
 
-ScheduleResult GreedyScheduler::schedule_from(const mec::Scenario& scenario,
-                                              const jtora::Assignment& hint,
-                                              Rng& /*rng*/) const {
-  return fill_and_prune(scenario, repair_hint(scenario, hint));
+ScheduleResult GreedyScheduler::schedule_from(
+    const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
+    Rng& /*rng*/) const {
+  return fill_and_prune(problem, repair_hint(problem.scenario(), hint));
 }
 
-ScheduleResult GreedyScheduler::fill_and_prune(const mec::Scenario& scenario,
-                                               jtora::Assignment x) const {
+ScheduleResult GreedyScheduler::fill_and_prune(
+    const jtora::CompiledProblem& problem, jtora::Assignment x) const {
+  const mec::Scenario& scenario = problem.scenario();
   std::vector<Candidate> candidates;
   candidates.reserve(scenario.num_users() * scenario.num_slots());
   for (std::size_t u = 0; u < scenario.num_users(); ++u) {
-    const double p = scenario.user(u).tx_power_w;
     for (std::size_t s = 0; s < scenario.num_servers(); ++s) {
       for (std::size_t j = 0; j < scenario.num_subchannels(); ++j) {
-        candidates.push_back({p * scenario.gain(u, s, j), u, s, j});
+        // The compiled signal table is exactly p_u * h_us^j.
+        candidates.push_back({problem.signal(u, j, s), u, s, j});
       }
     }
   }
@@ -62,7 +63,7 @@ ScheduleResult GreedyScheduler::fill_and_prune(const mec::Scenario& scenario,
   // Permissibility pass: only users with a positive offloading benefit J_u
   // keep their slots (Sec. III-A-4). Drop the worst offender, re-evaluate —
   // each removal lowers the interference every remaining user sees.
-  const jtora::UtilityEvaluator evaluator(scenario);
+  const jtora::UtilityEvaluator evaluator(problem);
   std::size_t evaluations = 1;
   for (;;) {
     const jtora::Evaluation eval = evaluator.evaluate(x);

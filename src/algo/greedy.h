@@ -21,21 +21,24 @@ namespace tsajs::algo {
 
 class GreedyScheduler final : public Scheduler, public WarmStartable {
  public:
+  using Scheduler::schedule;
+  using WarmStartable::schedule_from;
+
   [[nodiscard]] std::string name() const override { return "greedy"; }
-  [[nodiscard]] ScheduleResult schedule(const mec::Scenario& scenario,
+  [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
                                         Rng& rng) const override;
 
   /// Warm start: the repaired hint pre-seeds the assignment, the
   /// signal-ordered fill then only places the remaining users into the
   /// remaining slots, and the usual permissibility pass prunes hinted slots
   /// that the epoch's fresh channels have made unprofitable.
-  [[nodiscard]] ScheduleResult schedule_from(const mec::Scenario& scenario,
-                                             const jtora::Assignment& hint,
-                                             Rng& rng) const override;
+  [[nodiscard]] ScheduleResult schedule_from(
+      const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
+      Rng& rng) const override;
 
  private:
-  [[nodiscard]] ScheduleResult fill_and_prune(const mec::Scenario& scenario,
-                                              jtora::Assignment x) const;
+  [[nodiscard]] ScheduleResult fill_and_prune(
+      const jtora::CompiledProblem& problem, jtora::Assignment x) const;
 };
 
 }  // namespace tsajs::algo

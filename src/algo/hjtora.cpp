@@ -24,9 +24,10 @@ struct Move {
 
 }  // namespace
 
-ScheduleResult HjtoraScheduler::schedule(const mec::Scenario& scenario,
+ScheduleResult HjtoraScheduler::schedule(const jtora::CompiledProblem& problem,
                                          Rng& /*rng*/) const {
-  const jtora::UtilityEvaluator evaluator(scenario);
+  const mec::Scenario& scenario = problem.scenario();
+  const jtora::UtilityEvaluator evaluator(problem);
   jtora::Assignment x(scenario);
   double utility = evaluator.system_utility(x);
   std::size_t evaluations = 1;

@@ -19,25 +19,25 @@ LocalSearchScheduler::LocalSearchScheduler(LocalSearchConfig config)
   config_.validate();
 }
 
-ScheduleResult LocalSearchScheduler::schedule(const mec::Scenario& scenario,
-                                              Rng& rng) const {
-  return climb(scenario,
-               random_feasible_assignment(scenario, rng,
+ScheduleResult LocalSearchScheduler::schedule(
+    const jtora::CompiledProblem& problem, Rng& rng) const {
+  return climb(problem,
+               random_feasible_assignment(problem.scenario(), rng,
                                           config_.initial_offload_prob),
                rng);
 }
 
 ScheduleResult LocalSearchScheduler::schedule_from(
-    const mec::Scenario& scenario, const jtora::Assignment& hint,
+    const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
     Rng& rng) const {
-  return climb(scenario, repair_hint(scenario, hint), rng);
+  return climb(problem, repair_hint(problem.scenario(), hint), rng);
 }
 
-ScheduleResult LocalSearchScheduler::climb(const mec::Scenario& scenario,
-                                           jtora::Assignment initial,
-                                           Rng& rng) const {
-  const jtora::UtilityEvaluator evaluator(scenario);
-  const Neighborhood neighborhood(scenario, config_.neighborhood);
+ScheduleResult LocalSearchScheduler::climb(
+    const jtora::CompiledProblem& problem, jtora::Assignment initial,
+    Rng& rng) const {
+  const jtora::UtilityEvaluator evaluator(problem);
+  const Neighborhood neighborhood(problem.scenario(), config_.neighborhood);
 
   jtora::Assignment current = std::move(initial);
   double current_utility = evaluator.system_utility(current);

@@ -33,21 +33,24 @@ struct LocalSearchConfig {
 
 class LocalSearchScheduler final : public Scheduler, public WarmStartable {
  public:
+  using Scheduler::schedule;
+  using WarmStartable::schedule_from;
+
   explicit LocalSearchScheduler(LocalSearchConfig config = {});
 
   [[nodiscard]] std::string name() const override { return "local-search"; }
-  [[nodiscard]] ScheduleResult schedule(const mec::Scenario& scenario,
+  [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
                                         Rng& rng) const override;
 
   /// Warm start: hill-climbs from the repaired hint instead of the random
   /// initial solution — the natural reading for a pure descent method,
   /// which keeps whatever start it is given.
-  [[nodiscard]] ScheduleResult schedule_from(const mec::Scenario& scenario,
-                                             const jtora::Assignment& hint,
-                                             Rng& rng) const override;
+  [[nodiscard]] ScheduleResult schedule_from(
+      const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
+      Rng& rng) const override;
 
  private:
-  [[nodiscard]] ScheduleResult climb(const mec::Scenario& scenario,
+  [[nodiscard]] ScheduleResult climb(const jtora::CompiledProblem& problem,
                                      jtora::Assignment initial,
                                      Rng& rng) const;
 

@@ -22,19 +22,19 @@ std::string MultiStartScheduler::name() const {
   return inner_->name() + "-x" + std::to_string(restarts_);
 }
 
-ScheduleResult MultiStartScheduler::schedule(const mec::Scenario& scenario,
-                                             Rng& rng) const {
-  return run_restarts(scenario, nullptr, rng);
+ScheduleResult MultiStartScheduler::schedule(
+    const jtora::CompiledProblem& problem, Rng& rng) const {
+  return run_restarts(problem, nullptr, rng);
 }
 
 ScheduleResult MultiStartScheduler::schedule_from(
-    const mec::Scenario& scenario, const jtora::Assignment& hint,
+    const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
     Rng& rng) const {
-  return run_restarts(scenario, &hint, rng);
+  return run_restarts(problem, &hint, rng);
 }
 
 ScheduleResult MultiStartScheduler::run_restarts(
-    const mec::Scenario& scenario, const jtora::Assignment* hint,
+    const jtora::CompiledProblem& problem, const jtora::Assignment* hint,
     Rng& rng) const {
   // Derive every child seed up front, in restart order. This is the only
   // point that touches the caller's rng, so the seed stream — and therefore
@@ -50,9 +50,9 @@ ScheduleResult MultiStartScheduler::run_restarts(
     Rng child(seeds[r]);
     // Restart 0 carries the hint; the rest explore from cold starts.
     if (r == 0 && warm_inner != nullptr) {
-      results[r] = warm_inner->schedule_from(scenario, *hint, child);
+      results[r] = warm_inner->schedule_from(problem, *hint, child);
     } else {
-      results[r] = inner_->schedule(scenario, child);
+      results[r] = inner_->schedule(problem, child);
     }
   };
   if (num_threads_ != 1 && restarts_ > 1) {

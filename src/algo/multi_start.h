@@ -21,6 +21,9 @@ namespace tsajs::algo {
 
 class MultiStartScheduler final : public Scheduler, public WarmStartable {
  public:
+  using Scheduler::schedule;
+  using WarmStartable::schedule_from;
+
   /// Wraps `inner`, running it `restarts` times per schedule() call.
   /// `num_threads` controls restart parallelism: 1 (default) runs
   /// sequentially, 0 uses the hardware concurrency, any other value that
@@ -29,16 +32,19 @@ class MultiStartScheduler final : public Scheduler, public WarmStartable {
                       std::size_t num_threads = 1);
 
   [[nodiscard]] std::string name() const override;
-  [[nodiscard]] ScheduleResult schedule(const mec::Scenario& scenario,
+  /// Every restart shares the caller's single compiled problem — the tables
+  /// are immutable during a solve, so restarts (parallel or not) read the
+  /// same compilation instead of each paying for their own.
+  [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
                                         Rng& rng) const override;
 
   /// Warm start: restart 0 runs the inner scheduler warm from `hint` (when
   /// the inner scheduler is itself WarmStartable), the remaining restarts
   /// stay cold for diversity. Seeds are derived exactly as in schedule(),
   /// so the parallel path stays bit-identical to the sequential one.
-  [[nodiscard]] ScheduleResult schedule_from(const mec::Scenario& scenario,
-                                             const jtora::Assignment& hint,
-                                             Rng& rng) const override;
+  [[nodiscard]] ScheduleResult schedule_from(
+      const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
+      Rng& rng) const override;
 
   [[nodiscard]] std::size_t restarts() const noexcept { return restarts_; }
   [[nodiscard]] std::size_t num_threads() const noexcept {
@@ -46,9 +52,9 @@ class MultiStartScheduler final : public Scheduler, public WarmStartable {
   }
 
  private:
-  [[nodiscard]] ScheduleResult run_restarts(const mec::Scenario& scenario,
-                                            const jtora::Assignment* hint,
-                                            Rng& rng) const;
+  [[nodiscard]] ScheduleResult run_restarts(
+      const jtora::CompiledProblem& problem, const jtora::Assignment* hint,
+      Rng& rng) const;
 
   std::unique_ptr<Scheduler> inner_;
   std::size_t restarts_;

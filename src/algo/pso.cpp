@@ -47,9 +47,10 @@ void copy_gene(const mec::Scenario& /*scenario*/, const jtora::Assignment& sourc
 
 }  // namespace
 
-ScheduleResult PsoScheduler::schedule(const mec::Scenario& scenario,
+ScheduleResult PsoScheduler::schedule(const jtora::CompiledProblem& problem,
                                       Rng& rng) const {
-  const jtora::UtilityEvaluator evaluator(scenario);
+  const mec::Scenario& scenario = problem.scenario();
+  const jtora::UtilityEvaluator evaluator(problem);
   const Neighborhood neighborhood(scenario, config_.neighborhood);
   std::size_t evaluations = 0;
 

@@ -10,11 +10,12 @@ RandomScheduler::RandomScheduler(double offload_prob)
                 "offload probability must lie in [0,1]");
 }
 
-ScheduleResult RandomScheduler::schedule(const mec::Scenario& scenario,
+ScheduleResult RandomScheduler::schedule(const jtora::CompiledProblem& problem,
                                          Rng& rng) const {
+  const mec::Scenario& scenario = problem.scenario();
   jtora::Assignment x =
       random_feasible_assignment(scenario, rng, offload_prob_);
-  const jtora::UtilityEvaluator evaluator(scenario);
+  const jtora::UtilityEvaluator evaluator(problem);
   const double utility = evaluator.system_utility(x);
   return ScheduleResult{std::move(x), utility, 0.0, 1};
 }

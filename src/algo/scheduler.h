@@ -1,10 +1,15 @@
 // Scheduler interface.
 //
-// A scheduler solves the TO problem (paper Eq. 25): given a scenario it
-// produces an offloading decision X; the CRA optimum F*(X) is folded into
-// the objective by the UtilityEvaluator. Schedulers are stateless between
-// calls; all randomness flows through the caller-provided Rng so runs are
-// reproducible.
+// A scheduler solves the TO problem (paper Eq. 25): given a compiled
+// problem it produces an offloading decision X; the CRA optimum F*(X) is
+// folded into the objective by the UtilityEvaluator. Schedulers are
+// stateless between calls; all randomness flows through the caller-provided
+// Rng so runs are reproducible.
+//
+// The primary entry point takes a jtora::CompiledProblem — the caller
+// compiles the scenario once and shares the compilation across restarts,
+// schemes, and epochs. A scenario-taking convenience overload compiles on
+// the fly for one-shot callers.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +18,7 @@
 
 #include "common/rng.h"
 #include "jtora/assignment.h"
+#include "jtora/compiled_problem.h"
 #include "jtora/utility.h"
 #include "mec/scenario.h"
 
@@ -36,11 +42,17 @@ class Scheduler {
   /// Short stable identifier, e.g. "tsajs", "hjtora".
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Solves the TO problem for `scenario`. The returned assignment is
-  /// always feasible (constraints 12b-12d hold by construction of
-  /// jtora::Assignment; postcondition checked in debug).
+  /// Solves the TO problem for the compiled `problem`. The returned
+  /// assignment is always feasible (constraints 12b-12d hold by
+  /// construction of jtora::Assignment; postcondition checked in debug).
   [[nodiscard]] virtual ScheduleResult schedule(
-      const mec::Scenario& scenario, Rng& rng) const = 0;
+      const jtora::CompiledProblem& problem, Rng& rng) const = 0;
+
+  /// Convenience overload: compiles `scenario` and solves. One-shot only —
+  /// callers that solve the same scenario repeatedly (restarts, schemes,
+  /// epochs) should compile once and use the CompiledProblem overload.
+  [[nodiscard]] ScheduleResult schedule(const mec::Scenario& scenario,
+                                        Rng& rng) const;
 };
 
 /// Capability interface for schedulers that can start from a previous
@@ -58,8 +70,13 @@ class WarmStartable {
 
   /// Like Scheduler::schedule, but seeds the search with `hint`.
   [[nodiscard]] virtual ScheduleResult schedule_from(
-      const mec::Scenario& scenario, const jtora::Assignment& hint,
+      const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
       Rng& rng) const = 0;
+
+  /// Convenience overload: compiles `scenario` and solves from `hint`.
+  [[nodiscard]] ScheduleResult schedule_from(const mec::Scenario& scenario,
+                                             const jtora::Assignment& hint,
+                                             Rng& rng) const;
 };
 
 /// Clamps `hint` to a feasible assignment for `scenario`: users beyond the
@@ -71,16 +88,27 @@ class WarmStartable {
 [[nodiscard]] jtora::Assignment repair_hint(const mec::Scenario& scenario,
                                             const jtora::Assignment& hint);
 
-/// Runs `scheduler`, fills in solve_seconds, re-checks the utility against
-/// an independent evaluation, and validates assignment consistency.
+/// Runs `scheduler` against a pre-compiled problem, fills in solve_seconds,
+/// re-checks the utility against an independent evaluation, and validates
+/// assignment consistency. The validation evaluator shares `problem`, so
+/// the guard costs no recompilation.
+[[nodiscard]] ScheduleResult run_and_validate(
+    const Scheduler& scheduler, const jtora::CompiledProblem& problem,
+    Rng& rng);
+
+/// Warm-start variant: when `scheduler` implements WarmStartable, solves via
+/// schedule_from(problem, hint, rng); otherwise falls back to a cold
+/// schedule() (the hint is ignored). Validation is identical to the cold
+/// overload, so every path through the simulator stays guarded.
+[[nodiscard]] ScheduleResult run_and_validate(
+    const Scheduler& scheduler, const jtora::CompiledProblem& problem,
+    const jtora::Assignment& hint, Rng& rng);
+
+/// One-shot conveniences: compile `scenario` (inside the timed region, so
+/// solve_seconds keeps accounting for setup) and run as above.
 [[nodiscard]] ScheduleResult run_and_validate(const Scheduler& scheduler,
                                               const mec::Scenario& scenario,
                                               Rng& rng);
-
-/// Warm-start variant: when `scheduler` implements WarmStartable, solves via
-/// schedule_from(scenario, hint, rng); otherwise falls back to a cold
-/// schedule() (the hint is ignored). Validation is identical to the cold
-/// overload, so every path through the simulator stays guarded.
 [[nodiscard]] ScheduleResult run_and_validate(const Scheduler& scheduler,
                                               const mec::Scenario& scenario,
                                               const jtora::Assignment& hint,

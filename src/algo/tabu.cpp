@@ -34,9 +34,10 @@ std::vector<std::size_t> touched_users(const jtora::Assignment& a,
 
 }  // namespace
 
-ScheduleResult TabuScheduler::schedule(const mec::Scenario& scenario,
+ScheduleResult TabuScheduler::schedule(const jtora::CompiledProblem& problem,
                                        Rng& rng) const {
-  const jtora::UtilityEvaluator evaluator(scenario);
+  const mec::Scenario& scenario = problem.scenario();
+  const jtora::UtilityEvaluator evaluator(problem);
   const Neighborhood neighborhood(scenario, config_.neighborhood);
 
   jtora::Assignment current =

@@ -29,10 +29,12 @@ struct TabuConfig {
 
 class TabuScheduler final : public Scheduler {
  public:
+  using Scheduler::schedule;
+
   explicit TabuScheduler(TabuConfig config = {});
 
   [[nodiscard]] std::string name() const override { return "tabu"; }
-  [[nodiscard]] ScheduleResult schedule(const mec::Scenario& scenario,
+  [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
                                         Rng& rng) const override;
 
  private:

@@ -95,38 +95,38 @@ ScheduleResult anneal(const TsajsConfig& config, Rng& rng,
 
 }  // namespace
 
-ScheduleResult TsajsScheduler::schedule(const mec::Scenario& scenario,
+ScheduleResult TsajsScheduler::schedule(const jtora::CompiledProblem& problem,
                                         Rng& rng) const {
   // Algorithm 1 line 5: random feasible initial solution; line 3: T <- N.
-  jtora::Assignment initial =
-      random_feasible_assignment(scenario, rng, config_.initial_offload_prob);
+  jtora::Assignment initial = random_feasible_assignment(
+      problem.scenario(), rng, config_.initial_offload_prob);
   const double initial_temperature = config_.initial_temperature.value_or(
-      static_cast<double>(scenario.num_subchannels()));
-  return solve(scenario, std::move(initial), initial_temperature, rng);
+      static_cast<double>(problem.num_subchannels()));
+  return solve(problem, std::move(initial), initial_temperature, rng);
 }
 
-ScheduleResult TsajsScheduler::schedule_from(const mec::Scenario& scenario,
-                                             const jtora::Assignment& hint,
-                                             Rng& rng) const {
+ScheduleResult TsajsScheduler::schedule_from(
+    const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
+    Rng& rng) const {
   // The hint replaces the random start; repair makes it feasible for this
   // scenario whatever it was shaped for. Annealing restarts from the low
   // warm_reheat temperature instead of re-melting at T = N.
-  return solve(scenario, repair_hint(scenario, hint), config_.warm_reheat,
-               rng);
+  return solve(problem, repair_hint(problem.scenario(), hint),
+               config_.warm_reheat, rng);
 }
 
-ScheduleResult TsajsScheduler::solve(const mec::Scenario& scenario,
+ScheduleResult TsajsScheduler::solve(const jtora::CompiledProblem& problem,
                                      jtora::Assignment initial,
                                      double initial_temperature,
                                      Rng& rng) const {
-  const Neighborhood neighborhood(scenario, config_.neighborhood);
+  const Neighborhood neighborhood(problem.scenario(), config_.neighborhood);
 
   if (config_.use_incremental_evaluator) {
     // Preview/commit protocol: propose() only *describes* the move and
-    // previews its utility from the flattened caches; nothing is mutated
-    // until the annealer accepts, so rejected proposals cost no
+    // previews its utility from the shared problem's caches; nothing is
+    // mutated until the annealer accepts, so rejected proposals cost no
     // apply+rollback round trip and no undo bookkeeping.
-    jtora::IncrementalEvaluator state(scenario, initial);
+    jtora::IncrementalEvaluator state(problem, initial);
     state.set_undo_logging(false);
     state.set_rebuild_interval(config_.rebuild_interval);
     Neighborhood::Move move;
@@ -145,7 +145,7 @@ ScheduleResult TsajsScheduler::solve(const mec::Scenario& scenario,
         /*snapshot=*/[&] { return state.assignment(); });
   }
 
-  const jtora::UtilityEvaluator evaluator(scenario);
+  const jtora::UtilityEvaluator evaluator(problem);
   jtora::Assignment current = initial;
   jtora::Assignment candidate = current;
   double candidate_utility = 0.0;

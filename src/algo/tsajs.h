@@ -73,23 +73,26 @@ struct TsajsConfig {
 
 class TsajsScheduler final : public Scheduler, public WarmStartable {
  public:
+  using Scheduler::schedule;
+  using WarmStartable::schedule_from;
+
   explicit TsajsScheduler(TsajsConfig config = {});
 
   [[nodiscard]] std::string name() const override;
-  [[nodiscard]] ScheduleResult schedule(const mec::Scenario& scenario,
+  [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
                                         Rng& rng) const override;
 
   /// Warm start (Algorithm 1 with lines 3/5 replaced): the hint is repaired
-  /// against `scenario` (repair_hint) and annealing starts from it at
-  /// `config().warm_reheat` instead of T = N.
-  [[nodiscard]] ScheduleResult schedule_from(const mec::Scenario& scenario,
-                                             const jtora::Assignment& hint,
-                                             Rng& rng) const override;
+  /// against the problem's scenario (repair_hint) and annealing starts from
+  /// it at `config().warm_reheat` instead of T = N.
+  [[nodiscard]] ScheduleResult schedule_from(
+      const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
+      Rng& rng) const override;
 
   [[nodiscard]] const TsajsConfig& config() const noexcept { return config_; }
 
  private:
-  [[nodiscard]] ScheduleResult solve(const mec::Scenario& scenario,
+  [[nodiscard]] ScheduleResult solve(const jtora::CompiledProblem& problem,
                                      jtora::Assignment initial,
                                      double initial_temperature,
                                      Rng& rng) const;

@@ -5,6 +5,7 @@
 #include "algo/scheduler.h"
 #include "common/error.h"
 #include "common/thread_pool.h"
+#include "jtora/compiled_problem.h"
 #include "jtora/utility.h"
 
 namespace tsajs::exp {
@@ -19,12 +20,12 @@ struct TrialOutcome {
   double mean_energy_j = 0.0;
 };
 
-TrialOutcome run_one(const mec::Scenario& scenario,
+TrialOutcome run_one(const jtora::CompiledProblem& problem,
                      const algo::Scheduler& scheduler, Rng& rng) {
   algo::ScheduleResult result =
-      algo::run_and_validate(scheduler, scenario, rng);
+      algo::run_and_validate(scheduler, problem, rng);
 
-  const jtora::UtilityEvaluator evaluator(scenario);
+  const jtora::UtilityEvaluator evaluator(problem);
   const jtora::Evaluation eval = evaluator.evaluate(result.assignment);
 
   TrialOutcome outcome;
@@ -67,11 +68,14 @@ std::vector<SchemeStats> TrialRunner::run(const TrialSpec& spec) const {
     SplitMix64 seeder(spec.base_seed + 0x9E3779B97F4A7C15ULL * (trial + 1));
     Rng scenario_rng(seeder.next());
     const mec::Scenario scenario = spec.builder.build(scenario_rng);
+    // One compilation per drop; every scheme solves against the same
+    // immutable tables instead of each recompiling the scenario.
+    const jtora::CompiledProblem problem(scenario);
 
     std::vector<TrialOutcome> outcomes(schedulers.size());
     for (std::size_t i = 0; i < schedulers.size(); ++i) {
       Rng scheduler_rng(seeder.next());
-      outcomes[i] = run_one(scenario, *schedulers[i], scheduler_rng);
+      outcomes[i] = run_one(problem, *schedulers[i], scheduler_rng);
     }
 
     std::lock_guard<std::mutex> lock(merge_mutex);

@@ -4,7 +4,8 @@
 // scheme under test. The paper's figures plot means (with 95% CIs in Fig. 3)
 // over repeated drops; `TrialRunner` reproduces that protocol with
 // per-trial derived seeds so results are bit-reproducible and independent
-// of thread scheduling.
+// of thread scheduling. Each drop is compiled into a jtora::CompiledProblem
+// exactly once and every scheme under test shares that compilation.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,155 @@
+#include "jtora/compiled_problem.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "jtora/cra.h"
+
+namespace tsajs::jtora {
+
+CompiledProblem::CompiledProblem(const mec::Scenario& scenario) {
+  compile(scenario);
+}
+
+CompiledProblem::UserKey CompiledProblem::key_of(
+    const mec::UserEquipment& ue) noexcept {
+  return UserKey{ue.task.input_bits, ue.task.cycles, ue.local_cpu_hz,
+                 ue.tx_power_w,      ue.kappa,       ue.beta_time,
+                 ue.beta_energy,     ue.lambda};
+}
+
+void CompiledProblem::compile(const mec::Scenario& scenario) {
+  scenario_ = &scenario;
+  num_users_ = scenario.num_users();
+  num_servers_ = scenario.num_servers();
+  num_subchannels_ = scenario.num_subchannels();
+  noise_w_ = scenario.noise_w();
+  const double w = scenario.subchannel_bandwidth_hz();
+  if (w != bandwidth_hz_) {
+    // phi/psi depend on W: every cached per-user key is invalid.
+    user_keys_.clear();
+  }
+  bandwidth_hz_ = w;
+
+  server_cpu_.resize(num_servers_);
+  for (std::size_t s = 0; s < num_servers_; ++s) {
+    server_cpu_[s] = scenario.server(s).cpu_hz;
+  }
+
+  phi_.resize(num_users_);
+  psi_.resize(num_users_);
+  gain_const_.resize(num_users_);
+  gamma_coef_.resize(num_users_);
+  time_cost_scale_.resize(num_users_);
+  eta_.resize(num_users_);
+  sqrt_eta_.resize(num_users_);
+  local_time_.resize(num_users_);
+  local_energy_.resize(num_users_);
+  tx_power_.resize(num_users_);
+  // Freshly-resized slots hold a default key; a valid user has
+  // input_bits > 0, so they can never falsely match and always recompute.
+  user_keys_.resize(num_users_);
+
+  has_downlink_ = false;
+  for (std::size_t u = 0; u < num_users_; ++u) {
+    const mec::UserEquipment& ue = scenario.user(u);
+    if (ue.task.output_bits > 0.0) has_downlink_ = true;
+    const UserKey key = key_of(ue);
+    if (user_keys_[u] == key) continue;  // constants survive unchanged users
+    user_keys_[u] = key;
+    local_time_[u] = ue.local_time_s();
+    local_energy_[u] = ue.local_energy_j();
+    time_cost_scale_[u] = ue.lambda * ue.beta_time / local_time_[u];
+    // phi_u = lambda_u beta_t d_u / (t_local W), psi_u = lambda_u beta_e d_u
+    // / (E_local W)  (paper, below Eq. 19).
+    phi_[u] = ue.lambda * ue.beta_time * ue.task.input_bits /
+              (local_time_[u] * w);
+    psi_[u] = ue.lambda * ue.beta_energy * ue.task.input_bits /
+              (local_energy_[u] * w);
+    gain_const_[u] = ue.lambda * (ue.beta_time + ue.beta_energy);
+    gamma_coef_[u] = phi_[u] + psi_[u] * ue.tx_power_w;
+    eta_[u] = jtora::eta(ue);
+    sqrt_eta_[u] = std::sqrt(eta_[u]);
+    tx_power_[u] = ue.tx_power_w;
+  }
+
+  compile_tables(scenario);
+}
+
+void CompiledProblem::recompile_channel(const mec::Scenario& scenario) {
+  TSAJS_REQUIRE(compiled(), "recompile_channel requires a prior compile");
+  TSAJS_REQUIRE(scenario.num_users() == num_users_ &&
+                    scenario.num_servers() == num_servers_ &&
+                    scenario.num_subchannels() == num_subchannels_,
+                "recompile_channel cannot change problem dimensions");
+  scenario_ = &scenario;
+  noise_w_ = scenario.noise_w();
+  has_downlink_ = false;
+  for (std::size_t u = 0; u < num_users_; ++u) {
+    if (scenario.user(u).task.output_bits > 0.0) {
+      has_downlink_ = true;
+      break;
+    }
+  }
+  compile_tables(scenario);
+}
+
+void CompiledProblem::compile_tables(const mec::Scenario& scenario) {
+  // Flattened per-(user, sub-channel, server) caches: the received signal
+  // power p_u * h_us^j behind every SINR read, and the constant downlink
+  // return times. Server-contiguous so co-channel sweeps are linear scans.
+  signal_.resize(num_users_ * num_subchannels_ * num_servers_);
+  for (std::size_t u = 0; u < num_users_; ++u) {
+    const double p = scenario.user(u).tx_power_w;
+    for (std::size_t j = 0; j < num_subchannels_; ++j) {
+      double* row = signal_.data() + (u * num_subchannels_ + j) * num_servers_;
+      for (std::size_t s = 0; s < num_servers_; ++s) {
+        row[s] = p * scenario.gain(u, s, j);
+      }
+    }
+  }
+  if (!has_downlink_) {
+    downlink_.clear();
+    return;
+  }
+  downlink_.resize(num_users_ * num_subchannels_ * num_servers_);
+  for (std::size_t u = 0; u < num_users_; ++u) {
+    const mec::UserEquipment& ue = scenario.user(u);
+    for (std::size_t j = 0; j < num_subchannels_; ++j) {
+      double* row =
+          downlink_.data() + (u * num_subchannels_ + j) * num_servers_;
+      for (std::size_t s = 0; s < num_servers_; ++s) {
+        if (ue.task.output_bits <= 0.0) {
+          row[s] = 0.0;
+          continue;
+        }
+        // Noise-limited downlink (coordinated base stations, Sec. I):
+        // output_bits / (W log2(1 + p_s h / sigma^2)).
+        const double snr = scenario.server(s).tx_power_w *
+                           scenario.gain(u, s, j) / scenario.noise_w();
+        const double rate =
+            scenario.subchannel_bandwidth_hz() * std::log2(1.0 + snr);
+        row[s] = rate <= 0.0 ? std::numeric_limits<double>::infinity()
+                             : ue.task.output_bits / rate;
+      }
+    }
+  }
+}
+
+bool CompiledProblem::bitwise_equal(const CompiledProblem& other) const {
+  return num_users_ == other.num_users_ &&
+         num_servers_ == other.num_servers_ &&
+         num_subchannels_ == other.num_subchannels_ &&
+         noise_w_ == other.noise_w_ && bandwidth_hz_ == other.bandwidth_hz_ &&
+         has_downlink_ == other.has_downlink_ && phi_ == other.phi_ &&
+         psi_ == other.psi_ && gain_const_ == other.gain_const_ &&
+         gamma_coef_ == other.gamma_coef_ &&
+         time_cost_scale_ == other.time_cost_scale_ && eta_ == other.eta_ &&
+         sqrt_eta_ == other.sqrt_eta_ && local_time_ == other.local_time_ &&
+         local_energy_ == other.local_energy_ &&
+         tx_power_ == other.tx_power_ && server_cpu_ == other.server_cpu_ &&
+         signal_ == other.signal_ && downlink_ == other.downlink_;
+}
+
+}  // namespace tsajs::jtora

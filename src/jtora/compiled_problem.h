@@ -1,0 +1,191 @@
+// CompiledProblem — one flat, shared compilation of a mec::Scenario.
+//
+// The paper's decomposition (Eqs. 16-24) makes J*(X) a function of a small
+// set of per-user/per-server constants plus the signal table p_u * h_us^j:
+//
+//   phi_u  = lambda_u beta_t d_u / (t_local W)      (below Eq. 19)
+//   psi_u  = lambda_u beta_e d_u / (E_local W)
+//   eta_u  = lambda_u beta_t f_local                (below Eq. 19)
+//   gain_u = lambda_u (beta_t + beta_e)             (Eq. 24 gain term)
+//
+// Historically each evaluator derived its own copies (UtilityEvaluator kept
+// them private, IncrementalEvaluator re-derived them, RateEvaluator
+// re-indexed scenario().gain() on every call). CompiledProblem is the single
+// compiled representation they all share: flat SoA arrays, server-contiguous
+// signal/downlink tables, built once per scenario and reused across
+// evaluators, multi-start restarts, schemes, and dynamic epochs.
+//
+// The compiled values are produced by the exact expressions (same operand
+// order) the evaluators historically used inline, so every consumer remains
+// bit-identical to the pre-CompiledProblem implementation; golden hexfloat
+// tests pin this.
+//
+// Lifetime: a CompiledProblem holds a pointer to its Scenario and must not
+// outlive it. It is immutable through the evaluator-facing API; `compile`
+// and `recompile_channel` rebind/refresh it in place (buffer-reusing, for
+// the epoch loop of sim::DynamicSimulator).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "mec/scenario.h"
+
+namespace tsajs::jtora {
+
+class CompiledProblem {
+ public:
+  /// Empty shell; `compile` must run before any accessor.
+  CompiledProblem() = default;
+
+  /// Compiles `scenario` (equivalent to default-construct + compile).
+  explicit CompiledProblem(const mec::Scenario& scenario);
+
+  /// (Re)compiles against `scenario`, reusing internal buffers. Per-user
+  /// constants are recomputed only for users whose parameters changed since
+  /// the previous compile (cheap churn in the dynamic epoch loop); the
+  /// gain-dependent tables are always rebuilt.
+  void compile(const mec::Scenario& scenario);
+
+  /// Rebuilds only the gain-dependent tables (signal and downlink) against
+  /// `scenario`. Precondition: the problem is compiled and `scenario` has
+  /// the same users (parameters and count) and grid as the last compile —
+  /// only the channel gains may differ. Dimension changes are rejected;
+  /// silently-changed user parameters leave the constants stale, which
+  /// `IncrementalEvaluator::self_check` detects via `bitwise_equal`.
+  void recompile_channel(const mec::Scenario& scenario);
+
+  [[nodiscard]] bool compiled() const noexcept { return scenario_ != nullptr; }
+
+  [[nodiscard]] const mec::Scenario& scenario() const noexcept {
+    return *scenario_;
+  }
+
+  // --- dimensions / globals ----------------------------------------------
+  [[nodiscard]] std::size_t num_users() const noexcept { return num_users_; }
+  [[nodiscard]] std::size_t num_servers() const noexcept {
+    return num_servers_;
+  }
+  [[nodiscard]] std::size_t num_subchannels() const noexcept {
+    return num_subchannels_;
+  }
+  [[nodiscard]] double noise_w() const noexcept { return noise_w_; }
+  [[nodiscard]] double subchannel_bandwidth_hz() const noexcept {
+    return bandwidth_hz_;
+  }
+  /// True when any task declares output bits (downlink extension active).
+  [[nodiscard]] bool has_downlink() const noexcept { return has_downlink_; }
+
+  // --- per-user constants (paper, below Eq. 19 / Eq. 24) ------------------
+  [[nodiscard]] double phi(std::size_t u) const noexcept { return phi_[u]; }
+  [[nodiscard]] double psi(std::size_t u) const noexcept { return psi_[u]; }
+  /// lambda_u * (beta_t + beta_e): the per-user gain term of Eq. 24.
+  [[nodiscard]] double gain_const(std::size_t u) const noexcept {
+    return gain_const_[u];
+  }
+  /// phi_u + psi_u * p_u: the numerator of the Gamma term (Eq. 19).
+  [[nodiscard]] double gamma_coef(std::size_t u) const noexcept {
+    return gamma_coef_[u];
+  }
+  /// lambda_u * beta_t / t_local: weight of extra delay seconds (downlink).
+  [[nodiscard]] double time_cost_scale(std::size_t u) const noexcept {
+    return time_cost_scale_[u];
+  }
+  /// eta_u = lambda_u * beta_t * f_local and its square root (Eq. 22/23).
+  [[nodiscard]] double eta(std::size_t u) const noexcept { return eta_[u]; }
+  [[nodiscard]] double sqrt_eta(std::size_t u) const noexcept {
+    return sqrt_eta_[u];
+  }
+  [[nodiscard]] double local_time_s(std::size_t u) const noexcept {
+    return local_time_[u];
+  }
+  [[nodiscard]] double local_energy_j(std::size_t u) const noexcept {
+    return local_energy_[u];
+  }
+  [[nodiscard]] double tx_power_w(std::size_t u) const noexcept {
+    return tx_power_[u];
+  }
+
+  // --- per-server constants ----------------------------------------------
+  [[nodiscard]] double server_cpu_hz(std::size_t s) const noexcept {
+    return server_cpu_[s];
+  }
+
+  // --- flat (user, sub-channel, server) tables ----------------------------
+  /// Received signal power p_u * h_us^j.
+  [[nodiscard]] double signal(std::size_t u, std::size_t j,
+                              std::size_t s) const noexcept {
+    return signal_[(u * num_subchannels_ + j) * num_servers_ + s];
+  }
+  /// Server-contiguous row of `signal` for (u, j); length num_servers().
+  [[nodiscard]] const double* signal_row(std::size_t u,
+                                         std::size_t j) const noexcept {
+    return signal_.data() + (u * num_subchannels_ + j) * num_servers_;
+  }
+  /// Result return time from server `s` to user `u` on sub-channel `j`
+  /// (0 when the task declares no output; see RateEvaluator docs).
+  [[nodiscard]] double downlink_time_s(std::size_t u, std::size_t s,
+                                       std::size_t j) const noexcept {
+    if (!has_downlink_) return 0.0;
+    return downlink_[(u * num_subchannels_ + j) * num_servers_ + s];
+  }
+
+  /// Raw tables, exposed for self-checks and the incremental evaluator's
+  /// contiguous sweeps. Layout: [(u * num_subchannels + j) * num_servers + s].
+  [[nodiscard]] const std::vector<double>& signal_table() const noexcept {
+    return signal_;
+  }
+  [[nodiscard]] const std::vector<double>& downlink_table() const noexcept {
+    return downlink_;
+  }
+
+  /// Bitwise comparison of every compiled array and dimension against
+  /// `other` (inf compares equal to inf). Used by
+  /// IncrementalEvaluator::self_check to detect a stale cache: compiling a
+  /// fresh problem from `scenario()` and comparing must come out equal.
+  [[nodiscard]] bool bitwise_equal(const CompiledProblem& other) const;
+
+ private:
+  /// Everything a user's compiled constants depend on; constants are
+  /// recomputed on `compile` only when this key changed.
+  struct UserKey {
+    double input_bits = 0.0;
+    double cycles = 0.0;
+    double local_cpu_hz = 0.0;
+    double tx_power_w = 0.0;
+    double kappa = 0.0;
+    double beta_time = 0.0;
+    double beta_energy = 0.0;
+    double lambda = 0.0;
+    [[nodiscard]] bool operator==(const UserKey&) const = default;
+  };
+  [[nodiscard]] static UserKey key_of(const mec::UserEquipment& ue) noexcept;
+
+  void compile_tables(const mec::Scenario& scenario);
+
+  const mec::Scenario* scenario_ = nullptr;
+  std::size_t num_users_ = 0;
+  std::size_t num_servers_ = 0;
+  std::size_t num_subchannels_ = 0;
+  double noise_w_ = 0.0;
+  double bandwidth_hz_ = 0.0;
+  bool has_downlink_ = false;
+
+  std::vector<double> phi_;
+  std::vector<double> psi_;
+  std::vector<double> gain_const_;
+  std::vector<double> gamma_coef_;
+  std::vector<double> time_cost_scale_;
+  std::vector<double> eta_;
+  std::vector<double> sqrt_eta_;
+  std::vector<double> local_time_;
+  std::vector<double> local_energy_;
+  std::vector<double> tx_power_;
+  std::vector<double> server_cpu_;
+  std::vector<double> signal_;
+  std::vector<double> downlink_;
+  std::vector<UserKey> user_keys_;
+};
+
+}  // namespace tsajs::jtora

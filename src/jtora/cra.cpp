@@ -19,15 +19,15 @@ double CraSolver::server_objective(double sqrt_eta_sum, double server_cpu_hz) {
 
 CraResult CraSolver::solve(const Assignment& x) const {
   CraResult result;
-  result.cpu_hz.assign(scenario_->num_users(), 0.0);
-  for (std::size_t s = 0; s < scenario_->num_servers(); ++s) {
+  result.cpu_hz.assign(problem_->num_users(), 0.0);
+  for (std::size_t s = 0; s < problem_->num_servers(); ++s) {
     const std::vector<std::size_t> users = x.users_on_server(s);
     if (users.empty()) continue;
     double sqrt_eta_sum = 0.0;
     for (const std::size_t u : users) {
-      sqrt_eta_sum += std::sqrt(eta(scenario_->user(u)));
+      sqrt_eta_sum += problem_->sqrt_eta(u);
     }
-    const double f_s = scenario_->server(s).cpu_hz;
+    const double f_s = problem_->server_cpu_hz(s);
     if (sqrt_eta_sum == 0.0) {
       // Degenerate case: every user on this server has beta_time = 0, so
       // the CRA objective does not depend on the split at all (eta_u = 0).
@@ -45,15 +45,15 @@ CraResult CraSolver::solve(const Assignment& x) const {
     constexpr double kEpsShare = 1e-9;
     std::size_t zero_eta_users = 0;
     for (const std::size_t u : users) {
-      if (eta(scenario_->user(u)) == 0.0) ++zero_eta_users;
+      if (problem_->eta(u) == 0.0) ++zero_eta_users;
     }
     const double pool =
         f_s * (1.0 - kEpsShare * static_cast<double>(zero_eta_users));
     for (const std::size_t u : users) {
-      const double e = eta(scenario_->user(u));
       // Eq. 22: f*_us = pool * sqrt(eta_u) / sum sqrt(eta_v).
-      result.cpu_hz[u] =
-          e == 0.0 ? f_s * kEpsShare : pool * std::sqrt(e) / sqrt_eta_sum;
+      result.cpu_hz[u] = problem_->eta(u) == 0.0
+                             ? f_s * kEpsShare
+                             : pool * problem_->sqrt_eta(u) / sqrt_eta_sum;
     }
     result.objective += server_objective(sqrt_eta_sum, pool);
   }
@@ -62,17 +62,17 @@ CraResult CraSolver::solve(const Assignment& x) const {
 
 double CraSolver::optimal_objective(const Assignment& x) const {
   double total = 0.0;
-  for (std::size_t s = 0; s < scenario_->num_servers(); ++s) {
+  for (std::size_t s = 0; s < problem_->num_servers(); ++s) {
     double sqrt_eta_sum = 0.0;
     bool any = false;
     for (std::size_t j = 0; j < x.num_subchannels(); ++j) {
       if (const auto u = x.occupant(s, j); u.has_value()) {
-        sqrt_eta_sum += std::sqrt(eta(scenario_->user(*u)));
+        sqrt_eta_sum += problem_->sqrt_eta(*u);
         any = true;
       }
     }
     if (any) {
-      total += server_objective(sqrt_eta_sum, scenario_->server(s).cpu_hz);
+      total += server_objective(sqrt_eta_sum, problem_->server_cpu_hz(s));
     }
   }
   return total;
@@ -80,13 +80,13 @@ double CraSolver::optimal_objective(const Assignment& x) const {
 
 double CraSolver::objective_of(const Assignment& x,
                                const std::vector<double>& cpu_hz) const {
-  TSAJS_REQUIRE(cpu_hz.size() == scenario_->num_users(),
+  TSAJS_REQUIRE(cpu_hz.size() == problem_->num_users(),
                 "allocation vector must have one entry per user");
   double total = 0.0;
   for (const std::size_t u : x.offloaded_users()) {
     TSAJS_REQUIRE(cpu_hz[u] > 0.0,
                   "offloaded users need a positive allocation (12e)");
-    total += eta(scenario_->user(u)) / cpu_hz[u];
+    total += problem_->eta(u) / cpu_hz[u];
   }
   return total;
 }
@@ -126,11 +126,11 @@ void project_to_simplex(std::vector<double>& f, double budget, double floor) {
 CraResult CraSolver::solve_numeric(const Assignment& x,
                                    std::size_t iterations) const {
   CraResult result;
-  result.cpu_hz.assign(scenario_->num_users(), 0.0);
-  for (std::size_t s = 0; s < scenario_->num_servers(); ++s) {
+  result.cpu_hz.assign(problem_->num_users(), 0.0);
+  for (std::size_t s = 0; s < problem_->num_servers(); ++s) {
     const std::vector<std::size_t> users = x.users_on_server(s);
     if (users.empty()) continue;
-    const double f_s = scenario_->server(s).cpu_hz;
+    const double f_s = problem_->server_cpu_hz(s);
     const auto n = users.size();
     const double floor = 1e-6 * f_s / static_cast<double>(n);
 
@@ -140,7 +140,7 @@ CraResult CraSolver::solve_numeric(const Assignment& x,
     const auto objective = [&](const std::vector<double>& alloc) {
       double v = 0.0;
       for (std::size_t i = 0; i < n; ++i) {
-        v += eta(scenario_->user(users[i])) / alloc[i];
+        v += problem_->eta(users[i]) / alloc[i];
       }
       return v;
     };
@@ -151,7 +151,7 @@ CraResult CraSolver::solve_numeric(const Assignment& x,
     for (std::size_t it = 0; it < iterations; ++it) {
       double grad_norm = 0.0;
       for (std::size_t i = 0; i < n; ++i) {
-        grad[i] = -eta(scenario_->user(users[i])) / (f[i] * f[i]);
+        grad[i] = -problem_->eta(users[i]) / (f[i] * f[i]);
         grad_norm += grad[i] * grad[i];
       }
       grad_norm = std::sqrt(grad_norm);

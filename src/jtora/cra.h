@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "jtora/assignment.h"
+#include "jtora/compiled_problem.h"
 #include "mec/scenario.h"
 
 namespace tsajs::jtora {
@@ -34,7 +36,14 @@ struct CraResult {
 
 class CraSolver {
  public:
-  explicit CraSolver(const mec::Scenario& scenario) : scenario_(&scenario) {}
+  /// Binds to a shared compiled problem (non-owning; `problem` must outlive
+  /// this solver). The closed form reads the precompiled sqrt(eta) values.
+  explicit CraSolver(const CompiledProblem& problem) : problem_(&problem) {}
+
+  /// Legacy convenience: compiles (and owns) a problem for `scenario`.
+  explicit CraSolver(const mec::Scenario& scenario)
+      : owned_(std::make_shared<const CompiledProblem>(scenario)),
+        problem_(owned_.get()) {}
 
   /// Closed-form optimum (Eq. 22/23).
   [[nodiscard]] CraResult solve(const Assignment& x) const;
@@ -56,8 +65,13 @@ class CraSolver {
   [[nodiscard]] double objective_of(const Assignment& x,
                                     const std::vector<double>& cpu_hz) const;
 
+  [[nodiscard]] const CompiledProblem& problem() const noexcept {
+    return *problem_;
+  }
+
  private:
-  const mec::Scenario* scenario_;
+  std::shared_ptr<const CompiledProblem> owned_;  // only on the legacy path
+  const CompiledProblem* problem_;
 };
 
 }  // namespace tsajs::jtora

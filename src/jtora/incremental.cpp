@@ -1,70 +1,34 @@
 #include "jtora/incremental.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
 
 namespace tsajs::jtora {
 
+IncrementalEvaluator::IncrementalEvaluator(const CompiledProblem& problem,
+                                           const Assignment& initial)
+    : problem_(&problem), x_(initial) {
+  init();
+}
+
 IncrementalEvaluator::IncrementalEvaluator(const mec::Scenario& scenario,
                                            const Assignment& initial)
-    : scenario_(&scenario),
-      evaluator_(scenario),
-      rates_(scenario),
-      x_(initial),
-      num_servers_(scenario.num_servers()),
-      num_subchannels_(scenario.num_subchannels()),
-      noise_w_(scenario.noise_w()) {
-  const std::size_t num_users = scenario.num_users();
-  const double w = scenario.subchannel_bandwidth_hz();
-  user_gain_.assign(num_users, 0.0);
-  sqrt_eta_.resize(num_users);
-  gain_const_.resize(num_users);
-  gamma_coef_.resize(num_users);
-  time_cost_scale_.resize(num_users);
+    : owned_(std::make_shared<const CompiledProblem>(scenario)),
+      problem_(owned_.get()),
+      x_(initial) {
+  init();
+}
+
+void IncrementalEvaluator::init() {
+  num_servers_ = problem_->num_servers();
+  num_subchannels_ = problem_->num_subchannels();
+  noise_w_ = problem_->noise_w();
+  has_downlink_ = problem_->has_downlink();
+  user_gain_.assign(problem_->num_users(), 0.0);
   server_sqrt_eta_.assign(num_servers_, 0.0);
   server_count_.assign(num_servers_, 0);
-  server_cpu_.resize(num_servers_);
-  for (std::size_t s = 0; s < num_servers_; ++s) {
-    server_cpu_[s] = scenario.server(s).cpu_hz;
-  }
-  for (std::size_t u = 0; u < num_users; ++u) {
-    const mec::UserEquipment& ue = scenario.user(u);
-    sqrt_eta_[u] = std::sqrt(eta(ue));
-    gain_const_[u] = ue.lambda * (ue.beta_time + ue.beta_energy);
-    const double phi = ue.lambda * ue.beta_time * ue.task.input_bits /
-                       (ue.local_time_s() * w);
-    const double psi = ue.lambda * ue.beta_energy * ue.task.input_bits /
-                       (ue.local_energy_j() * w);
-    gamma_coef_[u] = phi + psi * ue.tx_power_w;
-    time_cost_scale_[u] = ue.lambda * ue.beta_time / ue.local_time_s();
-    if (ue.task.output_bits > 0.0) has_downlink_ = true;
-  }
-  // Flattened per-(user, sub-channel, server) caches: the received signal
-  // power p_u * h_us^j behind every SINR read, and the constant downlink
-  // return times. Server-contiguous so co-channel sweeps are linear scans.
-  signal_.resize(num_users * num_subchannels_ * num_servers_);
-  for (std::size_t u = 0; u < num_users; ++u) {
-    const double p = scenario.user(u).tx_power_w;
-    for (std::size_t j = 0; j < num_subchannels_; ++j) {
-      double* row = signal_.data() + (u * num_subchannels_ + j) * num_servers_;
-      for (std::size_t s = 0; s < num_servers_; ++s) {
-        row[s] = p * scenario.gain(u, s, j);
-      }
-    }
-  }
-  if (has_downlink_) {
-    downlink_.resize(num_users * num_subchannels_ * num_servers_);
-    for (std::size_t u = 0; u < num_users; ++u) {
-      for (std::size_t j = 0; j < num_subchannels_; ++j) {
-        double* row =
-            downlink_.data() + (u * num_subchannels_ + j) * num_servers_;
-        for (std::size_t s = 0; s < num_servers_; ++s) {
-          row[s] = rates_.downlink_time_s(u, s, j);
-        }
-      }
-    }
-  }
   rebuild();
 }
 
@@ -73,11 +37,11 @@ void IncrementalEvaluator::rebuild() {
   lambda_cost_ = 0.0;
   server_sqrt_eta_.assign(num_servers_, 0.0);
   server_count_.assign(num_servers_, 0);
-  user_gain_.assign(scenario_->num_users(), 0.0);
+  user_gain_.assign(problem_->num_users(), 0.0);
   channel_power_.assign(num_servers_ * num_subchannels_, 0.0);
   for (const std::size_t u : x_.offloaded_users()) {
     const Slot slot = *x_.slot_of(u);
-    server_sqrt_eta_[slot.server] += sqrt_eta_[u];
+    server_sqrt_eta_[slot.server] += problem_->sqrt_eta(u);
     ++server_count_[slot.server];
     add_channel_power(u, slot.subchannel, +1.0);
   }
@@ -86,8 +50,8 @@ void IncrementalEvaluator::rebuild() {
   }
   for (std::size_t s = 0; s < num_servers_; ++s) {
     if (server_count_[s] > 0) {
-      lambda_cost_ +=
-          server_sqrt_eta_[s] * server_sqrt_eta_[s] / server_cpu_[s];
+      lambda_cost_ += server_sqrt_eta_[s] * server_sqrt_eta_[s] /
+                      problem_->server_cpu_hz(s);
     }
   }
   utility_ = gain_minus_gamma_ - lambda_cost_;
@@ -96,8 +60,7 @@ void IncrementalEvaluator::rebuild() {
 void IncrementalEvaluator::add_channel_power(std::size_t u, std::size_t j,
                                              double sign) {
   double* power = channel_power_.data() + j * num_servers_;
-  const double* sig =
-      signal_.data() + (u * num_subchannels_ + j) * num_servers_;
+  const double* sig = problem_->signal_row(u, j);
   for (std::size_t s = 0; s < num_servers_; ++s) {
     power[s] += sign * sig[s];
   }
@@ -114,10 +77,9 @@ double IncrementalEvaluator::gain_of(std::size_t u, std::size_t s,
   const double interference = std::max(channel_power_total - signal, 0.0);
   const double sinr = signal / (interference + noise_w_);
   const double log_term = std::log2(1.0 + sinr);
-  double gain = gain_const_[u] - gamma_coef_[u] / log_term;
+  double gain = problem_->gain_const(u) - problem_->gamma_coef(u) / log_term;
   if (has_downlink_) {
-    gain -= time_cost_scale_[u] *
-            downlink_[(u * num_subchannels_ + j) * num_servers_ + s];
+    gain -= problem_->time_cost_scale(u) * problem_->downlink_time_s(u, s, j);
   }
   return gain;
 }
@@ -152,7 +114,7 @@ void IncrementalEvaluator::server_add(std::size_t s, double sqrt_eta) {
   const double after = before + sqrt_eta;
   ++server_count_[s];
   server_sqrt_eta_[s] = after;
-  lambda_cost_ += (after * after - before * before) / server_cpu_[s];
+  lambda_cost_ += (after * after - before * before) / problem_->server_cpu_hz(s);
 }
 
 void IncrementalEvaluator::server_remove(std::size_t s, double sqrt_eta) {
@@ -163,7 +125,7 @@ void IncrementalEvaluator::server_remove(std::size_t s, double sqrt_eta) {
   // would otherwise leave ~1-ulp residue that compounds over long runs.
   const double after = server_count_[s] == 0 ? 0.0 : before - sqrt_eta;
   server_sqrt_eta_[s] = after;
-  lambda_cost_ += (after * after - before * before) / server_cpu_[s];
+  lambda_cost_ += (after * after - before * before) / problem_->server_cpu_hz(s);
 }
 
 void IncrementalEvaluator::note_commit() {
@@ -179,7 +141,7 @@ void IncrementalEvaluator::do_make_local(std::size_t u) {
   if (!slot.has_value()) return;
   if (logging_) undo_log_.push_back({u, slot});
   drop_user_cost(u);
-  server_remove(slot->server, sqrt_eta_[u]);
+  server_remove(slot->server, problem_->sqrt_eta(u));
   add_channel_power(u, slot->subchannel, -1.0);
   x_.make_local(u);
   // Users sharing the old sub-channel lost an interferer.
@@ -199,7 +161,7 @@ void IncrementalEvaluator::do_offload(std::size_t u, std::size_t s,
   }
   if (logging_) undo_log_.push_back({u, std::nullopt});
   x_.offload(u, s, j);
-  server_add(s, sqrt_eta_[u]);
+  server_add(s, problem_->sqrt_eta(u));
   add_channel_power(u, j, +1.0);
   // Users sharing the new sub-channel gained an interferer; the mover's own
   // cost is computed fresh.
@@ -261,10 +223,12 @@ double IncrementalEvaluator::preview_changes(const SlotChange* changes,
   };
   for (std::size_t c = 0; c < n; ++c) {
     if (changes[c].from.has_value()) {
-      touch_server(changes[c].from->server, -sqrt_eta_[changes[c].user], -1);
+      touch_server(changes[c].from->server,
+                   -problem_->sqrt_eta(changes[c].user), -1);
     }
     if (changes[c].to.has_value()) {
-      touch_server(changes[c].to->server, +sqrt_eta_[changes[c].user], +1);
+      touch_server(changes[c].to->server,
+                   +problem_->sqrt_eta(changes[c].user), +1);
     }
   }
   double lambda_delta = 0.0;
@@ -274,7 +238,8 @@ double IncrementalEvaluator::preview_changes(const SlotChange* changes,
         static_cast<int>(server_count_[srv[i]]) + srv_count_delta[i];
     // Mirror server_remove's exact-zero snap so preview matches apply.
     const double after = count_after == 0 ? 0.0 : before + srv_delta[i];
-    lambda_delta += (after * after - before * before) / server_cpu_[srv[i]];
+    lambda_delta +=
+        (after * after - before * before) / problem_->server_cpu_hz(srv[i]);
   }
 
   // ---- Gamma-side delta: moved users plus affected co-channel users. ----
@@ -407,10 +372,17 @@ void IncrementalEvaluator::set_undo_logging(bool enabled) {
 }
 
 void IncrementalEvaluator::self_check(double tolerance) const {
-  const double reference = evaluator_.system_utility(x_);
+  const UtilityEvaluator reference_evaluator(*problem_);
+  const double reference = reference_evaluator.system_utility(x_);
   TSAJS_CHECK(std::fabs(reference - utility_) <=
                   tolerance * std::max(1.0, std::fabs(reference)),
               "incremental utility drifted from the reference evaluator");
+  // Stale-cache guard: recompiling the bound scenario from scratch must
+  // reproduce the shared problem bit for bit. A partial recompile (e.g.
+  // recompile_channel after user parameters changed) fails here.
+  const CompiledProblem fresh(problem_->scenario());
+  TSAJS_CHECK(problem_->bitwise_equal(fresh),
+              "shared CompiledProblem is stale w.r.t. its scenario");
 }
 
 }  // namespace tsajs::jtora

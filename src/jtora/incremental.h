@@ -20,12 +20,13 @@
 //     plus undo bookkeeping). The TSAJS annealer previews every proposal
 //     and applies only the accepted ones.
 //
-// All hot-path reads go through flattened contiguous caches precomputed at
-// construction: `signal_` holds p_u * h_us^j in (user, sub-channel, server)
-// order (server-contiguous, so co-channel sweeps and received-power updates
-// are linear scans), and `downlink_` holds the constant per-slot result
-// return times, eliminating the repeated `scenario().gain()` indexing and
-// `log2` re-derivations of the naive path. Users whose interference did not
+// All hot-path reads go through the shared CompiledProblem's flattened
+// contiguous caches: its signal table holds p_u * h_us^j in (user,
+// sub-channel, server) order (server-contiguous, so co-channel sweeps and
+// received-power updates are linear scans), and its downlink table holds
+// the constant per-slot result return times, eliminating the repeated
+// `scenario().gain()` indexing and `log2` re-derivations of the naive
+// path. Users whose interference did not
 // change are never recomputed: their cached `user_gain_` entry stands, and a
 // preview skips any server whose received-power delta is exactly zero.
 //
@@ -41,11 +42,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/matrix.h"
 #include "jtora/assignment.h"
+#include "jtora/compiled_problem.h"
 #include "jtora/utility.h"
 #include "mec/scenario.h"
 
@@ -55,7 +58,14 @@ namespace tsajs::jtora {
 /// changes with commit/rollback semantics and read-only previews.
 class IncrementalEvaluator {
  public:
-  /// Binds to a scenario and adopts `initial` as the current decision.
+  /// Binds to a shared compiled problem (non-owning; `problem` must outlive
+  /// this evaluator) and adopts `initial` as the current decision. All
+  /// constants and the signal/downlink tables come from `problem` — nothing
+  /// is re-derived here.
+  IncrementalEvaluator(const CompiledProblem& problem,
+                       const Assignment& initial);
+
+  /// Legacy convenience: compiles (and owns) a problem for `scenario`.
   IncrementalEvaluator(const mec::Scenario& scenario,
                        const Assignment& initial);
 
@@ -124,9 +134,15 @@ class IncrementalEvaluator {
   /// edits, on the periodic anti-drift cadence, and by the self-check.
   void rebuild();
 
-  /// Verifies the cached utility against a fresh UtilityEvaluator run;
+  /// Verifies the cached utility against a fresh UtilityEvaluator run, and
+  /// the shared problem's tables against a freshly recompiled
+  /// CompiledProblem (catches stale caches after a partial recompile);
   /// throws InternalError on drift beyond tolerance. For tests/debugging.
   void self_check(double tolerance = 1e-6) const;
+
+  [[nodiscard]] const CompiledProblem& problem() const noexcept {
+    return *problem_;
+  }
 
   // --- Assignment-compatible facade ---------------------------------------
   // Lets algo::Neighborhood drive an IncrementalEvaluator exactly like a
@@ -167,6 +183,10 @@ class IncrementalEvaluator {
     std::optional<Slot> to;
   };
 
+  /// Shared constructor tail: sizes the runtime state off `problem_` and
+  /// performs the initial full rebuild.
+  void init();
+
   // Raw mutation cores (no commit accounting); apply_* wrap these with the
   // rebuild cadence, rollback() replays them.
   void do_offload(std::size_t u, std::size_t s, std::size_t j);
@@ -177,10 +197,10 @@ class IncrementalEvaluator {
   [[nodiscard]] double preview_changes(const SlotChange* changes,
                                        std::size_t n) const;
 
-  /// p_u * h_us^j from the flattened signal table.
+  /// p_u * h_us^j from the problem's flattened signal table.
   [[nodiscard]] double signal_at(std::size_t u, std::size_t j,
                                  std::size_t s) const noexcept {
-    return signal_[(u * num_subchannels_ + j) * num_servers_ + s];
+    return problem_->signal(u, j, s);
   }
   /// Gamma-side gain of user `u` on slot (s, j) given the total received
   /// power on that (sub-channel, server). Shared by refresh and preview so
@@ -205,14 +225,16 @@ class IncrementalEvaluator {
   /// Commit accounting: triggers the periodic anti-drift rebuild.
   void note_commit();
 
-  const mec::Scenario* scenario_;
-  UtilityEvaluator evaluator_;  // for phi/psi constants and self-check
-  RateEvaluator rates_;
+  std::shared_ptr<const CompiledProblem> owned_;  // only on the legacy path
+  const CompiledProblem* problem_;
   Assignment x_;
 
+  // Hot-loop copies of the problem dimensions/noise (avoids the extra
+  // indirection on every cache index computation).
   std::size_t num_servers_ = 0;
   std::size_t num_subchannels_ = 0;
   double noise_w_ = 0.0;
+  bool has_downlink_ = false;
 
   // Cached per-user Gamma-side cost: lambda_u*(bt+be) - (phi+psi p)/log2(..)
   // i.e. the user's net gain term; zero when local.
@@ -225,23 +247,9 @@ class IncrementalEvaluator {
   // channel_power_[j * S + s] = sum over users k currently offloaded on
   // sub-channel j of p_k * h_{k->s}^j. The SINR of the occupant u of (s, j)
   // is then p_u h_us / (cache - own signal + noise). The sub-channel-major
-  // layout makes every power update a contiguous AXPY against `signal_`.
+  // layout makes every power update a contiguous AXPY against the problem's
+  // signal table.
   std::vector<double> channel_power_;
-  // Flattened (user, sub-channel, server) signal-power table p_u * h_us^j.
-  std::vector<double> signal_;
-  // Flattened (user, sub-channel, server) downlink return times (constant
-  // per scenario); empty when no task declares output bits.
-  std::vector<double> downlink_;
-  bool has_downlink_ = false;
-  // Per-user sqrt(eta) (constant).
-  std::vector<double> sqrt_eta_;
-  // Per-user precomputed constants (duplicated from UtilityEvaluator since
-  // those are private there).
-  std::vector<double> gain_const_;   // lambda_u * (beta_t + beta_e)
-  std::vector<double> gamma_coef_;   // phi_u + psi_u * p_u
-  std::vector<double> time_cost_scale_;  // lambda_u * beta_t / t_local
-  // Per-server CPU capacity f_s (constant), for the Lambda updates.
-  std::vector<double> server_cpu_;
 
   double gain_minus_gamma_ = 0.0;  // sum over offloaded users of user_gain_
   double lambda_cost_ = 0.0;       // Eq. 23 total

@@ -8,17 +8,23 @@
 namespace tsajs::jtora {
 
 PartialOffloadEvaluator::PartialOffloadEvaluator(
+    const CompiledProblem& problem)
+    : problem_(&problem), full_(problem) {}
+
+PartialOffloadEvaluator::PartialOffloadEvaluator(
     const mec::Scenario& scenario)
-    : scenario_(&scenario), full_(scenario) {}
+    : owned_(std::make_shared<const CompiledProblem>(scenario)),
+      problem_(owned_.get()),
+      full_(*problem_) {}
 
 PartialOutcome PartialOffloadEvaluator::best_split(std::size_t u,
                                                    const LinkMetrics& link,
                                                    double cpu_hz) const {
-  TSAJS_REQUIRE(u < scenario_->num_users(), "user index out of range");
+  TSAJS_REQUIRE(u < problem_->num_users(), "user index out of range");
   TSAJS_REQUIRE(cpu_hz > 0.0, "CPU share must be positive");
-  const mec::UserEquipment& ue = scenario_->user(u);
-  const double t_local = ue.local_time_s();
-  const double e_local = ue.local_energy_j();
+  const mec::UserEquipment& ue = problem_->scenario().user(u);
+  const double t_local = problem_->local_time_s(u);
+  const double e_local = problem_->local_energy_j(u);
 
   // Per-unit-x costs of the two pipelines.
   const double local_slope = t_local;  // (1-x) w / f_local = (1-x)*t_local
@@ -55,16 +61,17 @@ PartialEvaluation PartialOffloadEvaluator::evaluate(
     const Assignment& x) const {
   const Evaluation full_eval = full_.evaluate(x);
   PartialEvaluation eval;
-  eval.users.resize(scenario_->num_users());
-  for (std::size_t u = 0; u < scenario_->num_users(); ++u) {
+  eval.users.resize(problem_->num_users());
+  for (std::size_t u = 0; u < problem_->num_users(); ++u) {
     if (!x.is_offloaded(u)) {
-      eval.users[u].delay_s = scenario_->user(u).local_time_s();
-      eval.users[u].energy_j = scenario_->user(u).local_energy_j();
+      eval.users[u].delay_s = problem_->local_time_s(u);
+      eval.users[u].energy_j = problem_->local_energy_j(u);
       continue;
     }
     eval.users[u] = best_split(u, full_eval.users[u].link,
                                full_eval.allocation.cpu_hz[u]);
-    eval.system_utility += scenario_->user(u).lambda * eval.users[u].utility;
+    eval.system_utility +=
+        problem_->scenario().user(u).lambda * eval.users[u].utility;
   }
   return eval;
 }

@@ -22,9 +22,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "jtora/assignment.h"
+#include "jtora/compiled_problem.h"
 #include "jtora/utility.h"
 #include "mec/scenario.h"
 
@@ -46,6 +48,11 @@ struct PartialEvaluation {
 
 class PartialOffloadEvaluator {
  public:
+  /// Binds to a shared compiled problem (non-owning; `problem` must outlive
+  /// this evaluator).
+  explicit PartialOffloadEvaluator(const CompiledProblem& problem);
+
+  /// Legacy convenience: compiles (and owns) a problem for `scenario`.
   explicit PartialOffloadEvaluator(const mec::Scenario& scenario);
 
   /// Optimal split for user `u` given its link and CPU share.
@@ -58,7 +65,8 @@ class PartialOffloadEvaluator {
   [[nodiscard]] PartialEvaluation evaluate(const Assignment& x) const;
 
  private:
-  const mec::Scenario* scenario_;
+  std::shared_ptr<const CompiledProblem> owned_;  // only on the legacy path
+  const CompiledProblem* problem_;
   UtilityEvaluator full_;  // provides links + CRA allocation
 };
 

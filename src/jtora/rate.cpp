@@ -12,13 +12,13 @@ double RateEvaluator::interference_w(const Assignment& x, std::size_t s,
                                      std::size_t exclude) const {
   double total = 0.0;
   // One user at most per (server, sub-channel): walk servers r != s and add
-  // the occupant of (r, j) if any. O(S) per call.
-  for (std::size_t r = 0; r < scenario_->num_servers(); ++r) {
+  // the occupant of (r, j) if any. O(S) per call; signal powers come from
+  // the compiled table.
+  for (std::size_t r = 0; r < problem_->num_servers(); ++r) {
     if (r == s) continue;
     const auto occupant = x.occupant(r, j);
     if (!occupant.has_value() || *occupant == exclude) continue;
-    const std::size_t k = *occupant;
-    total += scenario_->user(k).tx_power_w * scenario_->gain(k, s, j);
+    total += problem_->signal(*occupant, j, s);
   }
   return total;
 }
@@ -31,31 +31,18 @@ double RateEvaluator::sinr(const Assignment& x, std::size_t u) const {
 
 double RateEvaluator::hypothetical_sinr(const Assignment& x, std::size_t u,
                                         std::size_t s, std::size_t j) const {
-  const double signal =
-      scenario_->user(u).tx_power_w * scenario_->gain(u, s, j);
+  const double signal = problem_->signal(u, j, s);
   const double denom =
-      interference_w(x, s, j, /*exclude=*/u) + scenario_->noise_w();
+      interference_w(x, s, j, /*exclude=*/u) + problem_->noise_w();
   return signal / denom;
-}
-
-double RateEvaluator::downlink_time_s(std::size_t u, std::size_t s,
-                                      std::size_t j) const {
-  const mec::UserEquipment& ue = scenario_->user(u);
-  if (ue.task.output_bits <= 0.0) return 0.0;
-  const double snr = scenario_->server(s).tx_power_w *
-                     scenario_->gain(u, s, j) / scenario_->noise_w();
-  const double rate =
-      scenario_->subchannel_bandwidth_hz() * std::log2(1.0 + snr);
-  if (rate <= 0.0) return std::numeric_limits<double>::infinity();
-  return ue.task.output_bits / rate;
 }
 
 LinkMetrics RateEvaluator::link(const Assignment& x, std::size_t u) const {
   LinkMetrics m;
   m.sinr = sinr(x, u);
-  const double w = scenario_->subchannel_bandwidth_hz();
+  const double w = problem_->subchannel_bandwidth_hz();
   m.rate_bps = w * std::log2(1.0 + m.sinr);
-  const mec::UserEquipment& ue = scenario_->user(u);
+  const mec::UserEquipment& ue = problem_->scenario().user(u);
   if (m.rate_bps > 0.0) {
     m.upload_s = ue.task.input_bits / m.rate_bps;
   } else {
@@ -68,8 +55,8 @@ LinkMetrics RateEvaluator::link(const Assignment& x, std::size_t u) const {
 }
 
 std::vector<LinkMetrics> RateEvaluator::all_links(const Assignment& x) const {
-  std::vector<LinkMetrics> links(scenario_->num_users());
-  for (std::size_t u = 0; u < scenario_->num_users(); ++u) {
+  std::vector<LinkMetrics> links(problem_->num_users());
+  for (std::size_t u = 0; u < problem_->num_users(); ++u) {
     if (x.is_offloaded(u)) links[u] = link(x, u);
   }
   return links;

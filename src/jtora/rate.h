@@ -10,12 +10,18 @@
 //
 // Since every user transmits on exactly one sub-channel, the "aggregate SINR
 // across sub-bands" of Eq. 4 reduces to the single active sub-band's SINR.
+//
+// All signal powers and downlink return times come from the shared
+// CompiledProblem tables — nothing is re-derived from scenario().gain() at
+// query time.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "jtora/assignment.h"
+#include "jtora/compiled_problem.h"
 #include "mec/scenario.h"
 
 namespace tsajs::jtora {
@@ -32,8 +38,16 @@ struct LinkMetrics {
 
 class RateEvaluator {
  public:
+  /// Binds to a shared compiled problem (non-owning; `problem` must outlive
+  /// this evaluator).
+  explicit RateEvaluator(const CompiledProblem& problem)
+      : problem_(&problem) {}
+
+  /// Legacy convenience: compiles (and owns) a problem for `scenario`.
+  /// Prefer the CompiledProblem overload when the compilation can be shared.
   explicit RateEvaluator(const mec::Scenario& scenario)
-      : scenario_(&scenario) {}
+      : owned_(std::make_shared<const CompiledProblem>(scenario)),
+        problem_(owned_.get()) {}
 
   /// SINR of user `u` on its assigned slot under `x`. Requires `u` to be
   /// offloaded in `x`.
@@ -52,12 +66,16 @@ class RateEvaluator {
                                          std::size_t s, std::size_t j) const;
 
   /// Time to return task results over the downlink from server `s` to user
-  /// `u` on sub-channel `j`: output_bits / (W log2(1 + p_s h / sigma^2)).
-  /// Zero when the task declares no output (the paper's default). The
-  /// downlink is modelled noise-limited — base stations coordinate their
-  /// transmissions (C-RAN, Sec. I), so no inter-cell downlink interference.
+  /// `u` on sub-channel `j` (precompiled into the problem's downlink table;
+  /// zero when the task declares no output).
   [[nodiscard]] double downlink_time_s(std::size_t u, std::size_t s,
-                                       std::size_t j) const;
+                                       std::size_t j) const {
+    return problem_->downlink_time_s(u, s, j);
+  }
+
+  [[nodiscard]] const CompiledProblem& problem() const noexcept {
+    return *problem_;
+  }
 
  private:
   /// Interference power at server `s` on sub-channel `j` from every user
@@ -67,7 +85,8 @@ class RateEvaluator {
                                       std::size_t j,
                                       std::size_t exclude) const;
 
-  const mec::Scenario* scenario_;
+  std::shared_ptr<const CompiledProblem> owned_;  // only on the legacy path
+  const CompiledProblem* problem_;
 };
 
 }  // namespace tsajs::jtora

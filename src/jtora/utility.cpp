@@ -1,49 +1,42 @@
 #include "jtora/utility.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/error.h"
 
 namespace tsajs::jtora {
 
-UtilityEvaluator::UtilityEvaluator(const mec::Scenario& scenario)
-    : scenario_(&scenario), rate_(scenario), cra_(scenario) {
-  const std::size_t num_users = scenario.num_users();
-  phi_.resize(num_users);
-  psi_.resize(num_users);
-  local_time_.resize(num_users);
-  local_energy_.resize(num_users);
-  time_cost_scale_.resize(num_users);
-  const double w = scenario.subchannel_bandwidth_hz();
-  for (std::size_t u = 0; u < num_users; ++u) {
-    const mec::UserEquipment& ue = scenario.user(u);
-    local_time_[u] = ue.local_time_s();
-    local_energy_[u] = ue.local_energy_j();
-    time_cost_scale_[u] = ue.lambda * ue.beta_time / local_time_[u];
-    // phi_u = lambda_u beta_t d_u / (t_local W), psi_u = lambda_u beta_e d_u
-    // / (E_local W)  (paper, below Eq. 19).
-    phi_[u] = ue.lambda * ue.beta_time * ue.task.input_bits /
-              (local_time_[u] * w);
-    psi_[u] = ue.lambda * ue.beta_energy * ue.task.input_bits /
-              (local_energy_[u] * w);
-  }
+UtilityEvaluator::UtilityEvaluator(const CompiledProblem& problem)
+    : problem_(&problem), rate_(problem), cra_(problem) {}
+
+UtilityEvaluator::UtilityEvaluator(
+    std::shared_ptr<const CompiledProblem> problem)
+    : owned_(std::move(problem)),
+      problem_(owned_.get()),
+      rate_(*problem_),
+      cra_(*problem_) {
+  TSAJS_REQUIRE(problem_ != nullptr && problem_->compiled(),
+                "UtilityEvaluator needs a compiled problem");
 }
+
+UtilityEvaluator::UtilityEvaluator(const mec::Scenario& scenario)
+    : UtilityEvaluator(std::make_shared<const CompiledProblem>(scenario)) {}
 
 double UtilityEvaluator::system_utility(const Assignment& x) const {
   double gain = 0.0;
   double gamma = 0.0;
-  for (std::size_t u = 0; u < scenario_->num_users(); ++u) {
+  for (std::size_t u = 0; u < problem_->num_users(); ++u) {
     if (!x.is_offloaded(u)) continue;
-    const mec::UserEquipment& ue = scenario_->user(u);
-    gain += ue.lambda * (ue.beta_time + ue.beta_energy);
+    gain += problem_->gain_const(u);
     const double log_term = std::log2(1.0 + rate_.sinr(x, u));
     // Gamma(X) = sum (phi_u + psi_u p_u) / log2(1 + gamma_us)  (Eq. 19).
-    gamma += (phi_[u] + psi_[u] * ue.tx_power_w) / log_term;
-    if (ue.task.output_bits > 0.0) {
+    gamma += problem_->gamma_coef(u) / log_term;
+    if (problem_->has_downlink()) {
       // Downlink extension: returning results costs extra delay.
       const Slot slot = *x.slot_of(u);
-      gamma += time_cost_scale_[u] *
-               rate_.downlink_time_s(u, slot.server, slot.subchannel);
+      gamma += problem_->time_cost_scale(u) *
+               problem_->downlink_time_s(u, slot.server, slot.subchannel);
     }
   }
   const double lambda_cost = cra_.optimal_objective(x);
@@ -53,30 +46,32 @@ double UtilityEvaluator::system_utility(const Assignment& x) const {
 
 double UtilityEvaluator::user_utility(std::size_t u, const LinkMetrics& link,
                                       double cpu_hz) const {
-  TSAJS_REQUIRE(u < scenario_->num_users(), "user index out of range");
+  TSAJS_REQUIRE(u < problem_->num_users(), "user index out of range");
   TSAJS_REQUIRE(cpu_hz > 0.0, "allocated CPU must be positive (12e)");
-  const mec::UserEquipment& ue = scenario_->user(u);
+  const mec::UserEquipment& ue = problem_->scenario().user(u);
+  const double local_time = problem_->local_time_s(u);
+  const double local_energy = problem_->local_energy_j(u);
   const double t_u =
       link.upload_s + link.download_s + ue.task.cycles / cpu_hz;
   const double e_u = link.tx_energy_j;
   // Eq. 10 with sum_s x_us = 1.
-  return ue.beta_time * (local_time_[u] - t_u) / local_time_[u] +
-         ue.beta_energy * (local_energy_[u] - e_u) / local_energy_[u];
+  return ue.beta_time * (local_time - t_u) / local_time +
+         ue.beta_energy * (local_energy - e_u) / local_energy;
 }
 
 Evaluation UtilityEvaluator::evaluate(const Assignment& x) const {
   Evaluation eval;
   eval.allocation = cra_.solve(x);
   eval.lambda_cost = eval.allocation.objective;
-  eval.users.resize(scenario_->num_users());
-  for (std::size_t u = 0; u < scenario_->num_users(); ++u) {
+  eval.users.resize(problem_->num_users());
+  for (std::size_t u = 0; u < problem_->num_users(); ++u) {
     UserOutcome& outcome = eval.users[u];
-    const mec::UserEquipment& ue = scenario_->user(u);
+    const mec::UserEquipment& ue = problem_->scenario().user(u);
     if (!x.is_offloaded(u)) {
       // Local execution: delay/energy are the local baselines, J_u = 0
       // (Eq. 10 carries the factor sum_s x_us).
-      outcome.total_delay_s = local_time_[u];
-      outcome.energy_j = local_energy_[u];
+      outcome.total_delay_s = problem_->local_time_s(u);
+      outcome.energy_j = problem_->local_energy_j(u);
       continue;
     }
     outcome.offloaded = true;
@@ -89,10 +84,10 @@ Evaluation UtilityEvaluator::evaluate(const Assignment& x) const {
     outcome.energy_j = outcome.link.tx_energy_j;
     outcome.utility = user_utility(u, outcome.link, cpu);
 
-    eval.gain_term += ue.lambda * (ue.beta_time + ue.beta_energy);
+    eval.gain_term += problem_->gain_const(u);
     const double log_term = std::log2(1.0 + outcome.link.sinr);
-    eval.gamma_cost += (phi_[u] + psi_[u] * ue.tx_power_w) / log_term;
-    eval.gamma_cost += time_cost_scale_[u] * outcome.link.download_s;
+    eval.gamma_cost += problem_->gamma_coef(u) / log_term;
+    eval.gamma_cost += problem_->time_cost_scale(u) * outcome.link.download_s;
     eval.system_utility += ue.lambda * outcome.utility;
   }
   return eval;

@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "jtora/assignment.h"
+#include "jtora/compiled_problem.h"
 #include "jtora/cra.h"
 #include "jtora/rate.h"
 #include "mec/scenario.h"
@@ -45,6 +47,16 @@ struct Evaluation {
 
 class UtilityEvaluator {
  public:
+  /// Binds to a shared compiled problem (non-owning; `problem` must outlive
+  /// this evaluator). Construction is O(1) — all constants and tables are
+  /// already compiled.
+  explicit UtilityEvaluator(const CompiledProblem& problem);
+
+  /// Shared-ownership variant for callers that hand the problem off.
+  explicit UtilityEvaluator(std::shared_ptr<const CompiledProblem> problem);
+
+  /// Legacy convenience: compiles (and owns) a problem for `scenario`. The
+  /// internal RateEvaluator/CraSolver share that single compilation.
   explicit UtilityEvaluator(const mec::Scenario& scenario);
 
   /// J*(X) per Eq. 24. O(U_off * S).
@@ -59,23 +71,19 @@ class UtilityEvaluator {
                                     double cpu_hz) const;
 
   [[nodiscard]] const mec::Scenario& scenario() const noexcept {
-    return *scenario_;
+    return problem_->scenario();
+  }
+  [[nodiscard]] const CompiledProblem& problem() const noexcept {
+    return *problem_;
   }
   [[nodiscard]] const RateEvaluator& rates() const noexcept { return rate_; }
   [[nodiscard]] const CraSolver& cra() const noexcept { return cra_; }
 
  private:
-  const mec::Scenario* scenario_;
+  std::shared_ptr<const CompiledProblem> owned_;  // only on owning paths
+  const CompiledProblem* problem_;
   RateEvaluator rate_;
   CraSolver cra_;
-  // Precomputed per-user constants phi_u, psi_u (paper, below Eq. 19) and
-  // local baselines; time_cost_scale_ = lambda_u * beta_t / t_local weights
-  // any extra seconds of delay (used by the downlink extension).
-  std::vector<double> phi_;
-  std::vector<double> psi_;
-  std::vector<double> local_time_;
-  std::vector<double> local_energy_;
-  std::vector<double> time_cost_scale_;
 };
 
 }  // namespace tsajs::jtora

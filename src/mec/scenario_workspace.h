@@ -19,6 +19,11 @@
 // allocation-free in steady state. The committed Scenario is a full,
 // validated, immutable instance — schedulers cannot tell it apart from one
 // built by hand.
+//
+// The workspace pairs naturally with a long-lived jtora::CompiledProblem:
+// call `compiled.compile(ws.commit())` each epoch and the problem layer
+// reuses its flat tables the same way the workspace reuses the scenario
+// buffers (see sim::DynamicSimulator for the canonical loop).
 #pragma once
 
 #include <optional>

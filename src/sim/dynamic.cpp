@@ -8,6 +8,7 @@
 #include "common/stopwatch.h"
 #include "common/units.h"
 #include "jtora/assignment.h"
+#include "jtora/compiled_problem.h"
 #include "jtora/utility.h"
 #include "mec/scenario_workspace.h"
 #include "radio/spectrum.h"
@@ -70,6 +71,11 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
   radio::PathLossCache pathloss_cache;
   pathloss_cache.reset(population_, servers_.size());
   std::vector<std::optional<jtora::Slot>> carried(population_);
+  // One CompiledProblem lives for the whole timeline: compile() reuses its
+  // flat buffers epoch over epoch and skips per-user constant blocks whose
+  // parameters did not change, so each epoch pays only for the re-drawn
+  // channel tables plus whatever tasks actually changed.
+  jtora::CompiledProblem compiled;
 
   std::vector<std::size_t> active;
   std::vector<geo::Point> user_positions;
@@ -129,6 +135,7 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
                              rng, workspace.gains(), &pathloss_cache,
                              &active);
     const mec::Scenario& scenario = workspace.commit();
+    compiled.compile(scenario);
 
     // 4. Solve the snapshot. The scheduler gets a derived child RNG so that
     // its own randomness cannot perturb the environment stream — two
@@ -150,10 +157,10 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
           }
           hint.offload(i, slot->server, slot->subchannel);
         }
-        return algo::run_and_validate(scheduler, scenario, hint,
+        return algo::run_and_validate(scheduler, compiled, hint,
                                       scheduler_rng);
       }
-      return algo::run_and_validate(scheduler, scenario, scheduler_rng);
+      return algo::run_and_validate(scheduler, compiled, scheduler_rng);
     }();
 
     // Remember this epoch's outcome as the next epoch's hint.
@@ -162,8 +169,8 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
       carried[active[i]] = result.assignment.slot_of(i);
     }
 
-    // 5. Record.
-    const jtora::UtilityEvaluator evaluator(scenario);
+    // 5. Record — against the same compilation the solve used.
+    const jtora::UtilityEvaluator evaluator(compiled);
     const jtora::Evaluation eval = evaluator.evaluate(result.assignment);
     EpochStats stats;
     stats.active_users = scenario.num_users();

@@ -17,7 +17,9 @@
 // The per-epoch loop runs over a mec::ScenarioWorkspace — the user vector,
 // gain tensor and spectrum stay allocated across epochs, channel gains are
 // re-drawn in place (radio::ChannelModel::regenerate_into with a path-loss
-// cache), and with WarmStart::kWarm the previous epoch's assignment is
+// cache), one jtora::CompiledProblem is re-compiled in place per epoch (its
+// flat buffers persist and unchanged per-user constant blocks are skipped),
+// and with WarmStart::kWarm the previous epoch's assignment is
 // repaired (inactive users dropped, their slots released, newly active
 // users entering local) and handed to the scheduler as a warm-start hint.
 // The environment RNG stream is identical in both modes and identical to
