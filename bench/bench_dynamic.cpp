@@ -14,6 +14,13 @@
 //
 // With --json PATH the raw accumulators are dumped as a JSON document; the
 // checked-in reference lives in bench/BENCH_dynamic.json.
+//
+// A second mode, --fault-sweep M1,M2,... (server MTBF in epochs; 0 =
+// healthy baseline), injects randomized server outages / sub-channel
+// blackouts into the timeline and reports graceful degradation instead:
+// faulted-epoch counts, evictions off dead resources, the utility drop
+// during outages, and epochs-to-recover — warm vs cold over the same
+// fault schedule. Reference output: bench/BENCH_fault.json.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -52,6 +59,36 @@ std::string json_of_report(const sim::DynamicReport& report) {
   return os.str();
 }
 
+// The base report plus the degradation telemetry the fault sweep is about.
+std::string json_of_fault_report(const sim::DynamicReport& report) {
+  std::ostringstream os;
+  os << "{\"utility\":" << exp::json_of(report.utility)
+     << ",\"solve_seconds\":" << exp::json_of(report.solve_seconds)
+     << ",\"faulted_epochs\":" << report.faulted_epochs
+     << ",\"total_evictions\":" << report.total_evictions
+     << ",\"healthy_utility\":" << exp::json_of(report.healthy_utility)
+     << ",\"faulted_utility\":" << exp::json_of(report.faulted_utility)
+     << ",\"epochs_to_recover\":" << exp::json_of(report.epochs_to_recover)
+     << ",\"empty_epochs\":" << report.empty_epochs << '}';
+  return os.str();
+}
+
+struct FaultPoint {
+  double mtbf_epochs = 0.0;  // 0 = healthy baseline (faults disabled)
+  sim::DynamicReport cold;
+  sim::DynamicReport warm;
+};
+
+/// Utility drop during outages: healthy-epoch mean minus faulted-epoch
+/// mean; zero when one of the sides has no samples (all-healthy runs).
+double utility_drop(const sim::DynamicReport& report) {
+  if (report.healthy_utility.count() == 0 ||
+      report.faulted_utility.count() == 0) {
+    return 0.0;
+  }
+  return report.healthy_utility.mean() - report.faulted_utility.mean();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -70,6 +107,13 @@ int main(int argc, char** argv) {
   cli.add_flag("subchannels", "sub-channels per server", "3");
   cli.add_flag("seed", "RNG seed shared by the paired runs", "20250704");
   cli.add_flag("json", "JSON output path (empty = off)", "");
+  cli.add_flag("fault-sweep",
+               "server MTBF sweep in epochs (0 = healthy baseline); "
+               "non-empty switches to the fault/degradation bench",
+               "");
+  cli.add_flag("fault-mttr", "server mean time to repair [epochs]", "3");
+  cli.add_flag("fault-blackout",
+               "per-epoch sub-channel blackout probability", "0.02");
   if (!cli.parse(argc, argv)) return 0;
 
   algo::RegistryOptions options;
@@ -86,6 +130,79 @@ int main(int argc, char** argv) {
   const auto num_subchannels =
       static_cast<std::size_t>(cli.get_uint("subchannels"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const std::vector<double> fault_sweep = cli.get_double_list("fault-sweep");
+  if (!fault_sweep.empty()) {
+    // Fault/degradation mode: sweep server MTBF at the first population
+    // point; each MTBF value gets its own randomized fault schedule, run
+    // warm and cold over the identical timeline.
+    const auto population =
+        static_cast<std::size_t>(cli.get_double_list("populations").front());
+    std::vector<FaultPoint> fault_points;
+    for (const double mtbf : fault_sweep) {
+      sim::DynamicConfig fault_config = config;
+      fault_config.fault.server_mtbf_epochs = mtbf;  // 0 keeps faults off
+      fault_config.fault.server_mttr_epochs = cli.get_double("fault-mttr");
+      if (mtbf > 0.0) {
+        fault_config.fault.subchannel_blackout_prob =
+            cli.get_double("fault-blackout");
+      }
+      FaultPoint point;
+      point.mtbf_epochs = mtbf;
+      const sim::DynamicSimulator simulator(population, num_servers,
+                                            num_subchannels, fault_config);
+      Rng rng_cold(seed);
+      point.cold = simulator.run(*scheduler, rng_cold, sim::WarmStart::kCold);
+      Rng rng_warm(seed);  // identical timeline and fault schedule
+      point.warm = simulator.run(*scheduler, rng_warm, sim::WarmStart::kWarm);
+      fault_points.push_back(std::move(point));
+    }
+
+    Table table({"MTBF [epochs]", "faulted epochs", "evictions (c/w)",
+                 "cold utility", "warm utility", "util drop (warm)",
+                 "recover [epochs]"});
+    for (const FaultPoint& point : fault_points) {
+      const Accumulator& recover = point.warm.epochs_to_recover;
+      table.add_row(
+          {point.mtbf_epochs > 0.0 ? format_double(point.mtbf_epochs, 0)
+                                   : "off",
+           std::to_string(point.warm.faulted_epochs),
+           std::to_string(point.cold.total_evictions) + "/" +
+               std::to_string(point.warm.total_evictions),
+           format_double(point.cold.utility.mean(), 3),
+           format_double(point.warm.utility.mean(), 3),
+           format_double(utility_drop(point.warm), 3),
+           recover.count() > 0 ? format_double(recover.mean(), 2) : "-"});
+    }
+    std::cout << "\n== Fault sweep: graceful degradation ("
+              << scheduler->name() << ", U=" << population << ", "
+              << config.epochs << " epochs, seed " << seed << ") ==\n";
+    table.print(std::cout);
+
+    const std::string json_path = cli.get_string("json");
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      TSAJS_REQUIRE(out.good(), "cannot open JSON output: " + json_path);
+      out << "{\"bench\":\"dynamic_fault_sweep\",\"scheme\":\""
+          << exp::json_escape(scheduler->name())
+          << "\",\"population\":" << population
+          << ",\"epochs\":" << config.epochs
+          << ",\"mttr_epochs\":" << cli.get_double("fault-mttr")
+          << ",\"blackout_prob\":" << cli.get_double("fault-blackout")
+          << ",\"seed\":" << seed << ",\"points\":[";
+      for (std::size_t i = 0; i < fault_points.size(); ++i) {
+        if (i > 0) out << ',';
+        out << "{\"mtbf_epochs\":" << fault_points[i].mtbf_epochs
+            << ",\"cold\":" << json_of_fault_report(fault_points[i].cold)
+            << ",\"warm\":" << json_of_fault_report(fault_points[i].warm)
+            << '}';
+      }
+      out << "]}\n";
+      TSAJS_REQUIRE(out.good(), "failed writing JSON output: " + json_path);
+      std::cout << "\nwrote " << json_path << "\n";
+    }
+    return 0;
+  }
 
   std::vector<Point> points;
   for (const double p : cli.get_double_list("populations")) {

@@ -9,6 +9,16 @@
 //
 //   ./build/examples/dynamic_arrivals [--epochs E] [--population P]
 //                                     [--seed S] [--warm | --cold]
+//                                     [--server-mtbf M] [--server-mttr R]
+//                                     [--channel-blackout P]
+//                                     [--deadline-ms D]
+//
+// The fault flags inject server outages (geometric MTBF/MTTR, in epochs)
+// and per-epoch sub-channel blackouts into the timeline; schedulers then
+// degrade gracefully (stranded users fall back to local execution) and the
+// run reports outage telemetry. --deadline-ms gives TSAJS an anytime solve
+// budget: each epoch's solve returns its best feasible decision when the
+// deadline fires, never worse than the all-local fallback.
 #include <iostream>
 
 #include "algo/greedy.h"
@@ -33,6 +43,15 @@ int main(int argc, char** argv) {
                  "seed each epoch's solve with the previous epoch's repaired "
                  "assignment");
   cli.add_switch("cold", "solve every epoch from scratch (the default)");
+  cli.add_flag("server-mtbf",
+               "server mean time between failures [epochs] (0 = no outages)",
+               "0");
+  cli.add_flag("server-mttr", "server mean time to repair [epochs]", "3");
+  cli.add_flag("channel-blackout",
+               "per-epoch sub-channel blackout probability", "0");
+  cli.add_flag("deadline-ms",
+               "anytime solve deadline per epoch for TSAJS [ms] (0 = none)",
+               "0");
   if (!cli.parse(argc, argv)) return 0;
   TSAJS_REQUIRE(!(cli.get_bool("warm") && cli.get_bool("cold")),
                 "--warm and --cold are mutually exclusive");
@@ -42,6 +61,9 @@ int main(int argc, char** argv) {
   sim::DynamicConfig config;
   config.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
   config.activity_prob = cli.get_double("activity");
+  config.fault.server_mtbf_epochs = cli.get_double("server-mtbf");
+  config.fault.server_mttr_epochs = cli.get_double("server-mttr");
+  config.fault.subchannel_blackout_prob = cli.get_double("channel-blackout");
   const sim::DynamicSimulator simulator(
       static_cast<std::size_t>(cli.get_int("population")),
       /*num_servers=*/9, /*num_subchannels=*/3, config);
@@ -49,6 +71,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   algo::TsajsConfig tsajs_config;
   tsajs_config.chain_length = 10;  // online setting: favour fast solves
+  tsajs_config.budget.max_seconds = cli.get_double("deadline-ms") / 1000.0;
   Rng rng_tsajs(seed);
   const sim::DynamicReport tsajs =
       simulator.run(algo::TsajsScheduler(tsajs_config), rng_tsajs, warm);
@@ -73,6 +96,16 @@ int main(int argc, char** argv) {
   summary.add_row({"mean solve time",
                    units::duration_string(tsajs.solve_seconds.mean()),
                    units::duration_string(greedy.solve_seconds.mean())});
+  if (config.fault.enabled()) {
+    summary.add_row({"faulted epochs", std::to_string(tsajs.faulted_epochs),
+                     std::to_string(greedy.faulted_epochs)});
+    summary.add_row({"evictions (stranded users)",
+                     std::to_string(tsajs.total_evictions),
+                     std::to_string(greedy.total_evictions)});
+    summary.add_row({"utility in outage epochs",
+                     format_double(tsajs.faulted_utility.mean(), 3),
+                     format_double(greedy.faulted_utility.mean(), 3)});
+  }
   std::cout << "\n== Online scheduling over " << config.epochs << " epochs ("
             << (warm == sim::WarmStart::kWarm ? "warm" : "cold")
             << " starts) ==\n";

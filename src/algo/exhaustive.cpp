@@ -42,9 +42,10 @@ class Enumerator {
     }
     // Option 1: user u stays local.
     recurse(u + 1);
-    // Option 2: user u takes any currently free slot.
+    // Option 2: user u takes any currently free, available slot.
     for (std::size_t s = 0; s < scenario_.num_servers(); ++s) {
       for (std::size_t j = 0; j < scenario_.num_subchannels(); ++j) {
+        if (!scenario_.slot_available(s, j)) continue;  // fault-masked
         if (current_.occupant(s, j).has_value()) continue;
         current_.offload(u, s, j);
         recurse(u + 1);

@@ -37,6 +37,7 @@ ScheduleResult GreedyScheduler::fill_and_prune(
   for (std::size_t u = 0; u < scenario.num_users(); ++u) {
     for (std::size_t s = 0; s < scenario.num_servers(); ++s) {
       for (std::size_t j = 0; j < scenario.num_subchannels(); ++j) {
+        if (!problem.slot_available(s, j)) continue;  // fault-masked
         // The compiled signal table is exactly p_u * h_us^j.
         candidates.push_back({problem.signal(u, j, s), u, s, j});
       }
@@ -52,7 +53,7 @@ ScheduleResult GreedyScheduler::fill_and_prune(
 
   for (const Candidate& c : candidates) {
     if (x.num_offloaded() == std::min(scenario.num_users(),
-                                      scenario.num_slots())) {
+                                      problem.num_available_slots())) {
       break;
     }
     if (x.is_offloaded(c.user)) continue;

@@ -41,6 +41,7 @@ ScheduleResult HjtoraScheduler::schedule(const jtora::CompiledProblem& problem,
         if (x.is_offloaded(u)) continue;
         for (std::size_t s = 0; s < scenario.num_servers(); ++s) {
           for (std::size_t j = 0; j < scenario.num_subchannels(); ++j) {
+            if (!problem.slot_available(s, j)) continue;  // fault-masked
             if (x.occupant(s, j).has_value()) continue;
             x.offload(u, s, j);
             const double candidate = evaluator.system_utility(x);
@@ -79,6 +80,7 @@ ScheduleResult HjtoraScheduler::schedule(const jtora::CompiledProblem& problem,
       // Move to any free slot (the original slot is free now; skip it).
       for (std::size_t s = 0; s < scenario.num_servers(); ++s) {
         for (std::size_t j = 0; j < scenario.num_subchannels(); ++j) {
+          if (!problem.slot_available(s, j)) continue;  // fault-masked
           if (x.occupant(s, j).has_value()) continue;
           if (s == slot->server && j == slot->subchannel) continue;
           x.offload(u, s, j);

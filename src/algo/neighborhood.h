@@ -168,9 +168,22 @@ class Neighborhood {
     }
     // No free sub-channel: evict a random occupant (Alg. 2 "allocate one
     // randomly if none are free", feasibility-preserving reading).
-    const auto j = static_cast<std::size_t>(
-        rng.uniform_index(scenario_->num_subchannels()));
-    return {Move::Kind::kReplace, u, 0, s, j};
+    if (scenario_->fully_available()) {
+      // Healthy fast path — every sub-channel is occupied, draw directly.
+      // (Identical RNG consumption to the pre-fault-mask implementation.)
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_index(scenario_->num_subchannels()));
+      return {Move::Kind::kReplace, u, 0, s, j};
+    }
+    // Masked slots carry no occupant and are unassignable, so the eviction
+    // pool is the server's *available* sub-channels (all occupied here).
+    std::vector<std::size_t> evictable;
+    for (std::size_t j = 0; j < scenario_->num_subchannels(); ++j) {
+      if (scenario_->slot_available(s, j)) evictable.push_back(j);
+    }
+    if (evictable.empty()) return {};  // server fully masked: no-op
+    return {Move::Kind::kReplace, u, 0, s,
+            evictable[rng.uniform_index(evictable.size())]};
   }
 
   template <typename Decision>
@@ -211,9 +224,23 @@ class Neighborhood {
       return {Move::Kind::kOffload, u, 0, s, j};
     }
     // Server full: pick a random other sub-channel and evict its occupant.
-    auto j = rng.uniform_index(num_subchannels - 1);
-    if (j >= slot->subchannel) ++j;
-    return {Move::Kind::kReplace, u, 0, s, static_cast<std::size_t>(j)};
+    if (scenario_->fully_available()) {
+      // Healthy fast path (identical RNG consumption to pre-fault-mask).
+      auto j = rng.uniform_index(num_subchannels - 1);
+      if (j >= slot->subchannel) ++j;
+      return {Move::Kind::kReplace, u, 0, s, static_cast<std::size_t>(j)};
+    }
+    // Constrained: only available sub-channels (they are the occupied ones)
+    // other than the user's current slot are evictable.
+    std::vector<std::size_t> evictable;
+    for (std::size_t j = 0; j < num_subchannels; ++j) {
+      if (j != slot->subchannel && scenario_->slot_available(s, j)) {
+        evictable.push_back(j);
+      }
+    }
+    if (evictable.empty()) return {};
+    return {Move::Kind::kReplace, u, 0, s,
+            evictable[rng.uniform_index(evictable.size())]};
   }
 
   template <typename Decision>

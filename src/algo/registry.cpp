@@ -21,6 +21,7 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
     TsajsConfig config;
     config.chain_length = options.chain_length;
     config.use_incremental_evaluator = options.incremental_evaluator;
+    config.budget = options.budget;
     if (options.warm_reheat.has_value()) {
       config.warm_reheat = *options.warm_reheat;
     }
@@ -47,6 +48,7 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
     TsajsConfig config;
     config.chain_length = options.chain_length;
     config.use_incremental_evaluator = options.incremental_evaluator;
+    config.budget = options.budget;
     if (options.warm_reheat.has_value()) {
       config.warm_reheat = *options.warm_reheat;
     }

@@ -30,6 +30,10 @@ struct RegistryOptions {
   /// TsajsConfig's default. Only consulted when the caller drives the
   /// scheduler through the warm-start path.
   std::optional<double> warm_reheat;
+  /// Anytime solve budget for the TSAJS variants (tsajs, tsajs-geo,
+  /// tsajs-x4); the default (unlimited) keeps them bit-identical to the
+  /// unbudgeted solvers. Other schemes currently ignore it.
+  SolveBudget budget;
 };
 
 /// Creates a scheduler by name: "tsajs", "tsajs-geo" (geometric-cooling

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/error.h"
@@ -9,23 +11,125 @@
 
 namespace tsajs::algo {
 
+void SolveBudget::validate() const {
+  TSAJS_REQUIRE(std::isfinite(max_seconds) && max_seconds >= 0.0,
+                "solve budget max_seconds must be finite and >= 0");
+}
+
 namespace {
 
-// Shared post-conditions of every solve: consistent assignment, and the
-// scheduler-reported utility must agree with an independent evaluation.
-// The evaluator binds the already-compiled problem, so the guard costs no
-// table rebuild.
+std::string format_slot(std::size_t u, const jtora::Slot& slot) {
+  std::ostringstream os;
+  os << "user " << u << " -> (server " << slot.server << ", subchannel "
+     << slot.subchannel << ')';
+  return os.str();
+}
+
+// Full release-mode audit of one solve. Re-derives every constraint the
+// scheduler contract promises — structural map consistency, (12b)-(12d)
+// from the public maps, fault masks, finite per-user outcomes, and the
+// reported utility against an independent evaluation — collecting *all*
+// violations before throwing a single ValidationError. The evaluator binds
+// the already-compiled problem, so the guard costs no table rebuild.
 void validate_result(const Scheduler& scheduler,
                      const jtora::CompiledProblem& problem,
                      const ScheduleResult& result) {
-  result.assignment.check_consistency();
+  std::vector<std::string> violations;
+  const jtora::Assignment& x = result.assignment;
+
+  if (x.num_users() != problem.num_users() ||
+      x.num_servers() != problem.num_servers() ||
+      x.num_subchannels() != problem.num_subchannels()) {
+    std::ostringstream os;
+    os << "assignment shape (" << x.num_users() << " users, "
+       << x.num_servers() << 'x' << x.num_subchannels()
+       << " slots) does not match the problem (" << problem.num_users()
+       << " users, " << problem.num_servers() << 'x'
+       << problem.num_subchannels() << " slots)";
+    violations.push_back(os.str());
+    // Every later check indexes by these dimensions; stop here.
+    throw ValidationError(scheduler.name(), std::move(violations));
+  }
+
+  // Internal map invariants (redundant slot->user index, cached counts).
+  try {
+    x.check_consistency();
+  } catch (const Error& error) {
+    violations.push_back(std::string("internal map corruption: ") +
+                         error.what());
+  }
+
+  // Constraints (12b)-(12d) re-derived from the public maps, plus the
+  // fault-mask rule: an offloaded user must occupy exactly one in-range,
+  // available slot, and no slot may carry two users. (12b, one slot per
+  // user, holds by the slot_of representation; the cross-map check catches
+  // a slot claimed by two users.)
+  std::size_t offloaded = 0;
+  for (std::size_t u = 0; u < x.num_users(); ++u) {
+    const auto slot = x.slot_of(u);
+    if (!slot.has_value()) continue;
+    ++offloaded;
+    if (slot->server >= problem.num_servers() ||
+        slot->subchannel >= problem.num_subchannels()) {
+      violations.push_back(format_slot(u, *slot) +
+                           ": slot outside the scheduling grid (12c)");
+      continue;
+    }
+    const auto occupant = x.occupant(slot->server, slot->subchannel);
+    if (!occupant.has_value() || *occupant != u) {
+      violations.push_back(format_slot(u, *slot) +
+                           ": slot not held exclusively (12d)");
+    }
+    if (!problem.slot_available(slot->server, slot->subchannel)) {
+      violations.push_back(format_slot(u, *slot) +
+                           ": slot is fault-masked unavailable");
+    }
+  }
+  std::size_t occupied = 0;
+  for (std::size_t s = 0; s < x.num_servers(); ++s) {
+    for (std::size_t j = 0; j < x.num_subchannels(); ++j) {
+      if (x.occupant(s, j).has_value()) ++occupied;
+    }
+  }
+  if (occupied != offloaded) {
+    std::ostringstream os;
+    os << occupied << " occupied slots vs " << offloaded
+       << " offloaded users (12b/12d cross-map mismatch)";
+    violations.push_back(os.str());
+  }
+
+  // Reported utility: finite and within tolerance of an independent
+  // evaluation; per-user delay / energy / utility finite.
   const jtora::UtilityEvaluator evaluator(problem);
-  const double recomputed = evaluator.system_utility(result.assignment);
-  const double tolerance =
-      1e-6 * std::max(1.0, std::fabs(recomputed)) + 1e-9;
-  TSAJS_CHECK(std::fabs(recomputed - result.system_utility) <= tolerance,
-              "scheduler-reported utility disagrees with evaluator (" +
-                  scheduler.name() + ")");
+  const double recomputed = evaluator.system_utility(x);
+  if (!std::isfinite(result.system_utility)) {
+    violations.push_back("reported system utility is not finite");
+  } else {
+    const double tolerance =
+        1e-6 * std::max(1.0, std::fabs(recomputed)) + 1e-9;
+    if (!(std::fabs(recomputed - result.system_utility) <= tolerance)) {
+      std::ostringstream os;
+      os << "reported utility " << result.system_utility
+         << " disagrees with independent evaluation " << recomputed;
+      violations.push_back(os.str());
+    }
+  }
+  const jtora::Evaluation evaluation = evaluator.evaluate(x);
+  for (std::size_t u = 0; u < evaluation.users.size(); ++u) {
+    const jtora::UserOutcome& outcome = evaluation.users[u];
+    if (!std::isfinite(outcome.total_delay_s) ||
+        !std::isfinite(outcome.energy_j) || !std::isfinite(outcome.utility)) {
+      std::ostringstream os;
+      os << "user " << u << " outcome not finite (delay "
+         << outcome.total_delay_s << " s, energy " << outcome.energy_j
+         << " J, utility " << outcome.utility << ')';
+      violations.push_back(os.str());
+    }
+  }
+
+  if (!violations.empty()) {
+    throw ValidationError(scheduler.name(), std::move(violations));
+  }
 }
 
 }  // namespace
@@ -103,6 +207,9 @@ jtora::Assignment repair_hint(const mec::Scenario& scenario,
     if (slot->server >= scenario.num_servers() ||
         slot->subchannel >= scenario.num_subchannels()) {
       continue;  // the slot no longer exists; the user re-enters local
+    }
+    if (!x.slot_available(slot->server, slot->subchannel)) {
+      continue;  // the resource faulted; the user degrades to local
     }
     if (x.occupant(slot->server, slot->subchannel).has_value()) {
       continue;  // first-come (lowest user index) keeps a contested slot

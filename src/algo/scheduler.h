@@ -24,6 +24,26 @@
 
 namespace tsajs::algo {
 
+/// Anytime solve budget: wall-clock and/or search-effort caps for one
+/// schedule() call. A budget-aware scheduler (TSAJS) checks the caps at safe
+/// boundaries (plateau ends) and returns its best *feasible* solution so
+/// far — degrading to the guaranteed-feasible all-local assignment if the
+/// budget fires before the search finds anything better. Zero values mean
+/// "unlimited"; a default-constructed SolveBudget leaves behavior and RNG
+/// streams bit-identical to an unbudgeted solve.
+struct SolveBudget {
+  /// Wall-clock deadline [s]; 0 = unlimited.
+  double max_seconds = 0.0;
+  /// Cap on objective evaluations; 0 = unlimited. This form is
+  /// deterministic (independent of machine speed) and is what tests use.
+  std::size_t max_iterations = 0;
+
+  [[nodiscard]] bool unlimited() const noexcept {
+    return max_seconds <= 0.0 && max_iterations == 0;
+  }
+  void validate() const;
+};
+
 /// Outcome of one scheduling run.
 struct ScheduleResult {
   jtora::Assignment assignment;
@@ -81,17 +101,23 @@ class WarmStartable {
 
 /// Clamps `hint` to a feasible assignment for `scenario`: users beyond the
 /// scenario's user count are dropped, slots outside the scenario's
-/// server/sub-channel grid are released (the user falls back to local), and
-/// surviving slots are taken first-come in ascending user order — so the
-/// result satisfies constraints (12b)-(12d) by construction for *any* hint.
-/// Users the hint does not cover start local.
+/// server/sub-channel grid — or masked unavailable by the scenario's fault
+/// state — are released (the user falls back to local, i.e. graceful
+/// degradation off dead resources), and surviving slots are taken
+/// first-come in ascending user order — so the result satisfies constraints
+/// (12b)-(12d) by construction for *any* hint. Users the hint does not
+/// cover start local.
 [[nodiscard]] jtora::Assignment repair_hint(const mec::Scenario& scenario,
                                             const jtora::Assignment& hint);
 
 /// Runs `scheduler` against a pre-compiled problem, fills in solve_seconds,
-/// re-checks the utility against an independent evaluation, and validates
-/// assignment consistency. The validation evaluator shares `problem`, so
-/// the guard costs no recompilation.
+/// and audits the result against the full constraint set — in release
+/// builds too: structural consistency, constraints (12b)-(12d) re-derived
+/// from the public maps, no assignment to a fault-masked slot, finite
+/// utility/delay/energy per user, and the reported utility against an
+/// independent evaluation. On any violation it throws tsajs::ValidationError
+/// carrying one diagnostic per violated constraint. The audit evaluator
+/// shares `problem`, so the guard costs no recompilation.
 [[nodiscard]] ScheduleResult run_and_validate(
     const Scheduler& scheduler, const jtora::CompiledProblem& problem,
     Rng& rng);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/stopwatch.h"
 #include "jtora/incremental.h"
 
 namespace tsajs::algo {
@@ -23,6 +24,7 @@ void TsajsConfig::validate() const {
                 "initial offload probability must lie in [0,1]");
   TSAJS_REQUIRE(warm_reheat > min_temperature,
                 "warm reheat temperature must exceed the minimum temperature");
+  budget.validate();
   neighborhood.validate();
 }
 
@@ -59,6 +61,11 @@ ScheduleResult anneal(const TsajsConfig& config, Rng& rng,
   double current_utility = initial_utility;
   ScheduleResult result{snapshot(), current_utility, 0.0, 1};
 
+  // Anytime budget: consulted only at plateau boundaries, and only when the
+  // caller set one, so an unlimited solve takes the identical path.
+  const bool budgeted = !config.budget.unlimited();
+  const Stopwatch deadline_timer;
+
   std::size_t worse_accept_count = 0;  // Algorithm 1's `count`.
   while (temperature > config.min_temperature) {
     for (std::size_t i = 0; i < config.chain_length; ++i) {
@@ -79,6 +86,16 @@ ScheduleResult anneal(const TsajsConfig& config, Rng& rng,
         ++worse_accept_count;
       }
       // else: reject — the unrealized proposal simply evaporates.
+    }
+    // Anytime budget: a plateau boundary is a safe point — `result` always
+    // holds the best feasible decision seen so far, so stopping here is
+    // "return best-so-far", never "return partial state".
+    if (budgeted &&
+        ((config.budget.max_iterations != 0 &&
+          result.evaluations >= config.budget.max_iterations) ||
+         (config.budget.max_seconds > 0.0 &&
+          deadline_timer.elapsed_seconds() >= config.budget.max_seconds))) {
+      break;
     }
     // Lines 26-30: threshold-triggered cooling.
     if (config.cooling == CoolingMode::kGeometric) {
@@ -119,6 +136,21 @@ ScheduleResult TsajsScheduler::solve(const jtora::CompiledProblem& problem,
                                      jtora::Assignment initial,
                                      double initial_temperature,
                                      Rng& rng) const {
+  ScheduleResult result = anneal_solve(problem, std::move(initial),
+                                       initial_temperature, rng);
+  if (!config_.budget.unlimited() && result.system_utility < 0.0) {
+    // The budget fired before the search reached anything at least as good
+    // as all-local execution (system utility exactly 0, feasible by
+    // construction): degrade to it rather than return a worse start.
+    result.assignment = jtora::Assignment(problem.scenario());
+    result.system_utility = 0.0;
+  }
+  return result;
+}
+
+ScheduleResult TsajsScheduler::anneal_solve(
+    const jtora::CompiledProblem& problem, jtora::Assignment initial,
+    double initial_temperature, Rng& rng) const {
   const Neighborhood neighborhood(problem.scenario(), config_.neighborhood);
 
   if (config_.use_incremental_evaluator) {

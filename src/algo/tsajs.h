@@ -67,6 +67,13 @@ struct TsajsConfig {
   /// (0 disables). Bounds floating-point drift of its running sums on long
   /// annealing chains; the default rebuild is amortized to noise.
   std::size_t rebuild_interval = 4096;
+  /// Anytime budget. The annealer checks it at every plateau (chain)
+  /// boundary and returns the best feasible decision seen so far; if the
+  /// budget fires while that best is still worse than all-local, the solve
+  /// degrades to the all-local assignment (utility 0) so a budgeted TSAJS
+  /// never returns less than the guaranteed-feasible fallback. The default
+  /// (unlimited) budget leaves the search bit-identical to pre-budget code.
+  SolveBudget budget;
 
   void validate() const;
 };
@@ -92,10 +99,14 @@ class TsajsScheduler final : public Scheduler, public WarmStartable {
   [[nodiscard]] const TsajsConfig& config() const noexcept { return config_; }
 
  private:
+  /// anneal_solve + the budgeted all-local degradation floor.
   [[nodiscard]] ScheduleResult solve(const jtora::CompiledProblem& problem,
                                      jtora::Assignment initial,
                                      double initial_temperature,
                                      Rng& rng) const;
+  [[nodiscard]] ScheduleResult anneal_solve(
+      const jtora::CompiledProblem& problem, jtora::Assignment initial,
+      double initial_temperature, Rng& rng) const;
 
   TsajsConfig config_;
 };

@@ -1,5 +1,6 @@
 #include "common/cli.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -107,10 +108,15 @@ double CliParser::get_double(const std::string& name) const {
   try {
     result = std::stod(text, &consumed);
   } catch (const std::exception&) {
+    // std::stod throws out_of_range for values beyond double range.
     throw InvalidArgumentError("--" + name + ": not a number: " + text);
   }
   TSAJS_REQUIRE(consumed == text.size(),
                 "--" + name + ": trailing characters in number: " + text);
+  // "nan"/"inf" parse successfully but poison every downstream rate,
+  // budget, and accumulator; no flag of ours has a meaningful use for them.
+  TSAJS_REQUIRE(std::isfinite(result),
+                "--" + name + ": must be finite, got " + text);
   return result;
 }
 
@@ -128,11 +134,15 @@ std::vector<double> CliParser::get_double_list(const std::string& name) const {
   std::string item;
   while (std::getline(in, item, ',')) {
     if (item.empty()) continue;
+    double value = 0.0;
     try {
-      values.push_back(std::stod(item));
+      value = std::stod(item);
     } catch (const std::exception&) {
       throw InvalidArgumentError("--" + name + ": not a number: " + item);
     }
+    TSAJS_REQUIRE(std::isfinite(value),
+                  "--" + name + ": must be finite, got " + item);
+    values.push_back(value);
   }
   return values;
 }

@@ -2,6 +2,26 @@
 
 #include <sstream>
 
+namespace tsajs {
+
+ValidationError::ValidationError(const std::string& context,
+                                 std::vector<std::string> violations)
+    : Error(assemble(context, violations)),
+      violations_(std::move(violations)) {}
+
+std::string ValidationError::assemble(
+    const std::string& context, const std::vector<std::string>& violations) {
+  std::ostringstream os;
+  os << "constraint audit failed";
+  if (!context.empty()) os << " [" << context << ']';
+  os << ": " << violations.size() << " violation"
+     << (violations.size() == 1 ? "" : "s");
+  for (const auto& violation : violations) os << "\n  - " << violation;
+  return os.str();
+}
+
+}  // namespace tsajs
+
 namespace tsajs::detail {
 
 void throw_check_failure(const char* kind, const char* expr, const char* file,

@@ -8,6 +8,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace tsajs {
 
@@ -34,6 +35,26 @@ class InternalError : public Error {
 class NotFoundError : public Error {
  public:
   explicit NotFoundError(const std::string& what) : Error(what) {}
+};
+
+/// A scheduler result failed the release-mode constraint audit
+/// (algo::Scheduler::run_and_validate). Carries one diagnostic string per
+/// violated constraint so callers can log the full list, not just the first.
+class ValidationError : public Error {
+ public:
+  ValidationError(const std::string& context,
+                  std::vector<std::string> violations);
+
+  /// One human-readable diagnostic per violation, in detection order.
+  [[nodiscard]] const std::vector<std::string>& violations() const noexcept {
+    return violations_;
+  }
+
+ private:
+  static std::string assemble(const std::string& context,
+                              const std::vector<std::string>& violations);
+
+  std::vector<std::string> violations_;
 };
 
 namespace detail {

@@ -7,7 +7,10 @@
 
 namespace tsajs {
 
-void Accumulator::add(double x) noexcept {
+void Accumulator::add(double x) {
+  // One NaN would silently poison the running mean/variance and every
+  // later sample; reject it at the door instead.
+  TSAJS_CHECK(!std::isnan(x), "Accumulator::add rejects NaN samples");
   ++count_;
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);

@@ -15,7 +15,10 @@ namespace tsajs {
 /// Welford online accumulator for mean / variance / min / max.
 class Accumulator {
  public:
-  void add(double x) noexcept;
+  /// Adds one sample. Throws InternalError on NaN — a single NaN would
+  /// irreversibly poison the running sums (and thus a whole report), so it
+  /// is rejected before touching any state.
+  void add(double x);
 
   /// Merges another accumulator (parallel reduction; Chan et al.).
   void merge(const Accumulator& other) noexcept;

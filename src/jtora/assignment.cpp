@@ -10,7 +10,16 @@ Assignment::Assignment(const mec::Scenario& scenario)
     : num_servers_(scenario.num_servers()),
       num_subchannels_(scenario.num_subchannels()),
       user_slot_(scenario.num_users()),
-      slot_user_(scenario.num_servers() * scenario.num_subchannels()) {}
+      slot_user_(scenario.num_servers() * scenario.num_subchannels()) {
+  if (!scenario.fully_available()) {
+    blocked_.assign(num_servers_ * num_subchannels_, 0);
+    for (std::size_t s = 0; s < num_servers_; ++s) {
+      for (std::size_t j = 0; j < num_subchannels_; ++j) {
+        if (!scenario.slot_available(s, j)) blocked_[slot_index(s, j)] = 1;
+      }
+    }
+  }
+}
 
 void Assignment::require_user(std::size_t u) const {
   TSAJS_REQUIRE(u < user_slot_.size(), "user index out of range");
@@ -43,6 +52,8 @@ void Assignment::offload(std::size_t u, std::size_t s, std::size_t j) {
   const auto& current = slot_user_[slot_index(s, j)];
   TSAJS_REQUIRE(!current.has_value() || *current == u,
                 "slot already occupied by another user (constraint 12d)");
+  TSAJS_REQUIRE(slot_available(s, j),
+                "slot is masked unavailable (failed server or blackout)");
   make_local(u);
   user_slot_[u] = Slot{s, j};
   slot_user_[slot_index(s, j)] = u;
@@ -101,7 +112,9 @@ std::vector<std::size_t> Assignment::free_subchannels(std::size_t s) const {
   TSAJS_REQUIRE(s < num_servers_, "server index out of range");
   std::vector<std::size_t> free;
   for (std::size_t j = 0; j < num_subchannels_; ++j) {
-    if (!slot_user_[slot_index(s, j)].has_value()) free.push_back(j);
+    if (slot_user_[slot_index(s, j)].has_value()) continue;
+    if (!blocked_.empty() && blocked_[slot_index(s, j)] != 0) continue;
+    free.push_back(j);
   }
   return free;
 }
@@ -125,6 +138,9 @@ void Assignment::check_consistency() const {
     const auto& back = slot_user_[slot_index(slot.server, slot.subchannel)];
     TSAJS_CHECK(back.has_value() && *back == u,
                 "slot->user map disagrees with user->slot map");
+    TSAJS_CHECK(blocked_.empty() ||
+                    blocked_[slot_index(slot.server, slot.subchannel)] == 0,
+                "user occupies a masked (unavailable) slot");
   }
   std::size_t occupied = 0;
   for (const auto& user : slot_user_) {

@@ -5,9 +5,15 @@
 // class enforces constraints (12b)-(12d) *by construction*. Schedulers
 // mutate assignments through offload/make_local/swap and can therefore never
 // produce an infeasible X.
+//
+// When the scenario carries a constrained mec::Availability mask, the
+// masked slots are additionally *unassignable*: offload() rejects them and
+// free_subchannels()/random_free_subchannel() never report them, so every
+// scheduler built on these queries is fault-mask-safe without changes.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -75,7 +81,14 @@ class Assignment {
     return num_offloaded_;
   }
 
-  /// Free sub-channels of server `s`, ascending.
+  /// True iff slot (s, j) may carry an offloaded task (not masked by the
+  /// scenario's availability). Occupancy is a separate question.
+  [[nodiscard]] bool slot_available(std::size_t s, std::size_t j) const {
+    require_slot(s, j);
+    return blocked_.empty() || blocked_[slot_index(s, j)] == 0;
+  }
+
+  /// Free *and available* sub-channels of server `s`, ascending.
   [[nodiscard]] std::vector<std::size_t> free_subchannels(std::size_t s) const;
 
   /// A free sub-channel of server `s` chosen uniformly at random, or nullopt
@@ -101,6 +114,9 @@ class Assignment {
   std::size_t num_offloaded_ = 0;
   std::vector<std::optional<Slot>> user_slot_;
   std::vector<std::optional<std::size_t>> slot_user_;
+  /// Unassignable slots (1 = masked). Empty — no per-slot loads at all —
+  /// for the common fully available scenario.
+  std::vector<std::uint8_t> blocked_;
 };
 
 }  // namespace tsajs::jtora

@@ -75,6 +75,7 @@ void CompiledProblem::compile(const mec::Scenario& scenario) {
   }
 
   compile_tables(scenario);
+  compile_availability(scenario);
 }
 
 void CompiledProblem::recompile_channel(const mec::Scenario& scenario) {
@@ -93,6 +94,28 @@ void CompiledProblem::recompile_channel(const mec::Scenario& scenario) {
     }
   }
   compile_tables(scenario);
+  compile_availability(scenario);
+}
+
+void CompiledProblem::compile_availability(const mec::Scenario& scenario) {
+  all_available_ = scenario.fully_available();
+  if (all_available_) {
+    num_available_slots_ = num_servers_ * num_subchannels_;
+    server_up_.clear();
+    slot_ok_.clear();
+    return;
+  }
+  server_up_.assign(num_servers_, 0);
+  slot_ok_.assign(num_servers_ * num_subchannels_, 0);
+  num_available_slots_ = 0;
+  for (std::size_t s = 0; s < num_servers_; ++s) {
+    server_up_[s] = scenario.server_available(s) ? 1 : 0;
+    for (std::size_t j = 0; j < num_subchannels_; ++j) {
+      const bool ok = scenario.slot_available(s, j);
+      slot_ok_[s * num_subchannels_ + j] = ok ? 1 : 0;
+      num_available_slots_ += ok ? 1 : 0;
+    }
+  }
 }
 
 void CompiledProblem::compile_tables(const mec::Scenario& scenario) {
@@ -149,7 +172,10 @@ bool CompiledProblem::bitwise_equal(const CompiledProblem& other) const {
          sqrt_eta_ == other.sqrt_eta_ && local_time_ == other.local_time_ &&
          local_energy_ == other.local_energy_ &&
          tx_power_ == other.tx_power_ && server_cpu_ == other.server_cpu_ &&
-         signal_ == other.signal_ && downlink_ == other.downlink_;
+         signal_ == other.signal_ && downlink_ == other.downlink_ &&
+         all_available_ == other.all_available_ &&
+         num_available_slots_ == other.num_available_slots_ &&
+         server_up_ == other.server_up_ && slot_ok_ == other.slot_ok_;
 }
 
 }  // namespace tsajs::jtora

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -76,6 +77,21 @@ class CompiledProblem {
   }
   /// True when any task declares output bits (downlink extension active).
   [[nodiscard]] bool has_downlink() const noexcept { return has_downlink_; }
+
+  // --- resource availability (compiled fault masks) -----------------------
+  /// True when no server or slot is masked (the healthy common case).
+  [[nodiscard]] bool all_available() const noexcept { return all_available_; }
+  [[nodiscard]] bool server_available(std::size_t s) const noexcept {
+    return all_available_ || server_up_[s] != 0;
+  }
+  [[nodiscard]] bool slot_available(std::size_t s, std::size_t j) const
+      noexcept {
+    return all_available_ || slot_ok_[s * num_subchannels_ + j] != 0;
+  }
+  /// Slots that can actually carry an offloaded task.
+  [[nodiscard]] std::size_t num_available_slots() const noexcept {
+    return num_available_slots_;
+  }
 
   // --- per-user constants (paper, below Eq. 19 / Eq. 24) ------------------
   [[nodiscard]] double phi(std::size_t u) const noexcept { return phi_[u]; }
@@ -163,6 +179,7 @@ class CompiledProblem {
   [[nodiscard]] static UserKey key_of(const mec::UserEquipment& ue) noexcept;
 
   void compile_tables(const mec::Scenario& scenario);
+  void compile_availability(const mec::Scenario& scenario);
 
   const mec::Scenario* scenario_ = nullptr;
   std::size_t num_users_ = 0;
@@ -186,6 +203,13 @@ class CompiledProblem {
   std::vector<double> signal_;
   std::vector<double> downlink_;
   std::vector<UserKey> user_keys_;
+
+  bool all_available_ = true;
+  std::size_t num_available_slots_ = 0;
+  /// Per-server / per-slot availability (1 = usable); empty when
+  /// `all_available_` so the healthy path allocates nothing.
+  std::vector<std::uint8_t> server_up_;
+  std::vector<std::uint8_t> slot_ok_;
 };
 
 }  // namespace tsajs::jtora

@@ -24,12 +24,15 @@ void UserEquipment::validate() const {
 
 Scenario::Scenario(std::vector<UserEquipment> users,
                    std::vector<EdgeServer> servers, radio::Spectrum spectrum,
-                   double noise_w, Matrix3<double> gains)
+                   double noise_w, Matrix3<double> gains,
+                   Availability availability)
     : users_(std::move(users)),
       servers_(std::move(servers)),
       spectrum_(spectrum),
       noise_w_(noise_w),
-      gains_(std::move(gains)) {
+      gains_(std::move(gains)),
+      availability_(std::move(availability)),
+      fully_available_(availability_.all_available()) {
   TSAJS_REQUIRE(!users_.empty(), "a scenario needs at least one user");
   TSAJS_REQUIRE(!servers_.empty(), "a scenario needs at least one server");
   TSAJS_REQUIRE(noise_w_ > 0.0, "noise power must be positive");
@@ -37,6 +40,9 @@ Scenario::Scenario(std::vector<UserEquipment> users,
                     gains_.dim1() == servers_.size() &&
                     gains_.dim2() == spectrum_.num_subchannels(),
                 "gain tensor shape must be users x servers x subchannels");
+  TSAJS_REQUIRE(
+      availability_.matches_grid(servers_.size(), spectrum_.num_subchannels()),
+      "availability mask shape must be servers x subchannels");
   for (const auto& user : users_) user.validate();
   for (const auto& server : servers_) server.validate();
   for (std::size_t u = 0; u < users_.size(); ++u) {
@@ -57,6 +63,11 @@ const UserEquipment& Scenario::user(std::size_t u) const {
 const EdgeServer& Scenario::server(std::size_t s) const {
   TSAJS_REQUIRE(s < servers_.size(), "server index out of range");
   return servers_[s];
+}
+
+Scenario Scenario::with_availability(Availability availability) const {
+  return Scenario(users_, servers_, spectrum_, noise_w_, gains_,
+                  std::move(availability));
 }
 
 }  // namespace tsajs::mec

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/matrix.h"
+#include "mec/availability.h"
 #include "mec/server.h"
 #include "mec/user.h"
 #include "radio/spectrum.h"
@@ -18,8 +19,11 @@ namespace tsajs::mec {
 class Scenario {
  public:
   /// `gains` must be (users × servers × subchannels) with positive entries.
+  /// `availability` masks faulted resources; the default (unconstrained)
+  /// mask leaves every server and slot assignable.
   Scenario(std::vector<UserEquipment> users, std::vector<EdgeServer> servers,
-           radio::Spectrum spectrum, double noise_w, Matrix3<double> gains);
+           radio::Spectrum spectrum, double noise_w, Matrix3<double> gains,
+           Availability availability = {});
 
   [[nodiscard]] std::size_t num_users() const noexcept {
     return users_.size();
@@ -64,6 +68,32 @@ class Scenario {
     return servers_.size() * spectrum_.num_subchannels();
   }
 
+  // --- resource availability (fault masks) --------------------------------
+  [[nodiscard]] const Availability& availability() const noexcept {
+    return availability_;
+  }
+  /// True when no resource is masked (the common, healthy case).
+  [[nodiscard]] bool fully_available() const noexcept {
+    return fully_available_;
+  }
+  [[nodiscard]] bool server_available(std::size_t s) const {
+    return fully_available_ || availability_.server_available(s);
+  }
+  /// A masked slot is unassignable: jtora::Assignment rejects it by
+  /// construction and every scheduler skips it.
+  [[nodiscard]] bool slot_available(std::size_t s, std::size_t j) const {
+    return fully_available_ || availability_.slot_available(s, j);
+  }
+  /// Slots that can actually carry an offloaded task.
+  [[nodiscard]] std::size_t num_available_slots() const noexcept {
+    return num_slots() - availability_.num_unavailable_slots();
+  }
+
+  /// Copy of this scenario with `availability` applied (test/tooling
+  /// convenience; the dynamic simulator stages masks through
+  /// ScenarioWorkspace instead).
+  [[nodiscard]] Scenario with_availability(Availability availability) const;
+
  private:
   /// ScenarioWorkspace rebuilds scenarios epoch after epoch; it is allowed
   /// to reclaim the user/gain buffers of a scenario it created (and only
@@ -75,6 +105,10 @@ class Scenario {
   radio::Spectrum spectrum_;
   double noise_w_;
   Matrix3<double> gains_;
+  Availability availability_;
+  /// Cached `availability_.all_available()` so the hot-path checks stay one
+  /// branch in the healthy case.
+  bool fully_available_ = true;
 };
 
 }  // namespace tsajs::mec

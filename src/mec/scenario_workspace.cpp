@@ -31,8 +31,10 @@ const Scenario& ScenarioWorkspace::commit() {
   // The servers are copied (they are small and epoch-invariant); the user
   // vector and gain tensor are moved, so their allocations travel into the
   // scenario and come back in begin_epoch().
+  // The availability mask is copied, not moved: it persists across epochs
+  // (a multi-epoch outage stages it once).
   scenario_.emplace(std::move(users_), servers_, spectrum_, noise_w_,
-                    std::move(gains_));
+                    std::move(gains_), availability_);
   return *scenario_;
 }
 

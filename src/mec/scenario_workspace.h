@@ -59,6 +59,16 @@ class ScenarioWorkspace {
   /// mutate only between begin_epoch() and commit().
   [[nodiscard]] Matrix3<double>& gains() noexcept { return gains_; }
 
+  /// Stages the resource availability mask for the next commit(). The mask
+  /// persists across epochs until replaced (faults usually span several
+  /// epochs); pass a default-constructed Availability to clear it.
+  void set_availability(Availability availability) {
+    availability_ = std::move(availability);
+  }
+  [[nodiscard]] const Availability& availability() const noexcept {
+    return availability_;
+  }
+
   /// Builds and validates the Scenario over the staged users/gains. The
   /// returned reference stays valid until the next begin_epoch().
   const Scenario& commit();
@@ -82,6 +92,7 @@ class ScenarioWorkspace {
   double noise_w_;
   std::vector<UserEquipment> users_;
   Matrix3<double> gains_;
+  Availability availability_;
   std::optional<Scenario> scenario_;
 };
 

@@ -25,6 +25,7 @@ void DynamicConfig::validate() const {
       "workload range must be positive and ordered");
   TSAJS_REQUIRE(min_input_kb > 0.0 && max_input_kb >= min_input_kb,
                 "input-size range must be positive and ordered");
+  fault.validate();
 }
 
 DynamicSimulator::DynamicSimulator(std::size_t population,
@@ -82,10 +83,37 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
   active.reserve(population_);
   user_positions.reserve(population_);
 
+  // Fault stream: derived from the caller's RNG *only* when faults are
+  // enabled — derive_seed advances the environment stream, so a disabled
+  // injector leaves the whole timeline bit-identical to pre-fault code.
+  std::optional<FaultInjector> injector;
+  if (config_.fault.enabled()) {
+    injector.emplace(servers_.size(), num_subchannels_, config_.fault,
+                     rng.derive_seed(0xFA01'7EDULL));
+  }
+
   DynamicReport report;
   report.epochs.reserve(config_.epochs);
 
+  // Recovery tracking: `pre_fault_utility` freezes the last healthy
+  // scheduled utility when an outage begins; healthy scheduled epochs are
+  // then counted until utility first re-reaches it.
+  double last_healthy_utility = 0.0;
+  double pre_fault_utility = 0.0;
+  bool have_healthy_baseline = false;
+  bool recovering = false;
+  std::size_t recovery_epochs = 0;
+
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    // 0. Faults progress on wall-clock epochs (before traffic is drawn, so
+    // an empty epoch still advances outages and repairs).
+    bool faulted = false;
+    if (injector.has_value()) {
+      injector->advance_epoch();
+      workspace.set_availability(injector->availability());
+      faulted = injector->any_fault();
+      if (faulted) ++report.faulted_epochs;
+    }
     // 1. Mobility: random-walk step, rejected if it leaves the network.
     for (auto& p : positions) {
       for (int attempt = 0; attempt < 8; ++attempt) {
@@ -120,7 +148,14 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
       // Nothing to schedule: the epoch appears in the timeline but adds no
       // sample to the aggregates, so every accumulator keeps the same
       // count (one per *scheduled* epoch).
-      report.epochs.push_back({});
+      EpochStats empty;
+      if (injector.has_value()) {
+        empty.faulted = faulted;
+        empty.servers_down = injector->servers_down();
+        empty.slots_unavailable =
+            injector->availability().num_unavailable_slots();
+      }
+      report.epochs.push_back(empty);
       ++report.empty_epochs;
       continue;
     }
@@ -134,8 +169,27 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
     channel_.regenerate_into(user_positions, bs_positions, num_subchannels_,
                              rng, workspace.gains(), &pathloss_cache,
                              &active);
+    if (injector.has_value() && injector->noise_burst_active()) {
+      // Transient estimation error on top of the epoch's fresh draws; uses
+      // the injector's stream, so the environment stream stays untouched.
+      injector->perturb_gains(workspace.gains());
+    }
     const mec::Scenario& scenario = workspace.commit();
     compiled.compile(scenario);
+
+    // Graceful-degradation accounting: active users whose previous slot sat
+    // on a resource that is now masked. Warm repair returns them to local
+    // (eviction); a cold solve re-places them from scratch either way.
+    std::size_t evictions = 0;
+    if (injector.has_value()) {
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const auto& slot = carried[active[i]];
+        if (slot.has_value() &&
+            !scenario.slot_available(slot->server, slot->subchannel)) {
+          ++evictions;
+        }
+      }
+    }
 
     // 4. Solve the snapshot. The scheduler gets a derived child RNG so that
     // its own randomness cannot perturb the environment stream — two
@@ -152,6 +206,9 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
         for (std::size_t i = 0; i < active.size(); ++i) {
           const auto& slot = carried[active[i]];
           if (!slot.has_value()) continue;
+          if (!hint.slot_available(slot->server, slot->subchannel)) {
+            continue;  // resource faulted: the user is evicted to local
+          }
           if (hint.occupant(slot->server, slot->subchannel).has_value()) {
             continue;
           }
@@ -177,6 +234,13 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
     stats.offloaded = result.assignment.num_offloaded();
     stats.utility = result.system_utility;
     stats.solve_seconds = result.solve_seconds;
+    if (injector.has_value()) {
+      stats.faulted = faulted;
+      stats.servers_down = injector->servers_down();
+      stats.slots_unavailable = scenario.availability().num_unavailable_slots();
+      stats.evictions = evictions;
+      report.total_evictions += evictions;
+    }
     Accumulator delay;
     Accumulator energy;
     for (const auto& user : eval.users) {
@@ -193,6 +257,31 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
     report.mean_delay_s.add(stats.mean_delay_s);
     report.mean_energy_j.add(stats.mean_energy_j);
     report.solve_seconds.add(stats.solve_seconds);
+
+    // Degradation metrics: split utility samples by fault state and track
+    // recovery after an outage clears.
+    if (injector.has_value()) {
+      if (stats.faulted) {
+        report.faulted_utility.add(stats.utility);
+        if (have_healthy_baseline && !recovering) {
+          pre_fault_utility = last_healthy_utility;
+          recovering = true;
+        }
+        recovery_epochs = 0;
+      } else {
+        report.healthy_utility.add(stats.utility);
+        if (recovering) {
+          ++recovery_epochs;
+          if (stats.utility >= pre_fault_utility) {
+            report.epochs_to_recover.add(
+                static_cast<double>(recovery_epochs));
+            recovering = false;
+          }
+        }
+        last_healthy_utility = stats.utility;
+        have_healthy_baseline = true;
+      }
+    }
   }
   return report;
 }

@@ -36,6 +36,7 @@
 #include "geo/hex_layout.h"
 #include "mec/scenario.h"
 #include "radio/channel.h"
+#include "sim/fault.h"
 
 namespace tsajs::sim {
 
@@ -50,6 +51,11 @@ struct DynamicConfig {
   double max_megacycles = 4000.0;
   double min_input_kb = 100.0;
   double max_input_kb = 800.0;
+  /// Fault injection (disabled by default). When any class is enabled the
+  /// simulator runs a FaultInjector on its own derived RNG stream; when all
+  /// are disabled the environment stream — and therefore the entire
+  /// timeline — is bit-identical to the pre-fault implementation.
+  FaultConfig fault;
 
   void validate() const;
 };
@@ -72,6 +78,13 @@ struct EpochStats {
   double mean_delay_s = 0.0;   ///< over active users
   double mean_energy_j = 0.0;  ///< over active users
   double solve_seconds = 0.0;
+  // Degradation telemetry (all zero/false when faults are disabled).
+  bool faulted = false;  ///< any outage, blackout, or noise burst this epoch
+  std::size_t servers_down = 0;
+  std::size_t slots_unavailable = 0;  ///< masked slots (outages + blackouts)
+  /// Active users whose previous-epoch slot sat on a now-unavailable
+  /// resource; they degrade to local (warm) or must be re-placed (cold).
+  std::size_t evictions = 0;
 };
 
 /// Aggregates over a full run. The accumulators aggregate *scheduled*
@@ -87,6 +100,18 @@ struct DynamicReport {
   Accumulator mean_delay_s;
   Accumulator mean_energy_j;
   Accumulator solve_seconds;
+  // Degradation metrics (empty/zero when faults are disabled). The utility
+  // accumulators split the `utility` samples by epoch fault state, so
+  // `healthy_utility.mean() - faulted_utility.mean()` is the utility drop
+  // during outages.
+  std::size_t faulted_epochs = 0;  ///< epochs with any active fault
+  std::size_t total_evictions = 0;
+  Accumulator healthy_utility;  ///< scheduled epochs with no active fault
+  Accumulator faulted_utility;  ///< scheduled epochs with an active fault
+  /// Scheduled healthy epochs needed after an outage clears until utility
+  /// first re-reaches its pre-outage level; one sample per completed
+  /// recovery (an outage the run ends inside contributes none).
+  Accumulator epochs_to_recover;
 };
 
 class DynamicSimulator {

@@ -1,0 +1,96 @@
+#include "sim/fault.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace tsajs::sim {
+
+void FaultConfig::validate() const {
+  TSAJS_REQUIRE(std::isfinite(server_mtbf_epochs) && server_mtbf_epochs >= 0.0,
+                "server MTBF must be finite and >= 0 (0 disables outages)");
+  TSAJS_REQUIRE(server_mtbf_epochs == 0.0 || server_mtbf_epochs >= 1.0,
+                "an enabled server MTBF must be at least 1 epoch");
+  TSAJS_REQUIRE(std::isfinite(server_mttr_epochs) && server_mttr_epochs >= 1.0,
+                "server MTTR must be finite and >= 1 epoch");
+  TSAJS_REQUIRE(
+      subchannel_blackout_prob >= 0.0 && subchannel_blackout_prob <= 1.0,
+      "sub-channel blackout probability must lie in [0,1]");
+  TSAJS_REQUIRE(noise_burst_prob >= 0.0 && noise_burst_prob <= 1.0,
+                "noise burst probability must lie in [0,1]");
+  TSAJS_REQUIRE(
+      std::isfinite(noise_burst_sigma_db) && noise_burst_sigma_db >= 0.0,
+      "noise burst sigma must be finite and >= 0 dB");
+}
+
+FaultInjector::FaultInjector(std::size_t num_servers,
+                             std::size_t num_subchannels, FaultConfig config,
+                             std::uint64_t seed)
+    : num_servers_(num_servers),
+      num_subchannels_(num_subchannels),
+      config_(config),
+      rng_(seed),
+      server_down_(num_servers, 0),
+      slot_blacked_(num_servers * num_subchannels, 0) {
+  TSAJS_REQUIRE(num_servers >= 1 && num_subchannels >= 1,
+                "fault injector needs a non-empty grid");
+  config_.validate();
+}
+
+void FaultInjector::advance_epoch() {
+  // Fixed draw order so one seed reproduces one fault schedule: server
+  // fail/repair coins (ascending), blackout coins (ascending slots), burst
+  // coin. Disabled fault classes draw nothing.
+  if (config_.server_mtbf_epochs > 0.0) {
+    const double fail_prob = 1.0 / config_.server_mtbf_epochs;
+    const double repair_prob = 1.0 / config_.server_mttr_epochs;
+    servers_down_ = 0;
+    for (std::size_t s = 0; s < num_servers_; ++s) {
+      if (server_down_[s] == 0) {
+        if (rng_.bernoulli(fail_prob)) server_down_[s] = 1;
+      } else if (rng_.bernoulli(repair_prob)) {
+        server_down_[s] = 0;
+      }
+      if (server_down_[s] != 0) ++servers_down_;
+    }
+  }
+  if (config_.subchannel_blackout_prob > 0.0) {
+    slots_blacked_out_ = 0;
+    for (auto& blacked : slot_blacked_) {
+      blacked = rng_.bernoulli(config_.subchannel_blackout_prob) ? 1 : 0;
+      if (blacked != 0) ++slots_blacked_out_;
+    }
+  }
+  if (config_.noise_burst_prob > 0.0) {
+    burst_active_ = rng_.bernoulli(config_.noise_burst_prob);
+  }
+}
+
+mec::Availability FaultInjector::availability() const {
+  if (servers_down_ == 0 && slots_blacked_out_ == 0) {
+    return {};  // unconstrained: keeps the scenario fully available
+  }
+  mec::Availability mask(num_servers_, num_subchannels_);
+  for (std::size_t s = 0; s < num_servers_; ++s) {
+    if (server_down_[s] != 0) mask.fail_server(s);
+    for (std::size_t j = 0; j < num_subchannels_; ++j) {
+      if (slot_blacked_[s * num_subchannels_ + j] != 0) mask.block_slot(s, j);
+    }
+  }
+  return mask;
+}
+
+void FaultInjector::perturb_gains(Matrix3<double>& gains) {
+  if (!burst_active_ || config_.noise_burst_sigma_db <= 0.0) return;
+  for (std::size_t u = 0; u < gains.dim0(); ++u) {
+    for (std::size_t s = 0; s < gains.dim1(); ++s) {
+      for (std::size_t j = 0; j < gains.dim2(); ++j) {
+        // Log-normal estimation error: gain * 10^(N(0, sigma)/10).
+        const double error_db = rng_.normal(0.0, config_.noise_burst_sigma_db);
+        gains(u, s, j) *= std::pow(10.0, error_db / 10.0);
+      }
+    }
+  }
+}
+
+}  // namespace tsajs::sim

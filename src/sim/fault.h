@@ -1,0 +1,108 @@
+// Fault injection for the dynamic simulation.
+//
+// A deployed MEC controller sees edge servers crash and recover, individual
+// sub-channels black out, and channel estimates degrade in bursts. The
+// paper's evaluation is fully healthy; `FaultInjector` adds those hazards to
+// sim::DynamicSimulator as a seeded, reproducible per-epoch schedule:
+//
+//   * server outages — a geometric MTBF/MTTR model: each epoch an up server
+//     fails with probability 1/MTBF and a down server repairs with
+//     probability 1/MTTR, so outages last MTTR epochs in expectation;
+//   * sub-channel blackouts — each (server, sub-channel) slot is
+//     independently unusable for the epoch with a fixed probability;
+//   * noise bursts — with a per-epoch probability, every channel-gain
+//     estimate of the epoch is perturbed by log-normal noise of a
+//     configurable dB sigma (a transient estimation error, not an outage).
+//
+// All draws come from the injector's own dedicated RNG stream, seeded once
+// by the caller, in a fixed order (servers ascending, then slots ascending,
+// then the burst coin). The simulator's environment stream is never
+// touched, so with faults disabled the whole timeline stays bit-identical
+// to the pre-fault implementation, and with faults enabled the same seed
+// reproduces the same fault schedule for every scheduler under test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "mec/availability.h"
+
+namespace tsajs::sim {
+
+struct FaultConfig {
+  /// Mean epochs between failures per server (geometric); 0 disables
+  /// server outages.
+  double server_mtbf_epochs = 0.0;
+  /// Mean epochs to repair a down server (geometric); must be >= 1 when
+  /// outages are enabled.
+  double server_mttr_epochs = 3.0;
+  /// Per-epoch probability that an individual (server, sub-channel) slot is
+  /// blacked out; 0 disables blackouts.
+  double subchannel_blackout_prob = 0.0;
+  /// Per-epoch probability of a channel-estimate noise burst; 0 disables.
+  double noise_burst_prob = 0.0;
+  /// Log-normal sigma [dB] applied to every gain during a burst.
+  double noise_burst_sigma_db = 3.0;
+
+  /// True when any fault class can fire.
+  [[nodiscard]] bool enabled() const noexcept {
+    return server_mtbf_epochs > 0.0 || subchannel_blackout_prob > 0.0 ||
+           noise_burst_prob > 0.0;
+  }
+  void validate() const;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(std::size_t num_servers, std::size_t num_subchannels,
+                FaultConfig config, std::uint64_t seed);
+
+  /// Draws the next epoch's fault state (fixed draw order; see file
+  /// comment). Call exactly once per simulated epoch, including epochs in
+  /// which no task arrives — outages progress on wall-clock epochs, not on
+  /// traffic.
+  void advance_epoch();
+
+  /// The availability mask for the current epoch. Returns an
+  /// *unconstrained* mask when nothing is down, so healthy epochs keep the
+  /// scenario on its fully-available fast paths.
+  [[nodiscard]] mec::Availability availability() const;
+
+  /// True when the current epoch has any active fault (outage, blackout,
+  /// or noise burst).
+  [[nodiscard]] bool any_fault() const noexcept {
+    return servers_down_ > 0 || slots_blacked_out_ > 0 || burst_active_;
+  }
+  [[nodiscard]] bool noise_burst_active() const noexcept {
+    return burst_active_;
+  }
+  [[nodiscard]] std::size_t servers_down() const noexcept {
+    return servers_down_;
+  }
+  [[nodiscard]] std::size_t slots_blacked_out() const noexcept {
+    return slots_blacked_out_;
+  }
+
+  /// Applies the epoch's noise burst to a freshly drawn gain tensor:
+  /// every entry is multiplied by 10^(N(0, sigma_db)/10). No-op outside a
+  /// burst. Draws from the injector's stream.
+  void perturb_gains(Matrix3<double>& gains);
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+ private:
+  std::size_t num_servers_;
+  std::size_t num_subchannels_;
+  FaultConfig config_;
+  Rng rng_;
+  std::vector<std::uint8_t> server_down_;
+  std::vector<std::uint8_t> slot_blacked_;
+  std::size_t servers_down_ = 0;
+  std::size_t slots_blacked_out_ = 0;
+  bool burst_active_ = false;
+};
+
+}  // namespace tsajs::sim

@@ -98,6 +98,35 @@ TEST(CliTest, DoubleParsing) {
   EXPECT_DOUBLE_EQ(cli.get_double("beta"), 0.75);
 }
 
+TEST(CliTest, NonFiniteDoubleThrows) {
+  // "nan"/"inf" parse as valid doubles but would poison every downstream
+  // rate, budget, and accumulator — the parser rejects them outright.
+  for (const char* text : {"nan", "NaN", "inf", "-inf", "infinity", "1e999"}) {
+    CliParser cli("test");
+    cli.add_flag("beta", "time preference", "0.5");
+    const auto argv = argv_of({"prog", "--beta", text});
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_THROW((void)cli.get_double("beta"), InvalidArgumentError)
+        << "value: " << text;
+  }
+}
+
+TEST(CliTest, NonFiniteDoubleListItemThrows) {
+  CliParser cli("test");
+  cli.add_flag("workloads", "Mcycle sweep", "1000,nan,3000");
+  const auto argv = argv_of({"prog"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW((void)cli.get_double_list("workloads"), InvalidArgumentError);
+}
+
+TEST(CliTest, OutOfRangeUintThrows) {
+  CliParser cli("test");
+  cli.add_flag("trials", "Monte-Carlo drops", "10");
+  const auto argv = argv_of({"prog", "--trials", "99999999999999999999999"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW((void)cli.get_uint("trials"), InvalidArgumentError);
+}
+
 TEST(CliTest, DoubleListParsing) {
   CliParser cli("test");
   cli.add_flag("workloads", "Mcycle sweep", "1000,2000,3000");

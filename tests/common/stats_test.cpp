@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.h"
 #include "common/rng.h"
@@ -26,6 +27,19 @@ TEST(Accumulator, SingleValue) {
   EXPECT_EQ(acc.variance(), 0.0);
   EXPECT_DOUBLE_EQ(acc.min(), 42.0);
   EXPECT_DOUBLE_EQ(acc.max(), 42.0);
+}
+
+TEST(Accumulator, RejectsNaNSamples) {
+  Accumulator acc;
+  acc.add(1.0);
+  // One NaN would irreversibly poison the running sums; it must be refused
+  // before touching any state.
+  EXPECT_THROW(acc.add(std::nan("")), InternalError);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 1.0);
+  // Infinities are representable (min/max/mean stay meaningful) and pass.
+  acc.add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(acc.count(), 2u);
 }
 
 TEST(Accumulator, KnownSampleStatistics) {

@@ -1,0 +1,147 @@
+#include "mec/availability.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "mec/scenario_builder.h"
+#include "mec/scenario_workspace.h"
+
+namespace tsajs::mec {
+namespace {
+
+TEST(AvailabilityTest, DefaultIsUnconstrained) {
+  const Availability mask;
+  EXPECT_TRUE(mask.unconstrained());
+  EXPECT_TRUE(mask.all_available());
+  EXPECT_TRUE(mask.server_available(0));
+  EXPECT_TRUE(mask.slot_available(5, 7));
+  EXPECT_EQ(mask.num_servers_down(), 0u);
+  EXPECT_EQ(mask.num_unavailable_slots(), 0u);
+  EXPECT_TRUE(mask.matches_grid(3, 2));
+  EXPECT_TRUE(mask.matches_grid(100, 100));
+}
+
+TEST(AvailabilityTest, SizedMaskStartsHealthy) {
+  const Availability mask(3, 2);
+  EXPECT_FALSE(mask.unconstrained());
+  EXPECT_TRUE(mask.all_available());
+  EXPECT_TRUE(mask.matches_grid(3, 2));
+  EXPECT_FALSE(mask.matches_grid(2, 3));
+}
+
+TEST(AvailabilityTest, ServerFailureMasksAllItsSlots) {
+  Availability mask(3, 2);
+  mask.fail_server(1);
+  EXPECT_FALSE(mask.all_available());
+  EXPECT_FALSE(mask.server_available(1));
+  EXPECT_FALSE(mask.slot_available(1, 0));
+  EXPECT_FALSE(mask.slot_available(1, 1));
+  EXPECT_TRUE(mask.slot_available(0, 0));
+  EXPECT_EQ(mask.num_servers_down(), 1u);
+  EXPECT_EQ(mask.num_unavailable_slots(), 2u);
+  mask.restore_server(1);
+  EXPECT_TRUE(mask.all_available());
+}
+
+TEST(AvailabilityTest, SlotBlackoutLeavesServerUp) {
+  Availability mask(2, 3);
+  mask.block_slot(0, 2);
+  EXPECT_TRUE(mask.server_available(0));
+  EXPECT_FALSE(mask.slot_available(0, 2));
+  EXPECT_TRUE(mask.slot_available(0, 1));
+  EXPECT_EQ(mask.num_unavailable_slots(), 1u);
+  mask.restore_slot(0, 2);
+  EXPECT_TRUE(mask.all_available());
+}
+
+TEST(AvailabilityTest, RejectsOutOfRangeIndices) {
+  Availability mask(2, 2);
+  EXPECT_THROW(mask.fail_server(2), InvalidArgumentError);
+  EXPECT_THROW(mask.block_slot(0, 2), InvalidArgumentError);
+  EXPECT_THROW((void)mask.slot_available(2, 0), InvalidArgumentError);
+}
+
+TEST(ScenarioAvailabilityTest, DefaultScenarioIsFullyAvailable) {
+  Rng rng(7);
+  const Scenario scenario = ScenarioBuilder()
+                                .num_users(4)
+                                .num_servers(3)
+                                .num_subchannels(2)
+                                .build(rng);
+  EXPECT_TRUE(scenario.fully_available());
+  EXPECT_EQ(scenario.num_available_slots(), scenario.num_slots());
+}
+
+TEST(ScenarioAvailabilityTest, WithAvailabilityAppliesMask) {
+  Rng rng(7);
+  const Scenario base = ScenarioBuilder()
+                            .num_users(4)
+                            .num_servers(3)
+                            .num_subchannels(2)
+                            .build(rng);
+  Availability mask(3, 2);
+  mask.fail_server(0);
+  mask.block_slot(2, 1);
+  const Scenario masked = base.with_availability(mask);
+  EXPECT_FALSE(masked.fully_available());
+  EXPECT_FALSE(masked.server_available(0));
+  EXPECT_FALSE(masked.slot_available(0, 1));
+  EXPECT_FALSE(masked.slot_available(2, 1));
+  EXPECT_TRUE(masked.slot_available(1, 0));
+  EXPECT_EQ(masked.num_available_slots(), masked.num_slots() - 3);
+}
+
+TEST(ScenarioAvailabilityTest, RejectsMismatchedGrid) {
+  Rng rng(7);
+  const Scenario base = ScenarioBuilder()
+                            .num_users(4)
+                            .num_servers(3)
+                            .num_subchannels(2)
+                            .build(rng);
+  EXPECT_THROW((void)base.with_availability(Availability(2, 2)),
+               InvalidArgumentError);
+}
+
+TEST(ScenarioAvailabilityTest, AllHealthyMaskKeepsFastPath) {
+  Rng rng(7);
+  const Scenario base = ScenarioBuilder()
+                            .num_users(4)
+                            .num_servers(3)
+                            .num_subchannels(2)
+                            .build(rng);
+  // A sized-but-healthy mask still reports fully available.
+  const Scenario masked = base.with_availability(Availability(3, 2));
+  EXPECT_TRUE(masked.fully_available());
+}
+
+TEST(WorkspaceAvailabilityTest, StagedMaskPersistsAcrossEpochs) {
+  Rng rng(11);
+  const Scenario seed = ScenarioBuilder()
+                            .num_users(3)
+                            .num_servers(2)
+                            .num_subchannels(2)
+                            .build(rng);
+  ScenarioWorkspace workspace(seed.servers(), seed.spectrum(), seed.noise_w());
+  Availability mask(2, 2);
+  mask.fail_server(1);
+  workspace.set_availability(mask);
+
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    workspace.begin_epoch();
+    workspace.users() = seed.users();
+    workspace.gains() = seed.gains();
+    const Scenario& committed = workspace.commit();
+    EXPECT_FALSE(committed.fully_available());
+    EXPECT_FALSE(committed.server_available(1));
+  }
+
+  // Clearing the mask restores the fully available fast path.
+  workspace.set_availability({});
+  workspace.begin_epoch();
+  workspace.users() = seed.users();
+  workspace.gains() = seed.gains();
+  EXPECT_TRUE(workspace.commit().fully_available());
+}
+
+}  // namespace
+}  // namespace tsajs::mec
