@@ -77,6 +77,19 @@ inline exp::TrialSpec make_spec(const BenchOptions& options) {
   return spec;
 }
 
+/// Prints the solve-latency tail of a finished sweep: one "p50 / p99" cell
+/// per (point, scheme), from the raw per-trial samples the runner records.
+/// Means alone hide stragglers, and the anytime-deadline story is about the
+/// tail — benches that report runtime should emit this next to the means.
+inline void emit_latency_report(const std::string& title,
+                                const std::string& x_name,
+                                const std::vector<std::string>& labels,
+                                const std::vector<std::vector<exp::SchemeStats>>& rows) {
+  const Table table = exp::make_sweep_table(
+      x_name, labels, rows, exp::metric_runtime_percentiles());
+  exp::emit_report(title + " [solve latency p50 / p99]", table, "");
+}
+
 /// Runs one sweep: for each (label, builder) point, runs all trials and
 /// returns the per-point stats (in label order). Progress is logged per
 /// point at Info level, labelled with the sweep point just finished.

@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
                                 ? ""
                                 : options.csv_prefix + "_" + panel;
     exp::emit_report(title, table, csv);
+    bench::emit_latency_report(title, "N", labels, rows);
     ++panel;
   }
   return 0;

@@ -10,6 +10,7 @@
 #include "algo/multi_start.h"
 #include "algo/pso.h"
 #include "algo/random_scheduler.h"
+#include "algo/sharded.h"
 #include "algo/tabu.h"
 #include "common/error.h"
 
@@ -54,6 +55,19 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
     }
     return std::make_unique<MultiStartScheduler>(
         std::make_unique<TsajsScheduler>(config), 4, options.threads);
+  }
+  // "sharded:<inner>" wraps any registered scheme in the interference-
+  // locality decomposition (per-shard solves + boundary fixup).
+  if (name.rfind("sharded:", 0) == 0) {
+    const std::string inner_name = name.substr(8);
+    TSAJS_REQUIRE(inner_name.rfind("sharded:", 0) != 0,
+                  "sharded: wrappers do not nest");
+    ShardedConfig config;
+    config.reach_m = options.shard_reach_m;
+    config.threads = options.threads;
+    config.budget = options.budget;
+    return std::make_unique<ShardedScheduler>(
+        make_scheduler(inner_name, options), config);
   }
   throw NotFoundError("unknown scheduler: " + name);
 }

@@ -32,13 +32,19 @@ struct RegistryOptions {
   std::optional<double> warm_reheat;
   /// Anytime solve budget for the TSAJS variants (tsajs, tsajs-geo,
   /// tsajs-x4); the default (unlimited) keeps them bit-identical to the
-  /// unbudgeted solvers. Other schemes currently ignore it.
+  /// unbudgeted solvers. "sharded:<inner>" wrappers apply the wall-clock
+  /// cap to their fixup rounds. Other schemes currently ignore it.
   SolveBudget budget;
+  /// Interference reach [m] for "sharded:<inner>" wrappers; 0 (default)
+  /// auto-derives it from the deployment geometry.
+  double shard_reach_m = 0.0;
 };
 
 /// Creates a scheduler by name: "tsajs", "tsajs-geo" (geometric-cooling
-/// ablation), "hjtora", "greedy", "local-search", "exhaustive", "random".
-/// Throws NotFoundError for unknown names.
+/// ablation), "hjtora", "greedy", "local-search", "exhaustive", "random";
+/// any name may be prefixed "sharded:" (e.g. "sharded:tsajs") to wrap the
+/// scheme in the interference-locality ShardedScheduler. Throws
+/// NotFoundError for unknown names.
 [[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
     const std::string& name, const RegistryOptions& options = {});
 

@@ -1,0 +1,168 @@
+#include "algo/sharded.h"
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "geo/partition.h"
+#include "jtora/incremental.h"
+#include "jtora/sharded_problem.h"
+
+namespace tsajs::algo {
+
+void ShardedConfig::validate() const {
+  TSAJS_REQUIRE(reach_m >= 0.0 && std::isfinite(reach_m),
+                "interference reach must be finite and non-negative");
+  TSAJS_REQUIRE(fixup_passes >= 1, "need at least one fixup pass");
+  budget.validate();
+}
+
+ShardedScheduler::ShardedScheduler(std::unique_ptr<Scheduler> inner,
+                                   ShardedConfig config)
+    : inner_(std::move(inner)), config_(config) {
+  TSAJS_REQUIRE(inner_ != nullptr, "sharded scheduler needs an inner scheme");
+  config_.validate();
+}
+
+std::string ShardedScheduler::name() const {
+  // Matches the registry's "sharded:<inner>" spelling, so names round-trip
+  // through make_scheduler.
+  return "sharded:" + inner_->name();
+}
+
+namespace {
+
+/// One deterministic boundary-fixup sweep: re-score each boundary user
+/// against the *global* problem (ascending user order) and keep the best
+/// placement — any free (server, sub-channel) slot, its current slot, or
+/// local execution — accepting strict improvements only. Returns the number
+/// of users whose placement changed; `evaluations` counts candidate
+/// utilities scored.
+std::size_t fixup_sweep(jtora::IncrementalEvaluator& eval,
+                        const std::vector<std::size_t>& boundary_users,
+                        std::vector<double>& preview, std::size_t& evaluations,
+                        const Stopwatch& timer, double deadline) {
+  const jtora::CompiledProblem& problem = eval.problem();
+  const std::size_t num_servers = problem.scenario().num_servers();
+  const std::size_t num_subchannels = problem.scenario().num_subchannels();
+  std::size_t moved = 0;
+  std::size_t scanned = 0;
+  for (const std::size_t u : boundary_users) {
+    // At city scale one sweep visits tens of thousands of users; honor the
+    // anytime deadline inside the pass, not just between passes. Every
+    // prefix of the sweep leaves the assignment feasible, so breaking out
+    // mid-pass is safe.
+    if (deadline > 0.0 && (scanned++ & 31) == 0 &&
+        timer.elapsed_seconds() >= deadline) {
+      break;
+    }
+    const std::optional<jtora::Slot> orig = eval.slot_of(u);
+    // Lift the user out so the batch previews (which require a local mover)
+    // can scan every sub-channel row; the user's own slot becomes free and
+    // is re-scored on equal terms with every alternative.
+    if (orig.has_value()) eval.apply_make_local(u);
+    double best_utility = eval.utility();  // staying local
+    std::optional<jtora::Slot> best;
+    ++evaluations;
+    for (std::size_t j = 0; j < num_subchannels; ++j) {
+      eval.preview_offload_subchannel(u, j, preview.data());
+      for (std::size_t s = 0; s < num_servers; ++s) {
+        if (std::isnan(preview[s])) continue;
+        ++evaluations;
+        if (preview[s] > best_utility) {
+          best_utility = preview[s];
+          best = jtora::Slot{s, j};
+        }
+      }
+    }
+    if (best.has_value()) {
+      eval.apply_offload(u, best->server, best->subchannel);
+    }
+    if (orig != best) ++moved;
+  }
+  return moved;
+}
+
+}  // namespace
+
+ScheduleResult ShardedScheduler::schedule(const jtora::CompiledProblem& problem,
+                                          Rng& rng) const {
+  const Stopwatch timer;
+  const mec::Scenario& scenario = problem.scenario();
+
+  std::vector<geo::Point> sites;
+  sites.reserve(scenario.num_servers());
+  for (std::size_t s = 0; s < scenario.num_servers(); ++s) {
+    sites.push_back(scenario.server(s).position);
+  }
+  const double reach = config_.reach_m > 0.0
+                           ? config_.reach_m
+                           : geo::InterferencePartition::auto_reach(sites);
+  // A single site (auto reach 0) cannot be partitioned; neither can a
+  // deployment whose sites all share one tile. Both degenerate to the
+  // wrapped scheme verbatim — same Rng, same result, bit for bit.
+  if (reach <= 0.0) return inner_->schedule(problem, rng);
+  const geo::InterferencePartition partition(sites, reach);
+  if (partition.num_shards() == 1) return inner_->schedule(problem, rng);
+
+  const jtora::ShardedProblem sharded(problem, partition);
+  const std::size_t num_shards = sharded.num_shards();
+
+  // Derive every child seed up front, in shard order — the only point that
+  // touches the caller's rng, so each shard's solve is independent of
+  // execution order and thread count (the MultiStartScheduler pattern).
+  std::vector<std::uint64_t> seeds(num_shards);
+  for (std::size_t k = 0; k < num_shards; ++k) seeds[k] = rng.derive_seed(k);
+
+  std::vector<std::optional<ScheduleResult>> results(num_shards);
+  const auto solve_shard = [&](std::size_t k) {
+    const jtora::ShardedProblem::Shard& shard = sharded.shard(k);
+    if (shard.problem == nullptr) return;  // no user homes here
+    Rng child(seeds[k]);
+    results[k] = inner_->schedule(*shard.problem, child);
+  };
+  if (config_.threads != 1 && num_shards > 1) {
+    ThreadPool pool(config_.threads);
+    pool.parallel_for(num_shards, solve_shard);
+  } else {
+    for (std::size_t k = 0; k < num_shards; ++k) solve_shard(k);
+  }
+
+  // Merge in shard order. Shards own disjoint server sets, so the merged
+  // assignment is feasible by construction.
+  jtora::Assignment merged(scenario);
+  std::size_t evaluations = 0;
+  for (std::size_t k = 0; k < num_shards; ++k) {
+    if (!results[k].has_value()) continue;
+    evaluations += results[k]->evaluations;
+    sharded.merge_into(k, results[k]->assignment, merged);
+  }
+
+  // Boundary fixup on the *global* problem: shard solves scored boundary
+  // users without cross-shard interference, so their placements can be
+  // mispriced. Sweep them with batch previews until a round changes
+  // nothing, the round cap fires, or the wall clock runs out.
+  jtora::IncrementalEvaluator eval(problem, merged);
+  eval.set_undo_logging(false);
+  std::vector<double> preview(scenario.num_servers());
+  const double deadline = config_.budget.max_seconds;
+  for (std::size_t pass = 0; pass < config_.fixup_passes; ++pass) {
+    if (deadline > 0.0 && timer.elapsed_seconds() >= deadline) break;
+    const std::size_t moved = fixup_sweep(eval, sharded.boundary_users(),
+                                          preview, evaluations, timer, deadline);
+    if (moved == 0) break;
+  }
+
+  // Settle the running sums so the reported utility matches an independent
+  // evaluation to well under the validation tolerance.
+  eval.rebuild();
+  return ScheduleResult{eval.assignment(), eval.utility(),
+                        timer.elapsed_seconds(), evaluations};
+}
+
+}  // namespace tsajs::algo

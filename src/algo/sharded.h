@@ -1,0 +1,70 @@
+// ShardedScheduler — interference-locality decomposition for city-scale
+// solves.
+//
+// The wrapped scheduler ("inner") sees per-shard subproblems produced by
+// jtora::ShardedProblem over a geo::InterferencePartition of the cell
+// sites: beyond the interference reach, co-channel coupling is negligible,
+// so shards are (nearly) independent and solve in parallel on the shared
+// ThreadPool. Afterwards a deterministic *boundary fixup* re-scores every
+// user homed in a boundary cell against the full global problem — the one
+// place the decomposition neglected cross-shard interference — using the
+// IncrementalEvaluator's batch sub-channel previews (jtora::batch) and
+// keeping only strict improvements.
+//
+// Determinism: child seeds derive from the caller Rng up front in shard
+// order (the MultiStartScheduler pattern), shard solves merge in shard
+// order, and the fixup scans boundary users / sub-channels / servers in
+// ascending order with strict-improvement acceptance — the result is a
+// pure function of (problem, seed), independent of thread count.
+//
+// Degenerate decompositions pass straight through: with a single shard (or
+// a single cell site, where no finite reach separates anything) schedule()
+// delegates to the inner scheduler with the caller's own Rng, so the
+// result is bit-identical to the unsharded solve.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "algo/scheduler.h"
+
+namespace tsajs::algo {
+
+struct ShardedConfig {
+  /// Interference reach [m] for the partition; 0 (default) derives it from
+  /// the deployment via geo::InterferencePartition::auto_reach.
+  double reach_m = 0.0;
+  /// Boundary fixup rounds after the shard solves. Each round sweeps the
+  /// boundary users once; rounds stop early when a sweep changes nothing.
+  std::size_t fixup_passes = 2;
+  /// Worker threads for the shard solves: 1 = sequential (default),
+  /// 0 = hardware concurrency. Results are identical for every setting.
+  std::size_t threads = 1;
+  /// Wall-clock guard checked between shard merge and each fixup round
+  /// (max_seconds only; the iteration cap is the inner scheduler's
+  /// business). The merged shard solution is always feasible, so firing
+  /// the budget mid-fixup still returns a valid anytime result.
+  SolveBudget budget;
+
+  void validate() const;
+};
+
+class ShardedScheduler : public Scheduler {
+ public:
+  explicit ShardedScheduler(std::unique_ptr<Scheduler> inner,
+                            ShardedConfig config = {});
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
+                                        Rng& rng) const override;
+
+  using Scheduler::schedule;
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+  ShardedConfig config_;
+};
+
+}  // namespace tsajs::algo

@@ -1,0 +1,73 @@
+// Minimal JSON parsing for the tooling side of the bench pipeline.
+//
+// The repo writes JSON in two shapes — the sweep documents of
+// exp/json_writer.h and google-benchmark's --benchmark_out format — and
+// tools/bench_check needs to read both back without growing a third-party
+// dependency. This is a small recursive-descent parser for the RFC 8259
+// grammar (objects, arrays, strings with escapes, numbers, true/false/null)
+// into a JsonValue tree. Object member order is preserved; duplicate keys
+// keep the last value (lookup scans from the back). Numbers parse as
+// double, which round-trips everything json_writer emits and everything
+// bench_check consumes (counts and nanosecond timings).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tsajs::exp {
+
+/// One parsed JSON value. A tagged tree: exactly one of the containers is
+/// meaningful, per `kind()`.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+
+  /// Typed accessors; each throws InvalidArgumentError when the value is
+  /// not of the requested kind.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+
+  /// Object member by key; throws NotFoundError when missing (use
+  /// find(key) for optional members).
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  /// Object member by key, or nullptr when absent (requires an object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  /// Object members in document order.
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  members() const;
+
+  // Construction (used by the parser; also handy in tests).
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double x);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses one JSON document (throws InvalidArgumentError on syntax errors,
+/// with a line/column diagnostic). Trailing whitespace is allowed; any
+/// other trailing content is an error.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
+
+/// Reads and parses a JSON file; throws Error when the file cannot be read.
+[[nodiscard]] JsonValue parse_json_file(const std::string& path);
+
+}  // namespace tsajs::exp

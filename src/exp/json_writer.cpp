@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -74,6 +75,14 @@ void write_sweep_json(std::ostream& os, const std::string& sweep_name,
       os << "{\"name\":\"" << json_escape(stats.scheme) << "\""
          << ",\"utility\":" << json_of(stats.utility)
          << ",\"solve_seconds\":" << json_of(stats.solve_seconds)
+         << ",\"solve_p50\":"
+         << number(stats.solve_samples.empty()
+                       ? std::numeric_limits<double>::quiet_NaN()
+                       : stats.solve_p50())
+         << ",\"solve_p99\":"
+         << number(stats.solve_samples.empty()
+                       ? std::numeric_limits<double>::quiet_NaN()
+                       : stats.solve_p99())
          << ",\"offloaded\":" << json_of(stats.offloaded)
          << ",\"mean_delay_s\":" << json_of(stats.mean_delay_s)
          << ",\"mean_energy_j\":" << json_of(stats.mean_energy_j) << '}';

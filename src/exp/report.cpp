@@ -22,6 +22,14 @@ MetricFn metric_runtime(int precision) {
   };
 }
 
+MetricFn metric_runtime_percentiles(int precision) {
+  return [precision](const SchemeStats& stats) -> std::string {
+    if (stats.solve_samples.empty()) return "-";
+    return units::duration_string(stats.solve_p50(), precision) + " / " +
+           units::duration_string(stats.solve_p99(), precision);
+  };
+}
+
 MetricFn metric_delay(int precision) {
   return [precision](const SchemeStats& stats) {
     return format_double(stats.mean_delay_s.mean(), precision);

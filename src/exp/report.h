@@ -23,6 +23,9 @@ using MetricFn = std::function<std::string(const SchemeStats&)>;
                                       int precision = 4);
 /// Mean wall-clock solve time, SI-formatted (Fig. 8).
 [[nodiscard]] MetricFn metric_runtime(int precision = 4);
+/// Solve-latency tail: "p50 / p99" over the point's trials, SI-formatted.
+/// Falls back to "-" when the stats carry no raw samples.
+[[nodiscard]] MetricFn metric_runtime_percentiles(int precision = 4);
 /// Mean per-user completion delay [s] (Fig. 9b).
 [[nodiscard]] MetricFn metric_delay(int precision = 4);
 /// Mean per-user energy [J] (Fig. 9a).

@@ -59,6 +59,9 @@ std::vector<SchemeStats> TrialRunner::run(const TrialSpec& spec) const {
   std::vector<SchemeStats> stats(spec.schemes.size());
   for (std::size_t i = 0; i < spec.schemes.size(); ++i) {
     stats[i].scheme = spec.schemes[i];
+    // Slot per trial index, so the sample order is deterministic no matter
+    // how the pool schedules trials.
+    stats[i].solve_samples.assign(spec.trials, 0.0);
   }
 
   std::mutex merge_mutex;
@@ -82,6 +85,7 @@ std::vector<SchemeStats> TrialRunner::run(const TrialSpec& spec) const {
     for (std::size_t i = 0; i < schedulers.size(); ++i) {
       stats[i].utility.add(outcomes[i].utility);
       stats[i].solve_seconds.add(outcomes[i].solve_seconds);
+      stats[i].solve_samples[trial] = outcomes[i].solve_seconds;
       stats[i].offloaded.add(outcomes[i].offloaded);
       stats[i].mean_delay_s.add(outcomes[i].mean_delay_s);
       stats[i].mean_energy_j.add(outcomes[i].mean_energy_j);

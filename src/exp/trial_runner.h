@@ -35,9 +35,18 @@ struct SchemeStats {
   Accumulator offloaded;      ///< #offloaded users per trial.
   Accumulator mean_delay_s;   ///< mean task completion time over all users.
   Accumulator mean_energy_j;  ///< mean per-user energy over all users.
+  /// Raw per-trial solve times in trial order (index = trial), so tail
+  /// latency is reportable: means hide stragglers that matter for the
+  /// anytime-deadline story.
+  std::vector<double> solve_samples;
 
   [[nodiscard]] ConfidenceInterval utility_ci(double confidence = 0.95) const {
     return confidence_interval(utility, confidence);
+  }
+  /// Median / 99th-percentile solve latency over the trials [s].
+  [[nodiscard]] double solve_p50() const { return quantile(solve_samples, 0.5); }
+  [[nodiscard]] double solve_p99() const {
+    return quantile(solve_samples, 0.99);
   }
 };
 

@@ -1,0 +1,97 @@
+#include "geo/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "common/error.h"
+
+namespace tsajs::geo {
+
+InterferencePartition::InterferencePartition(const std::vector<Point>& sites,
+                                             double reach_m)
+    : reach_m_(reach_m) {
+  TSAJS_REQUIRE(!sites.empty(), "partition needs at least one site");
+  TSAJS_REQUIRE(reach_m > 0.0 && std::isfinite(reach_m),
+                "interference reach must be positive and finite");
+
+  // Tile the plane with squares of side `reach_m`, anchored at the
+  // deployment's bounding-box corner so the partition is translation-
+  // invariant (and a reach wider than the deployment always yields one
+  // shard); a map keyed by tile coordinates (lexicographic order) compacts
+  // shard ids deterministically.
+  double min_x = sites[0].x;
+  double min_y = sites[0].y;
+  for (const Point& site : sites) {
+    min_x = std::min(min_x, site.x);
+    min_y = std::min(min_y, site.y);
+  }
+  const auto tile_of = [reach_m, min_x, min_y](Point p) {
+    return std::pair<std::int64_t, std::int64_t>(
+        static_cast<std::int64_t>(std::floor((p.x - min_x) / reach_m)),
+        static_cast<std::int64_t>(std::floor((p.y - min_y) / reach_m)));
+  };
+  std::map<std::pair<std::int64_t, std::int64_t>, std::size_t> tiles;
+  for (const Point& site : sites) {
+    tiles.emplace(tile_of(site), 0);
+  }
+  std::size_t next_id = 0;
+  for (auto& [tile, id] : tiles) id = next_id++;
+
+  shard_of_.resize(sites.size());
+  cells_.assign(next_id, {});
+  for (std::size_t c = 0; c < sites.size(); ++c) {
+    const std::size_t k = tiles.at(tile_of(sites[c]));
+    shard_of_[c] = k;
+    cells_[k].push_back(c);  // ascending: c is ascending
+  }
+
+  // Boundary cells: any foreign-shard site within reach. O(C^2) over the
+  // site list — hundreds of cells at city scale, negligible next to one
+  // shard solve.
+  boundary_.assign(sites.size(), 0);
+  const double reach_sq = reach_m * reach_m;
+  for (std::size_t c = 0; c < sites.size(); ++c) {
+    for (std::size_t d = 0; d < sites.size(); ++d) {
+      if (shard_of_[d] == shard_of_[c]) continue;
+      if (distance_squared(sites[c], sites[d]) <= reach_sq) {
+        boundary_[c] = 1;
+        break;
+      }
+    }
+    if (boundary_[c] != 0) boundary_cells_.push_back(c);
+  }
+}
+
+std::size_t InterferencePartition::shard_of(std::size_t c) const {
+  TSAJS_REQUIRE(c < shard_of_.size(), "cell index out of range");
+  return shard_of_[c];
+}
+
+const std::vector<std::size_t>& InterferencePartition::cells(
+    std::size_t k) const {
+  TSAJS_REQUIRE(k < cells_.size(), "shard index out of range");
+  return cells_[k];
+}
+
+bool InterferencePartition::is_boundary(std::size_t c) const {
+  TSAJS_REQUIRE(c < boundary_.size(), "cell index out of range");
+  return boundary_[c] != 0;
+}
+
+double InterferencePartition::auto_reach(const std::vector<Point>& sites) {
+  TSAJS_REQUIRE(!sites.empty(), "auto_reach needs at least one site");
+  if (sites.size() == 1) return 0.0;
+  double min_sq = std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < sites.size(); ++a) {
+    for (std::size_t b = a + 1; b < sites.size(); ++b) {
+      min_sq = std::min(min_sq, distance_squared(sites[a], sites[b]));
+    }
+  }
+  return 2.0 * std::sqrt(min_sq);
+}
+
+}  // namespace tsajs::geo

@@ -1,0 +1,75 @@
+// Interference-locality partitioning of cell sites.
+//
+// Co-channel interference couples only users that share a sub-band in
+// nearby cells: the paper's link budget (Sec. V; path loss 140.7 + 36.7
+// log10 d) attenuates a transmitter two inter-site distances away by
+// ~11 dB relative to one ISD, and the interferer is itself power-limited —
+// so beyond a configurable *reach* the coupling is negligible and a
+// metro-scale deployment decomposes into independent shards (the same
+// locality Tran & Pompili exploit for multi-cell TORA decomposition).
+//
+// `InterferencePartition` groups base-station sites into shards by laying a
+// square tile grid of width `reach_m` over the deployment (anchored at the
+// site bounding box's corner, so the partition is translation-invariant):
+// sites in the same tile share a shard. Two sites closer than the reach are therefore
+// either in one shard or in *adjacent* tiles — and every cell with a
+// foreign-shard cell within reach is marked a *boundary* cell, whose users
+// an inter-shard fixup must re-examine (algo::ShardedScheduler). Shard ids
+// are compacted in lexicographic tile order, so the partition is a pure
+// function of (sites, reach) — independent of iteration order, thread
+// count, or platform.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace tsajs::geo {
+
+class InterferencePartition {
+ public:
+  /// Partitions `sites` with the given interference reach [m]. Requires
+  /// reach_m > 0 and at least one site.
+  InterferencePartition(const std::vector<Point>& sites, double reach_m);
+
+  [[nodiscard]] std::size_t num_cells() const noexcept {
+    return shard_of_.size();
+  }
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return cells_.size();
+  }
+  [[nodiscard]] double reach_m() const noexcept { return reach_m_; }
+
+  /// Shard id of cell `c` (cells are indexed as in the input site list).
+  [[nodiscard]] std::size_t shard_of(std::size_t c) const;
+
+  /// Cells of shard `k`, ascending cell index.
+  [[nodiscard]] const std::vector<std::size_t>& cells(std::size_t k) const;
+
+  /// True when some cell of a *different* shard lies within the reach of
+  /// cell `c` — c's users can exchange non-negligible co-channel
+  /// interference across the shard boundary.
+  [[nodiscard]] bool is_boundary(std::size_t c) const;
+
+  /// All boundary cells, ascending.
+  [[nodiscard]] const std::vector<std::size_t>& boundary_cells()
+      const noexcept {
+    return boundary_cells_;
+  }
+
+  /// Default reach for a deployment: twice the closest site spacing (ring-1
+  /// neighbours interfere, ring-2 is down in the noise). Returns 0 for a
+  /// single site (any positive reach yields one shard).
+  [[nodiscard]] static double auto_reach(const std::vector<Point>& sites);
+
+ private:
+  double reach_m_ = 0.0;
+  std::vector<std::size_t> shard_of_;
+  std::vector<std::vector<std::size_t>> cells_;
+  std::vector<std::uint8_t> boundary_;
+  std::vector<std::size_t> boundary_cells_;
+};
+
+}  // namespace tsajs::geo

@@ -81,6 +81,20 @@ class Assignment {
     return num_offloaded_;
   }
 
+  /// Read-only user -> slot map (index = user, nullopt = local). Flat view
+  /// for the batch kernels' sweep loops; prefer slot_of() elsewhere.
+  [[nodiscard]] const std::vector<std::optional<Slot>>& user_slots()
+      const noexcept {
+    return user_slot_;
+  }
+
+  /// Read-only slot -> user map (index = s * num_subchannels + j, nullopt =
+  /// free). Flat view for the batch kernels; prefer occupant() elsewhere.
+  [[nodiscard]] const std::vector<std::optional<std::size_t>>& slot_users()
+      const noexcept {
+    return slot_user_;
+  }
+
   /// True iff slot (s, j) may carry an offloaded task (not masked by the
   /// scenario's availability). Occupancy is a separate question.
   [[nodiscard]] bool slot_available(std::size_t s, std::size_t j) const {

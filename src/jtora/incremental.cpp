@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.h"
+#include "jtora/batch_kernels.h"
 
 namespace tsajs::jtora {
 
@@ -39,13 +41,38 @@ void IncrementalEvaluator::rebuild() {
   server_count_.assign(num_servers_, 0);
   user_gain_.assign(problem_->num_users(), 0.0);
   channel_power_.assign(num_servers_ * num_subchannels_, 0.0);
-  for (const std::size_t u : x_.offloaded_users()) {
-    const Slot slot = *x_.slot_of(u);
-    server_sqrt_eta_[slot.server] += problem_->sqrt_eta(u);
-    ++server_count_[slot.server];
-    add_channel_power(u, slot.subchannel, +1.0);
+  const std::vector<std::size_t> offloaded = x_.offloaded_users();
+  if (batch::enabled()) {
+    // Batch path: same ascending-user constants pass, but the received-power
+    // cache is folded one sub-channel at a time with a multi-row kernel —
+    // each destination lane still receives its additions in ascending user
+    // order (offloaded_users() is ascending), so the result is bit-identical
+    // to the per-user AXPY loop below.
+    for (const std::size_t u : offloaded) {
+      const Slot slot = *x_.slot_of(u);
+      server_sqrt_eta_[slot.server] += problem_->sqrt_eta(u);
+      ++server_count_[slot.server];
+    }
+    thread_local std::vector<const double*> rows;
+    for (std::size_t j = 0; j < num_subchannels_; ++j) {
+      rows.clear();
+      for (const std::size_t u : offloaded) {
+        if (x_.slot_of(u)->subchannel == j) {
+          rows.push_back(problem_->signal_row(u, j));
+        }
+      }
+      batch::accumulate_rows(channel_power_.data() + j * num_servers_,
+                             rows.data(), rows.size(), num_servers_);
+    }
+  } else {
+    for (const std::size_t u : offloaded) {
+      const Slot slot = *x_.slot_of(u);
+      server_sqrt_eta_[slot.server] += problem_->sqrt_eta(u);
+      ++server_count_[slot.server];
+      add_channel_power(u, slot.subchannel, +1.0);
+    }
   }
-  for (const std::size_t u : x_.offloaded_users()) {
+  for (const std::size_t u : offloaded) {
     refresh_user_cost(u);
   }
   for (std::size_t s = 0; s < num_servers_; ++s) {
@@ -59,11 +86,11 @@ void IncrementalEvaluator::rebuild() {
 
 void IncrementalEvaluator::add_channel_power(std::size_t u, std::size_t j,
                                              double sign) {
-  double* power = channel_power_.data() + j * num_servers_;
-  const double* sig = problem_->signal_row(u, j);
-  for (std::size_t s = 0; s < num_servers_; ++s) {
-    power[s] += sign * sig[s];
-  }
+  // Elementwise AXPY against the server-contiguous signal row; the batch
+  // kernel performs the identical per-lane operation (power[s] += sign *
+  // sig[s]), so this needs no runtime dispatch.
+  batch::add_row_scaled(channel_power_.data() + j * num_servers_,
+                        problem_->signal_row(u, j), sign, num_servers_);
 }
 
 double IncrementalEvaluator::gain_of(std::size_t u, std::size_t s,
@@ -336,6 +363,51 @@ double IncrementalEvaluator::preview_swap(std::size_t u1,
   if (!slot1.has_value() && !slot2.has_value()) return utility_;
   const SlotChange changes[2] = {{u1, slot1, slot2}, {u2, slot2, slot1}};
   return preview_changes(changes, 2);
+}
+
+void IncrementalEvaluator::preview_offload_subchannel(std::size_t u,
+                                                      std::size_t j,
+                                                      double* out) const {
+  TSAJS_REQUIRE(!x_.is_offloaded(u),
+                "preview_offload_subchannel previews a local user");
+  // Per-candidate, preview_changes computes
+  //   utility + ((mover_gain + delta_occ_1) + delta_occ_2 + ...) - lambda
+  // where each co-channel occupant's delta_occ = gain_of(occ, r, j, power +
+  // signal(u, j, r)) - user_gain_[occ] does not depend on the candidate
+  // server s (u cannot land on an occupied server, so r != s always, and
+  // u's received power at server r is signal(u, j, r) either way). Hoist
+  // those deltas out of the per-candidate loop; the per-candidate chain
+  // then replays the scalar addition order exactly.
+  thread_local std::vector<double> occ_delta;
+  thread_local std::vector<std::uint8_t> occupied;
+  occ_delta.clear();
+  occupied.assign(num_servers_, 0);
+  const double* urow = problem_->signal_row(u, j);
+  for (std::size_t r = 0; r < num_servers_; ++r) {
+    const auto occ = x_.occupant(r, j);
+    if (!occ.has_value()) continue;
+    occupied[r] = 1;
+    const double power = channel_power_[j * num_servers_ + r] + urow[r];
+    occ_delta.push_back(gain_of(*occ, r, j, power) - user_gain_[*occ]);
+  }
+  const double sqrt_eta_u = problem_->sqrt_eta(u);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t s = 0; s < num_servers_; ++s) {
+    if (occupied[s] != 0 || !x_.slot_available(s, j)) {
+      out[s] = nan;
+      continue;
+    }
+    // Lambda delta (count goes 0/k -> k+1, never zero: no snap branch).
+    const double before = server_sqrt_eta_[s];
+    const double after = before + sqrt_eta_u;
+    const double lambda_delta =
+        (after * after - before * before) / problem_->server_cpu_hz(s);
+    // Mover gain at (s, j): u's own signal joins the cached power.
+    const double power = channel_power_[j * num_servers_ + s] + urow[s];
+    double gain_delta = gain_of(u, s, j, power) - user_gain_[u];
+    for (const double delta : occ_delta) gain_delta += delta;
+    out[s] = utility_ + gain_delta - lambda_delta;
+  }
 }
 
 double IncrementalEvaluator::preview_replace(std::size_t u, std::size_t s,

@@ -102,6 +102,17 @@ class IncrementalEvaluator {
   [[nodiscard]] double preview_replace(std::size_t u, std::size_t s,
                                        std::size_t j) const;
 
+  /// Batch preview row (jtora::batch): candidate utilities of offloading
+  /// *local* user `u` onto sub-channel `j` for every server at once.
+  /// out[s] == preview_offload(u, s, j) bit for bit where slot (s, j) is
+  /// free and available; NaN elsewhere. The co-channel occupants' gain
+  /// deltas are independent of the candidate server (u's interference
+  /// reaches each occupant's server regardless of where u lands), so they
+  /// are derived once — O(S + K_j) log2 evaluations instead of the
+  /// O(S * K_j) of S scalar previews. `out` must hold num_servers() slots.
+  void preview_offload_subchannel(std::size_t u, std::size_t j,
+                                  double* out) const;
+
   // --- proposal protocol --------------------------------------------------
   // The annealer wraps each proposal in checkpoint()/rollback(): apply the
   // neighborhood operations, read utility(), and roll back when rejecting.

@@ -1,0 +1,125 @@
+#include "jtora/sharded_problem.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "geo/point.h"
+
+namespace tsajs::jtora {
+
+ShardedProblem::ShardedProblem(const CompiledProblem& problem,
+                               const geo::InterferencePartition& partition)
+    : parent_(&problem) {
+  TSAJS_REQUIRE(problem.compiled(), "ShardedProblem needs a compiled problem");
+  const mec::Scenario& scenario = problem.scenario();
+  TSAJS_REQUIRE(partition.num_cells() == scenario.num_servers(),
+                "partition must have one cell per server");
+
+  const std::size_t num_users = scenario.num_users();
+  const std::size_t num_servers = scenario.num_servers();
+  const std::size_t num_subchannels = scenario.num_subchannels();
+
+  // Shard skeletons: the partition's server groups.
+  shards_.resize(partition.num_shards());
+  std::vector<std::size_t> local_server(num_servers, 0);
+  for (std::size_t k = 0; k < partition.num_shards(); ++k) {
+    shards_[k].servers = partition.cells(k);
+    for (std::size_t i = 0; i < shards_[k].servers.size(); ++i) {
+      local_server[shards_[k].servers[i]] = i;
+    }
+  }
+
+  // Home cell per user = nearest server, lowest index on ties.
+  home_server_.resize(num_users);
+  shard_of_user_.resize(num_users);
+  for (std::size_t u = 0; u < num_users; ++u) {
+    const geo::Point pos = scenario.user(u).position;
+    std::size_t best = 0;
+    double best_sq = geo::distance_squared(pos, scenario.server(0).position);
+    for (std::size_t s = 1; s < num_servers; ++s) {
+      const double d_sq =
+          geo::distance_squared(pos, scenario.server(s).position);
+      if (d_sq < best_sq) {
+        best = s;
+        best_sq = d_sq;
+      }
+    }
+    home_server_[u] = best;
+    const std::size_t k = partition.shard_of(best);
+    shard_of_user_[u] = k;
+    shards_[k].users.push_back(u);  // ascending: u is ascending
+    if (partition.is_boundary(best)) boundary_users_.push_back(u);
+  }
+
+  // Materialize one sub-scenario + compilation per populated shard.
+  for (Shard& shard : shards_) {
+    if (shard.users.empty()) continue;
+    std::vector<mec::UserEquipment> users;
+    users.reserve(shard.users.size());
+    for (const std::size_t gu : shard.users) users.push_back(scenario.user(gu));
+    std::vector<mec::EdgeServer> servers;
+    servers.reserve(shard.servers.size());
+    for (const std::size_t gs : shard.servers) {
+      servers.push_back(scenario.server(gs));
+    }
+    Matrix3<double> gains(shard.users.size(), shard.servers.size(),
+                          num_subchannels);
+    for (std::size_t lu = 0; lu < shard.users.size(); ++lu) {
+      for (std::size_t ls = 0; ls < shard.servers.size(); ++ls) {
+        for (std::size_t j = 0; j < num_subchannels; ++j) {
+          gains(lu, ls, j) =
+              scenario.gain(shard.users[lu], shard.servers[ls], j);
+        }
+      }
+    }
+    mec::Availability availability;  // unconstrained in the healthy case
+    if (!scenario.fully_available()) {
+      availability =
+          mec::Availability(shard.servers.size(), num_subchannels);
+      for (std::size_t ls = 0; ls < shard.servers.size(); ++ls) {
+        const std::size_t gs = shard.servers[ls];
+        if (!scenario.server_available(gs)) {
+          availability.fail_server(ls);
+          continue;
+        }
+        for (std::size_t j = 0; j < num_subchannels; ++j) {
+          if (!scenario.slot_available(gs, j)) availability.block_slot(ls, j);
+        }
+      }
+    }
+    shard.scenario = std::make_unique<mec::Scenario>(
+        std::move(users), std::move(servers), scenario.spectrum(),
+        scenario.noise_w(), std::move(gains), std::move(availability));
+    shard.problem = std::make_unique<CompiledProblem>(*shard.scenario);
+  }
+}
+
+const ShardedProblem::Shard& ShardedProblem::shard(std::size_t k) const {
+  TSAJS_REQUIRE(k < shards_.size(), "shard index out of range");
+  return shards_[k];
+}
+
+std::size_t ShardedProblem::home_server(std::size_t u) const {
+  TSAJS_REQUIRE(u < home_server_.size(), "user index out of range");
+  return home_server_[u];
+}
+
+std::size_t ShardedProblem::shard_of_user(std::size_t u) const {
+  TSAJS_REQUIRE(u < shard_of_user_.size(), "user index out of range");
+  return shard_of_user_[u];
+}
+
+void ShardedProblem::merge_into(std::size_t k, const Assignment& local,
+                                Assignment& global) const {
+  const Shard& shard = this->shard(k);
+  TSAJS_REQUIRE(local.num_users() == shard.users.size(),
+                "local assignment does not match the shard's user count");
+  for (std::size_t lu = 0; lu < shard.users.size(); ++lu) {
+    const auto slot = local.slot_of(lu);
+    if (!slot.has_value()) continue;
+    global.offload(shard.users[lu], shard.servers[slot->server],
+                   slot->subchannel);
+  }
+}
+
+}  // namespace tsajs::jtora

@@ -1,0 +1,86 @@
+// ShardedProblem — per-shard views of one CompiledProblem.
+//
+// Given an interference-locality partition of the deployment's cells
+// (geo::InterferencePartition; one cell per edge server), `ShardedProblem`
+// slices a compiled city-scale problem into independent subproblems:
+//
+//   * every user belongs to the shard of its *home cell* (nearest server —
+//     under the paper's link budget the only servers worth offloading to);
+//   * each shard gets a self-contained mec::Scenario over its own users and
+//     servers (gains sliced from the parent tensor, availability masks
+//     carried over) plus a CompiledProblem of its own, so any registered
+//     scheduler can solve it unchanged;
+//   * users whose home cell is a partition *boundary* cell are collected
+//     into `boundary_users()` — their in-shard solve ignored cross-shard
+//     co-channel interference, so an inter-shard fixup must re-score them
+//     against the global problem (algo::ShardedScheduler's fixup round).
+//
+// Shards own disjoint server sets, so shard-local assignments merge into
+// one feasible global assignment without conflicts (`merge_into`).
+// Slicing preserves values bitwise: a shard's compiled signal table entry
+// equals the parent's entry for the corresponding (user, server) pair, and
+// a shard with the full server set reproduces the parent problem exactly.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "geo/partition.h"
+#include "jtora/assignment.h"
+#include "jtora/compiled_problem.h"
+
+namespace tsajs::jtora {
+
+class ShardedProblem {
+ public:
+  /// One shard's slice. `scenario`/`problem` are null when no user homes in
+  /// the shard (nothing to solve; its servers stay idle).
+  struct Shard {
+    std::vector<std::size_t> servers;  ///< global server ids, ascending
+    std::vector<std::size_t> users;    ///< global user ids, ascending
+    std::unique_ptr<mec::Scenario> scenario;
+    std::unique_ptr<CompiledProblem> problem;
+  };
+
+  /// Slices `problem` along `partition`. The partition must have one cell
+  /// per server of the compiled scenario (cell c = server c, the layout
+  /// ScenarioBuilder produces). `problem` must outlive this object.
+  ShardedProblem(const CompiledProblem& problem,
+                 const geo::InterferencePartition& partition);
+
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] const Shard& shard(std::size_t k) const;
+
+  /// Nearest server (home cell) of user `u`; lowest index wins ties.
+  [[nodiscard]] std::size_t home_server(std::size_t u) const;
+  [[nodiscard]] std::size_t shard_of_user(std::size_t u) const;
+
+  /// Users homed in a boundary cell, ascending global user index.
+  [[nodiscard]] const std::vector<std::size_t>& boundary_users()
+      const noexcept {
+    return boundary_users_;
+  }
+
+  /// Applies shard `k`'s local assignment onto the global assignment:
+  /// local user i offloaded at (local s, j) becomes global user
+  /// shard(k).users[i] at (shard(k).servers[s], j). Server sets are
+  /// disjoint across shards, so merges never collide.
+  void merge_into(std::size_t k, const Assignment& local,
+                  Assignment& global) const;
+
+  [[nodiscard]] const CompiledProblem& parent() const noexcept {
+    return *parent_;
+  }
+
+ private:
+  const CompiledProblem* parent_;
+  std::vector<Shard> shards_;
+  std::vector<std::size_t> home_server_;    // per global user
+  std::vector<std::size_t> shard_of_user_;  // per global user
+  std::vector<std::size_t> boundary_users_;
+};
+
+}  // namespace tsajs::jtora

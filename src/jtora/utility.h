@@ -59,7 +59,9 @@ class UtilityEvaluator {
   /// internal RateEvaluator/CraSolver share that single compilation.
   explicit UtilityEvaluator(const mec::Scenario& scenario);
 
-  /// J*(X) per Eq. 24. O(U_off * S).
+  /// J*(X) per Eq. 24. O(U_off * S). Dispatches to the batch-kernel path
+  /// (jtora::batch, bit-identical; gathered occupant lists instead of
+  /// per-user occupant() walks) unless batch::set_enabled(false).
   [[nodiscard]] double system_utility(const Assignment& x) const;
 
   /// Full per-user breakdown (computes F*(X) via the CRA closed form).
@@ -80,6 +82,8 @@ class UtilityEvaluator {
   [[nodiscard]] const CraSolver& cra() const noexcept { return cra_; }
 
  private:
+  [[nodiscard]] double system_utility_batch(const Assignment& x) const;
+
   std::shared_ptr<const CompiledProblem> owned_;  // only on owning paths
   const CompiledProblem* problem_;
   RateEvaluator rate_;

@@ -1,0 +1,163 @@
+#include "algo/sharded.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "algo/greedy.h"
+#include "algo/registry.h"
+#include "algo/tsajs.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "jtora/compiled_problem.h"
+#include "jtora/utility.h"
+#include "mec/scenario_builder.h"
+
+namespace tsajs::algo {
+namespace {
+
+mec::Scenario make_scenario(std::uint64_t seed, std::size_t users = 45,
+                            std::size_t servers = 9,
+                            std::size_t subchannels = 3) {
+  Rng rng(seed);
+  return mec::ScenarioBuilder()
+      .num_users(users)
+      .num_servers(servers)
+      .num_subchannels(subchannels)
+      .build(rng);
+}
+
+TsajsConfig small_tsajs() {
+  TsajsConfig config;
+  config.chain_length = 10;
+  return config;
+}
+
+TEST(ShardedSchedulerTest, OneShardBitIdenticalToInner) {
+  const mec::Scenario scenario = make_scenario(1);
+  const jtora::CompiledProblem problem(scenario);
+  // Reach wider than the deployment -> one shard -> pure passthrough.
+  ShardedConfig config;
+  config.reach_m = 1e7;
+  const ShardedScheduler sharded(std::make_unique<TsajsScheduler>(small_tsajs()),
+                                 config);
+  const TsajsScheduler inner(small_tsajs());
+  Rng rng_a(42);
+  Rng rng_b(42);
+  const ScheduleResult a = sharded.schedule(problem, rng_a);
+  const ScheduleResult b = inner.schedule(problem, rng_b);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.system_utility, b.system_utility);  // bitwise
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(ShardedSchedulerTest, SingleSiteFallsThrough) {
+  const mec::Scenario scenario = make_scenario(2, 10, 1, 3);
+  const jtora::CompiledProblem problem(scenario);
+  const ShardedScheduler sharded(std::make_unique<GreedyScheduler>());
+  const GreedyScheduler inner;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  EXPECT_EQ(sharded.schedule(problem, rng_a).assignment,
+            inner.schedule(problem, rng_b).assignment);
+}
+
+TEST(ShardedSchedulerTest, MultiShardSolveValidatesAndIsDeterministic) {
+  const mec::Scenario scenario = make_scenario(3, 60);
+  const jtora::CompiledProblem problem(scenario);
+  ShardedConfig config;
+  config.reach_m = 2000.0;
+  const ShardedScheduler scheduler(
+      std::make_unique<TsajsScheduler>(small_tsajs()), config);
+
+  Rng rng_a(5);
+  // run_and_validate audits feasibility, availability, and the reported
+  // utility against an independent evaluation.
+  const ScheduleResult a = run_and_validate(scheduler, problem, rng_a);
+  EXPECT_GT(a.evaluations, 0u);
+
+  Rng rng_b(5);
+  const ScheduleResult b = run_and_validate(scheduler, problem, rng_b);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.system_utility, b.system_utility);
+}
+
+TEST(ShardedSchedulerTest, ThreadCountDoesNotChangeTheResult) {
+  const mec::Scenario scenario = make_scenario(4, 50);
+  const jtora::CompiledProblem problem(scenario);
+  ShardedConfig sequential;
+  sequential.reach_m = 2000.0;
+  sequential.threads = 1;
+  ShardedConfig pooled = sequential;
+  pooled.threads = 4;
+  const ShardedScheduler one(std::make_unique<GreedyScheduler>(), sequential);
+  const ShardedScheduler four(std::make_unique<GreedyScheduler>(), pooled);
+  Rng rng_a(9);
+  Rng rng_b(9);
+  const ScheduleResult a = one.schedule(problem, rng_a);
+  const ScheduleResult b = four.schedule(problem, rng_b);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.system_utility, b.system_utility);
+}
+
+TEST(ShardedSchedulerTest, FixupNeverWorseThanPlainMerge) {
+  const mec::Scenario scenario = make_scenario(6, 70);
+  const jtora::CompiledProblem problem(scenario);
+  ShardedConfig no_fixup;
+  no_fixup.reach_m = 2000.0;
+  no_fixup.fixup_passes = 1;  // minimum; sweep may still improve
+  ShardedConfig more;
+  more.reach_m = 2000.0;
+  more.fixup_passes = 4;
+  const ShardedScheduler base(std::make_unique<GreedyScheduler>(), no_fixup);
+  const ShardedScheduler deep(std::make_unique<GreedyScheduler>(), more);
+  Rng rng_a(11);
+  Rng rng_b(11);
+  const double u1 = base.schedule(problem, rng_a).system_utility;
+  const double u4 = deep.schedule(problem, rng_b).system_utility;
+  EXPECT_GE(u4, u1 - 1e-9);
+}
+
+TEST(ShardedSchedulerTest, TinyWallClockBudgetStillFeasible) {
+  const mec::Scenario scenario = make_scenario(7, 40);
+  const jtora::CompiledProblem problem(scenario);
+  ShardedConfig config;
+  config.reach_m = 2000.0;
+  config.budget.max_seconds = 1e-9;  // fires before any fixup round
+  const ShardedScheduler scheduler(std::make_unique<GreedyScheduler>(),
+                                   config);
+  Rng rng(13);
+  // The merged shard solution is feasible on its own, so validation holds
+  // even when the budget cancels the fixup.
+  const ScheduleResult result = run_and_validate(scheduler, problem, rng);
+  result.assignment.check_consistency();
+}
+
+TEST(ShardedSchedulerTest, RegistryBuildsShardedWrappers) {
+  const auto scheduler = make_scheduler("sharded:greedy");
+  ASSERT_NE(scheduler, nullptr);
+  EXPECT_EQ(scheduler->name(), "sharded:greedy");
+  const auto tsajs = make_scheduler("sharded:tsajs");
+  EXPECT_EQ(tsajs->name(), "sharded:tsajs");
+  EXPECT_THROW((void)make_scheduler("sharded:nope"), NotFoundError);
+  EXPECT_THROW((void)make_scheduler("sharded:sharded:greedy"),
+               InvalidArgumentError);
+}
+
+TEST(ShardedSchedulerTest, ConfigValidation) {
+  ShardedConfig config;
+  config.fixup_passes = 0;
+  EXPECT_THROW(ShardedScheduler(std::make_unique<GreedyScheduler>(), config),
+               InvalidArgumentError);
+  ShardedConfig bad_reach;
+  bad_reach.reach_m = -1.0;
+  EXPECT_THROW(
+      ShardedScheduler(std::make_unique<GreedyScheduler>(), bad_reach),
+      InvalidArgumentError);
+  EXPECT_THROW(ShardedScheduler(nullptr), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace tsajs::algo

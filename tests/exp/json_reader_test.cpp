@@ -1,0 +1,98 @@
+#include "exp/json_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "exp/json_writer.h"
+#include "exp/trial_runner.h"
+
+namespace tsajs::exp {
+namespace {
+
+TEST(JsonReaderTest, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-1.5e3").as_number(), -1500.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonReaderTest, ParsesNestedStructures) {
+  const JsonValue doc = parse_json(
+      R"({"name":"micro","runs":[{"t":1.5},{"t":2.5}],"ok":true})");
+  EXPECT_EQ(doc.at("name").as_string(), "micro");
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  const auto& runs = doc.at("runs").as_array();
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_DOUBLE_EQ(runs[0].at("t").as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(runs[1].at("t").as_number(), 2.5);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW((void)doc.at("missing"), NotFoundError);
+}
+
+TEST(JsonReaderTest, HandlesEscapesAndWhitespace) {
+  const JsonValue doc =
+      parse_json(" { \"a\\n\\t\\\"b\" : \"c\\\\d\" ,\n\"u\": \"\\u0041\" } ");
+  EXPECT_EQ(doc.at("a\n\t\"b").as_string(), "c\\d");
+  EXPECT_EQ(doc.at("u").as_string(), "A");
+}
+
+TEST(JsonReaderTest, LastDuplicateKeyWins) {
+  EXPECT_DOUBLE_EQ(parse_json(R"({"x":1,"x":2})").at("x").as_number(), 2.0);
+}
+
+TEST(JsonReaderTest, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)parse_json(""), InvalidArgumentError);
+  EXPECT_THROW((void)parse_json("{"), InvalidArgumentError);
+  EXPECT_THROW((void)parse_json("[1,]"), InvalidArgumentError);
+  EXPECT_THROW((void)parse_json("{\"a\" 1}"), InvalidArgumentError);
+  EXPECT_THROW((void)parse_json("nul"), InvalidArgumentError);
+  EXPECT_THROW((void)parse_json("1 2"), InvalidArgumentError);
+  EXPECT_THROW((void)parse_json("\"open"), InvalidArgumentError);
+  EXPECT_THROW((void)parse_json("1.2.3"), InvalidArgumentError);
+}
+
+TEST(JsonReaderTest, TypeMismatchesThrow) {
+  const JsonValue doc = parse_json("[1]");
+  EXPECT_THROW((void)doc.as_bool(), InvalidArgumentError);
+  EXPECT_THROW((void)doc.as_string(), InvalidArgumentError);
+  EXPECT_THROW((void)doc.members(), InvalidArgumentError);
+  EXPECT_THROW((void)doc.find("x"), InvalidArgumentError);
+}
+
+TEST(JsonReaderTest, RoundTripsSweepWriterOutput) {
+  SchemeStats stats;
+  stats.scheme = "tsajs \"quoted\"";
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) {
+    stats.utility.add(10.0 * v);
+    stats.solve_seconds.add(v / 1000.0);
+    stats.solve_samples.push_back(v / 1000.0);
+    stats.offloaded.add(v);
+    stats.mean_delay_s.add(v);
+    stats.mean_energy_j.add(v);
+  }
+  std::ostringstream os;
+  write_sweep_json(os, "U", {"90"}, {{stats}});
+
+  const JsonValue doc = parse_json(os.str());
+  EXPECT_EQ(doc.at("sweep").as_string(), "U");
+  const auto& points = doc.at("points").as_array();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].at("label").as_string(), "90");
+  const auto& schemes = points[0].at("schemes").as_array();
+  ASSERT_EQ(schemes.size(), 1u);
+  EXPECT_EQ(schemes[0].at("name").as_string(), "tsajs \"quoted\"");
+  EXPECT_DOUBLE_EQ(schemes[0].at("utility").at("mean").as_number(), 25.0);
+  EXPECT_DOUBLE_EQ(schemes[0].at("solve_p50").as_number(), 0.0025);
+  EXPECT_DOUBLE_EQ(schemes[0].at("solve_p99").as_number(),
+                   stats.solve_p99());
+  EXPECT_EQ(schemes[0].at("solve_seconds").at("count").as_number(), 4.0);
+}
+
+}  // namespace
+}  // namespace tsajs::exp

@@ -1,0 +1,133 @@
+#include "geo/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "geo/point.h"
+#include "mec/scenario_builder.h"
+
+namespace tsajs::geo {
+namespace {
+
+TEST(InterferencePartitionTest, RejectsBadInput) {
+  EXPECT_THROW(InterferencePartition({}, 100.0), InvalidArgumentError);
+  EXPECT_THROW(InterferencePartition({{0.0, 0.0}}, 0.0),
+               InvalidArgumentError);
+  EXPECT_THROW(InterferencePartition({{0.0, 0.0}}, -5.0),
+               InvalidArgumentError);
+}
+
+TEST(InterferencePartitionTest, SingleSiteIsOneShardNoBoundary) {
+  const InterferencePartition p({{123.0, -45.0}}, 500.0);
+  EXPECT_EQ(p.num_cells(), 1u);
+  EXPECT_EQ(p.num_shards(), 1u);
+  EXPECT_EQ(p.shard_of(0), 0u);
+  EXPECT_FALSE(p.is_boundary(0));
+  EXPECT_TRUE(p.boundary_cells().empty());
+}
+
+TEST(InterferencePartitionTest, LineOfSitesSplitsByTile) {
+  // Sites at x = 0, 1000, 2000 with reach 1500: tiles floor(x/1500) are
+  // {0, 0, 1}, so sites 0 and 1 share a shard and site 2 gets its own.
+  const std::vector<Point> sites{{0.0, 0.0}, {1000.0, 0.0}, {2000.0, 0.0}};
+  const InterferencePartition p(sites, 1500.0);
+  ASSERT_EQ(p.num_shards(), 2u);
+  EXPECT_EQ(p.shard_of(0), p.shard_of(1));
+  EXPECT_NE(p.shard_of(0), p.shard_of(2));
+  EXPECT_EQ(p.cells(p.shard_of(0)), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(p.cells(p.shard_of(2)), (std::vector<std::size_t>{2}));
+  // Sites 1 and 2 are 1000 m apart (within reach) across the boundary;
+  // site 0 is 2000 m from the foreign site — out of reach.
+  EXPECT_FALSE(p.is_boundary(0));
+  EXPECT_TRUE(p.is_boundary(1));
+  EXPECT_TRUE(p.is_boundary(2));
+  EXPECT_EQ(p.boundary_cells(), (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(InterferencePartitionTest, ShardIdsAreLexicographicInTileOrder) {
+  // The grid anchors at the bounding-box corner (-100, 0); site order is
+  // deliberately scrambled relative to tile order.
+  const std::vector<Point> sites{
+      {1500.0, 0.0},   // tile (1, 0) -> second shard
+      {0.0, 0.0},      // tile (0, 0) -> first shard, with site 2
+      {-100.0, 50.0},  // tile (0, 0)
+  };
+  const InterferencePartition p(sites, 1000.0);
+  ASSERT_EQ(p.num_shards(), 2u);
+  EXPECT_EQ(p.shard_of(1), 0u);  // tile (0, 0) sorts first
+  EXPECT_EQ(p.shard_of(2), 0u);
+  EXPECT_EQ(p.shard_of(0), 1u);
+}
+
+TEST(InterferencePartitionTest, TranslationInvariant) {
+  const std::vector<Point> base{
+      {0.0, 0.0}, {900.0, 0.0}, {2500.0, 100.0}, {400.0, 1800.0}};
+  const InterferencePartition p(base, 1000.0);
+  std::vector<Point> shifted;
+  for (const Point& s : base) shifted.push_back({s.x - 7777.0, s.y + 123.0});
+  const InterferencePartition q(shifted, 1000.0);
+  ASSERT_EQ(p.num_shards(), q.num_shards());
+  for (std::size_t c = 0; c < base.size(); ++c) {
+    EXPECT_EQ(p.shard_of(c), q.shard_of(c));
+    EXPECT_EQ(p.is_boundary(c), q.is_boundary(c));
+  }
+}
+
+TEST(InterferencePartitionTest, CrossShardPairsWithinReachAreBothBoundary) {
+  Rng rng(7);
+  const mec::Scenario scenario =
+      mec::ScenarioBuilder().num_users(1).num_servers(9).build(rng);
+  std::vector<Point> sites;
+  for (std::size_t s = 0; s < scenario.num_servers(); ++s) {
+    sites.push_back(scenario.server(s).position);
+  }
+  const double reach = InterferencePartition::auto_reach(sites);
+  const InterferencePartition p(sites, reach);
+  const double reach_sq = reach * reach;
+  for (std::size_t c = 0; c < sites.size(); ++c) {
+    for (std::size_t d = 0; d < sites.size(); ++d) {
+      if (p.shard_of(c) == p.shard_of(d)) continue;
+      if (distance_squared(sites[c], sites[d]) <= reach_sq) {
+        EXPECT_TRUE(p.is_boundary(c));
+        EXPECT_TRUE(p.is_boundary(d));
+      }
+    }
+  }
+  // Every cell belongs to exactly one shard's cell list.
+  std::vector<std::size_t> seen(sites.size(), 0);
+  for (std::size_t k = 0; k < p.num_shards(); ++k) {
+    for (const std::size_t c : p.cells(k)) {
+      EXPECT_EQ(p.shard_of(c), k);
+      ++seen[c];
+    }
+  }
+  for (const std::size_t n : seen) EXPECT_EQ(n, 1u);
+}
+
+TEST(InterferencePartitionTest, AutoReachIsTwiceClosestSpacing) {
+  const std::vector<Point> sites{{0.0, 0.0}, {1000.0, 0.0}, {5000.0, 0.0}};
+  EXPECT_DOUBLE_EQ(InterferencePartition::auto_reach(sites), 2000.0);
+  EXPECT_EQ(InterferencePartition::auto_reach({{3.0, 4.0}}), 0.0);
+}
+
+TEST(InterferencePartitionTest, SmallReachIsolatesHexSites) {
+  // Hex sites are >= 1000 m apart; 400 m tiles give every site its own
+  // shard and (no foreign site within reach) no boundary cells at all.
+  Rng rng(11);
+  const mec::Scenario scenario =
+      mec::ScenarioBuilder().num_users(1).num_servers(9).build(rng);
+  std::vector<Point> sites;
+  for (std::size_t s = 0; s < scenario.num_servers(); ++s) {
+    sites.push_back(scenario.server(s).position);
+  }
+  const InterferencePartition p(sites, 400.0);
+  EXPECT_EQ(p.num_shards(), sites.size());
+  EXPECT_TRUE(p.boundary_cells().empty());
+}
+
+}  // namespace
+}  // namespace tsajs::geo

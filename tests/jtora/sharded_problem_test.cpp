@@ -1,0 +1,244 @@
+#include "jtora/sharded_problem.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "algo/scheduler.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "geo/partition.h"
+#include "geo/point.h"
+#include "jtora/batch_kernels.h"
+#include "jtora/compiled_problem.h"
+#include "mec/availability.h"
+#include "mec/scenario_builder.h"
+
+namespace tsajs::jtora {
+namespace {
+
+mec::Scenario make_scenario(std::uint64_t seed, std::size_t users = 40,
+                            std::size_t servers = 9,
+                            std::size_t subchannels = 3) {
+  Rng rng(seed);
+  return mec::ScenarioBuilder()
+      .num_users(users)
+      .num_servers(servers)
+      .num_subchannels(subchannels)
+      .build(rng);
+}
+
+std::vector<geo::Point> sites_of(const mec::Scenario& scenario) {
+  std::vector<geo::Point> sites;
+  for (std::size_t s = 0; s < scenario.num_servers(); ++s) {
+    sites.push_back(scenario.server(s).position);
+  }
+  return sites;
+}
+
+TEST(ShardedProblemTest, PartitionsEveryUserExactlyOnce) {
+  const mec::Scenario scenario = make_scenario(1);
+  const CompiledProblem problem(scenario);
+  const geo::InterferencePartition partition(sites_of(scenario), 2000.0);
+  const ShardedProblem sharded(problem, partition);
+  ASSERT_GT(sharded.num_shards(), 1u);
+
+  std::vector<std::size_t> seen(scenario.num_users(), 0);
+  for (std::size_t k = 0; k < sharded.num_shards(); ++k) {
+    const ShardedProblem::Shard& shard = sharded.shard(k);
+    EXPECT_EQ(shard.servers, partition.cells(k));
+    for (std::size_t i = 0; i < shard.users.size(); ++i) {
+      const std::size_t u = shard.users[i];
+      ++seen[u];
+      EXPECT_EQ(sharded.shard_of_user(u), k);
+      EXPECT_EQ(partition.shard_of(sharded.home_server(u)), k);
+      if (i > 0) {
+        EXPECT_LT(shard.users[i - 1], u);  // ascending
+      }
+    }
+    if (!shard.users.empty()) {
+      ASSERT_NE(shard.scenario, nullptr);
+      ASSERT_NE(shard.problem, nullptr);
+      EXPECT_EQ(shard.scenario->num_users(), shard.users.size());
+      EXPECT_EQ(shard.scenario->num_servers(), shard.servers.size());
+    } else {
+      EXPECT_EQ(shard.scenario, nullptr);
+    }
+  }
+  for (const std::size_t n : seen) EXPECT_EQ(n, 1u);
+}
+
+TEST(ShardedProblemTest, HomeServerIsNearest) {
+  const mec::Scenario scenario = make_scenario(2, 25);
+  const CompiledProblem problem(scenario);
+  const geo::InterferencePartition partition(sites_of(scenario), 2000.0);
+  const ShardedProblem sharded(problem, partition);
+  for (std::size_t u = 0; u < scenario.num_users(); ++u) {
+    const geo::Point pos = scenario.user(u).position;
+    const double home_sq = geo::distance_squared(
+        pos, scenario.server(sharded.home_server(u)).position);
+    for (std::size_t s = 0; s < scenario.num_servers(); ++s) {
+      EXPECT_LE(home_sq,
+                geo::distance_squared(pos, scenario.server(s).position));
+    }
+  }
+}
+
+TEST(ShardedProblemTest, SignalTableSlicesBitwise) {
+  const mec::Scenario scenario = make_scenario(3);
+  const CompiledProblem problem(scenario);
+  const geo::InterferencePartition partition(sites_of(scenario), 2000.0);
+  const ShardedProblem sharded(problem, partition);
+  for (std::size_t k = 0; k < sharded.num_shards(); ++k) {
+    const ShardedProblem::Shard& shard = sharded.shard(k);
+    if (shard.problem == nullptr) continue;
+    for (std::size_t lu = 0; lu < shard.users.size(); ++lu) {
+      for (std::size_t ls = 0; ls < shard.servers.size(); ++ls) {
+        for (std::size_t j = 0; j < scenario.num_subchannels(); ++j) {
+          EXPECT_EQ(shard.problem->signal(lu, j, ls),
+                    problem.signal(shard.users[lu], j, shard.servers[ls]));
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedProblemTest, SingleShardReproducesParentBitwise) {
+  const mec::Scenario scenario = make_scenario(4, 20);
+  const CompiledProblem problem(scenario);
+  // A reach wider than the deployment puts every cell in one tile.
+  const geo::InterferencePartition partition(sites_of(scenario), 1e7);
+  ASSERT_EQ(partition.num_shards(), 1u);
+  const ShardedProblem sharded(problem, partition);
+  const ShardedProblem::Shard& shard = sharded.shard(0);
+  ASSERT_NE(shard.problem, nullptr);
+  EXPECT_TRUE(shard.problem->bitwise_equal(problem));
+  EXPECT_TRUE(sharded.boundary_users().empty());
+}
+
+TEST(ShardedProblemTest, CarriesAvailabilityMasks) {
+  const mec::Scenario base = make_scenario(5, 30);
+  mec::Availability availability(base.num_servers(), base.num_subchannels());
+  availability.fail_server(0);
+  availability.block_slot(4, 1);
+  const mec::Scenario scenario = base.with_availability(availability);
+  const CompiledProblem problem(scenario);
+  const geo::InterferencePartition partition(sites_of(scenario), 2000.0);
+  const ShardedProblem sharded(problem, partition);
+  for (std::size_t k = 0; k < sharded.num_shards(); ++k) {
+    const ShardedProblem::Shard& shard = sharded.shard(k);
+    if (shard.scenario == nullptr) continue;
+    for (std::size_t ls = 0; ls < shard.servers.size(); ++ls) {
+      const std::size_t gs = shard.servers[ls];
+      EXPECT_EQ(shard.scenario->server_available(ls),
+                scenario.server_available(gs));
+      for (std::size_t j = 0; j < scenario.num_subchannels(); ++j) {
+        EXPECT_EQ(shard.scenario->slot_available(ls, j),
+                  scenario.slot_available(gs, j));
+      }
+    }
+  }
+}
+
+TEST(ShardedProblemTest, MergePreservesSlotsAndStaysFeasible) {
+  const mec::Scenario scenario = make_scenario(6);
+  const CompiledProblem problem(scenario);
+  const geo::InterferencePartition partition(sites_of(scenario), 2000.0);
+  const ShardedProblem sharded(problem, partition);
+
+  Assignment merged(scenario);
+  for (std::size_t k = 0; k < sharded.num_shards(); ++k) {
+    const ShardedProblem::Shard& shard = sharded.shard(k);
+    if (shard.scenario == nullptr) continue;
+    Rng rng(900 + k);
+    const Assignment local =
+        algo::random_feasible_assignment(*shard.scenario, rng, 0.8);
+    sharded.merge_into(k, local, merged);
+    for (std::size_t lu = 0; lu < shard.users.size(); ++lu) {
+      const auto slot = local.slot_of(lu);
+      const auto global_slot = merged.slot_of(shard.users[lu]);
+      ASSERT_EQ(slot.has_value(), global_slot.has_value());
+      if (slot.has_value()) {
+        EXPECT_EQ(global_slot->server, shard.servers[slot->server]);
+        EXPECT_EQ(global_slot->subchannel, slot->subchannel);
+      }
+    }
+  }
+  merged.check_consistency();
+}
+
+// The decomposition's accounting identity: a user's global co-channel
+// interference equals its in-shard interference plus the signals of the
+// out-of-shard occupants of its sub-channel. This is exactly the term the
+// shard solve neglects and the boundary fixup re-prices.
+TEST(ShardedProblemTest, CrossShardInterferenceAccounting) {
+  const mec::Scenario scenario = make_scenario(7, 60);
+  const CompiledProblem problem(scenario);
+  const geo::InterferencePartition partition(sites_of(scenario), 2000.0);
+  const ShardedProblem sharded(problem, partition);
+  ASSERT_GT(sharded.num_shards(), 1u);
+
+  // Merge one random in-shard solution per shard.
+  Assignment merged(scenario);
+  std::vector<Assignment> locals;
+  std::vector<std::size_t> local_shard;
+  for (std::size_t k = 0; k < sharded.num_shards(); ++k) {
+    const ShardedProblem::Shard& shard = sharded.shard(k);
+    if (shard.scenario == nullptr) continue;
+    Rng rng(70 + k);
+    locals.push_back(
+        algo::random_feasible_assignment(*shard.scenario, rng, 0.9));
+    local_shard.push_back(k);
+    sharded.merge_into(k, locals.back(), merged);
+  }
+
+  // Global interference per offloaded user, from the batch kernel.
+  std::vector<double> global_sums;
+  batch::interference_sums(problem, merged, global_sums);
+  const std::vector<std::size_t> offloaded = merged.offloaded_users();
+  ASSERT_EQ(global_sums.size(), offloaded.size());
+
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < offloaded.size(); ++i) {
+    const std::size_t u = offloaded[i];
+    const std::size_t k = sharded.shard_of_user(u);
+    const auto slot = merged.slot_of(u);
+    ASSERT_TRUE(slot.has_value());
+    // In-shard part: interference the shard solve could see.
+    double in_shard = 0.0;
+    double foreign = 0.0;
+    for (const std::size_t v : merged.offloaded_users()) {
+      if (v == u) continue;
+      const auto vslot = merged.slot_of(v);
+      if (vslot->subchannel != slot->subchannel) continue;
+      if (vslot->server == slot->server) continue;
+      const double signal =
+          problem.signal(v, slot->subchannel, slot->server);
+      if (sharded.shard_of_user(v) == k) {
+        in_shard += signal;
+      } else {
+        foreign += signal;
+      }
+    }
+    const double tol =
+        1e-12 * std::max(std::fabs(global_sums[i]), 1e-300);
+    EXPECT_NEAR(global_sums[i], in_shard + foreign, tol);
+    if (foreign > 0.0) ++checked;
+  }
+  // The drop is dense enough that cross-shard interference actually occurs.
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(ShardedProblemTest, RejectsMismatchedPartition) {
+  const mec::Scenario scenario = make_scenario(8, 10, 4, 2);
+  const CompiledProblem problem(scenario);
+  const std::vector<geo::Point> too_few{{0.0, 0.0}, {5000.0, 0.0}};
+  const geo::InterferencePartition partition(too_few, 1000.0);
+  EXPECT_THROW(ShardedProblem(problem, partition), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace tsajs::jtora

@@ -1,0 +1,271 @@
+// bench_check — perf-regression gate over google-benchmark JSON dumps.
+//
+// Compares a fresh micro-kernel run against the checked-in baseline
+// (bench/BENCH_micro.json) and fails (exit 1) when a kernel regressed
+// beyond noise. Designed for CI, where the absolute clock differs from the
+// machine that recorded the baseline:
+//
+//   1. Per kernel, the per-repetition cpu times are folded into a Welford
+//      accumulator (common/stats.h) and compared via their means;
+//      aggregate-only baseline entries (older appends per the
+//      EXPERIMENTS.md protocol) fall back to the recorded mean/stddev.
+//   2. The per-kernel time ratio current/baseline is normalized by the
+//      median ratio across all shared kernels — a uniform machine-speed
+//      shift moves every kernel alike and cancels out, so only *relative*
+//      regressions (one kernel slowing down against its peers) trip the
+//      gate.
+//   3. The allowance per kernel is noise-aware: the two relative
+//      confidence-interval half-widths (Student-t, 95%) add up, floored by
+//      --min-rel (default 10%) so single-digit-repetition jitter cannot
+//      fail the build spuriously.
+//
+// A markdown report (--diff) records every comparison for the CI artifact.
+//
+// Usage:
+//   bench_check --baseline bench/BENCH_micro.json --current fresh.json
+//               [--diff diff.md] [--min-rel 0.10] [--filter substring]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "exp/json_reader.h"
+
+namespace {
+
+using tsajs::Accumulator;
+using tsajs::exp::JsonValue;
+
+/// One kernel's timing summary on one side of the comparison, in
+/// nanoseconds of cpu time.
+struct KernelSample {
+  std::size_t count = 0;
+  double mean_ns = 0.0;
+  double stddev_ns = 0.0;
+
+  /// Relative 95% CI half-width of the mean (0 when count < 2).
+  [[nodiscard]] double rel_ci() const {
+    if (count < 2 || mean_ns <= 0.0) return 0.0;
+    const double t = tsajs::student_t_critical(count - 1, 0.95);
+    return t * stddev_ns / std::sqrt(static_cast<double>(count)) / mean_ns;
+  }
+};
+
+double to_ns(double value, const std::string& unit) {
+  if (unit == "ns") return value;
+  if (unit == "us") return value * 1e3;
+  if (unit == "ms") return value * 1e6;
+  if (unit == "s") return value * 1e9;
+  throw tsajs::InvalidArgumentError("unknown benchmark time unit: " + unit);
+}
+
+/// Extracts per-kernel samples from a google-benchmark JSON document.
+/// Prefers raw repetition entries (Welford over cpu_time); kernels that
+/// only carry aggregates use the recorded _mean/_stddev pair.
+std::map<std::string, KernelSample> load_kernels(const JsonValue& doc) {
+  std::map<std::string, Accumulator> repetitions;
+  struct Aggregates {
+    double mean_ns = -1.0;
+    double stddev_ns = 0.0;
+    std::size_t count = 0;
+  };
+  std::map<std::string, Aggregates> aggregates;
+
+  for (const JsonValue& entry : doc.at("benchmarks").as_array()) {
+    const std::string& run_type = entry.at("run_type").as_string();
+    const std::string& run_name = entry.at("run_name").as_string();
+    const std::string& unit = entry.at("time_unit").as_string();
+    const double cpu_ns = to_ns(entry.at("cpu_time").as_number(), unit);
+    if (run_type == "iteration") {
+      repetitions[run_name].add(cpu_ns);
+    } else if (run_type == "aggregate") {
+      Aggregates& agg = aggregates[run_name];
+      const std::string& kind = entry.at("aggregate_name").as_string();
+      if (kind == "mean") {
+        agg.mean_ns = cpu_ns;
+        const JsonValue* reps = entry.find("repetitions");
+        agg.count =
+            reps != nullptr ? static_cast<std::size_t>(reps->as_number()) : 0;
+      } else if (kind == "stddev") {
+        agg.stddev_ns = cpu_ns;
+      }
+    }
+  }
+
+  std::map<std::string, KernelSample> kernels;
+  for (const auto& [name, acc] : repetitions) {
+    KernelSample sample;
+    sample.count = acc.count();
+    sample.mean_ns = acc.mean();
+    sample.stddev_ns = acc.stddev();
+    kernels.emplace(name, sample);
+  }
+  for (const auto& [name, agg] : aggregates) {
+    if (kernels.count(name) != 0 || agg.mean_ns < 0.0) continue;
+    KernelSample sample;
+    sample.count = agg.count;
+    sample.mean_ns = agg.mean_ns;
+    sample.stddev_ns = agg.stddev_ns;
+    kernels.emplace(name, sample);
+  }
+  return kernels;
+}
+
+struct Comparison {
+  std::string name;
+  KernelSample baseline;
+  KernelSample current;
+  double raw_ratio = 0.0;
+  double normalized_ratio = 0.0;
+  double allowance = 0.0;
+  bool regressed = false;
+};
+
+std::string format_ns(double ns) {
+  return tsajs::units::duration_string(ns * 1e-9, 3);
+}
+
+void write_diff(std::ostream& os, const std::vector<Comparison>& rows,
+                const std::vector<std::string>& baseline_only,
+                const std::vector<std::string>& current_only,
+                double speed_factor, double min_rel) {
+  os << "# Micro-kernel perf gate\n\n"
+     << "Machine-speed factor (median current/baseline ratio): "
+     << speed_factor << "; per-kernel allowance = max(" << min_rel * 100.0
+     << "%, sum of 95% CI half-widths).\n\n"
+     << "| kernel | baseline | current | raw ratio | normalized | allowance "
+        "| verdict |\n"
+     << "|---|---|---|---|---|---|---|\n";
+  for (const Comparison& row : rows) {
+    std::ostringstream cells;
+    cells.setf(std::ios::fixed);
+    cells.precision(3);
+    cells << "| " << row.name << " | " << format_ns(row.baseline.mean_ns)
+          << " | " << format_ns(row.current.mean_ns) << " | " << row.raw_ratio
+          << " | " << row.normalized_ratio << " | "
+          << (1.0 + row.allowance) << " | "
+          << (row.regressed ? "**REGRESSED**" : "ok") << " |\n";
+    os << cells.str();
+  }
+  for (const std::string& name : baseline_only) {
+    os << "| " << name << " | - | - | - | - | - | baseline only |\n";
+  }
+  for (const std::string& name : current_only) {
+    os << "| " << name << " | - | - | - | - | - | new kernel |\n";
+  }
+}
+
+int run(int argc, const char* const* argv) {
+  tsajs::CliParser cli(
+      "bench_check: perf-regression gate comparing a fresh google-benchmark "
+      "JSON run against the checked-in baseline with machine-normalized, "
+      "noise-aware thresholds.");
+  cli.add_flag("baseline", "baseline JSON (bench/BENCH_micro.json)",
+               "bench/BENCH_micro.json");
+  cli.add_flag("current", "fresh benchmark JSON to gate", "");
+  cli.add_flag("diff", "markdown report output path (empty = stdout only)",
+               "");
+  cli.add_flag("min-rel",
+               "minimum relative regression that can fail the gate", "0.10");
+  cli.add_flag("filter", "only gate kernels whose name contains this", "");
+  if (!cli.parse(argc, argv)) return 2;
+
+  const std::string current_path = cli.get_string("current");
+  if (current_path.empty()) {
+    std::cerr << "bench_check: --current is required\n";
+    return 2;
+  }
+  const double min_rel = cli.get_double("min-rel");
+  const std::string filter = cli.get_string("filter");
+
+  const auto baseline =
+      load_kernels(tsajs::exp::parse_json_file(cli.get_string("baseline")));
+  const auto current =
+      load_kernels(tsajs::exp::parse_json_file(current_path));
+
+  std::vector<Comparison> rows;
+  std::vector<std::string> baseline_only;
+  std::vector<std::string> current_only;
+  std::vector<double> ratios;
+  for (const auto& [name, base] : baseline) {
+    if (!filter.empty() && name.find(filter) == std::string::npos) continue;
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      baseline_only.push_back(name);
+      continue;
+    }
+    Comparison row;
+    row.name = name;
+    row.baseline = base;
+    row.current = it->second;
+    TSAJS_REQUIRE(base.mean_ns > 0.0 && it->second.mean_ns > 0.0,
+                  "benchmark means must be positive");
+    row.raw_ratio = it->second.mean_ns / base.mean_ns;
+    ratios.push_back(row.raw_ratio);
+    rows.push_back(row);
+  }
+  for (const auto& [name, sample] : current) {
+    (void)sample;
+    if (!filter.empty() && name.find(filter) == std::string::npos) continue;
+    if (baseline.count(name) == 0) current_only.push_back(name);
+  }
+  if (rows.empty()) {
+    std::cerr << "bench_check: no kernels shared between baseline and "
+                 "current run\n";
+    return 2;
+  }
+
+  const double speed_factor = tsajs::quantile(ratios, 0.5);
+  bool any_regressed = false;
+  for (Comparison& row : rows) {
+    row.normalized_ratio = row.raw_ratio / speed_factor;
+    row.allowance =
+        std::max(min_rel, row.baseline.rel_ci() + row.current.rel_ci());
+    row.regressed = row.normalized_ratio > 1.0 + row.allowance;
+    any_regressed = any_regressed || row.regressed;
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Comparison& a, const Comparison& b) {
+              return a.normalized_ratio > b.normalized_ratio;
+            });
+
+  write_diff(std::cout, rows, baseline_only, current_only, speed_factor,
+             min_rel);
+  const std::string diff_path = cli.get_string("diff");
+  if (!diff_path.empty()) {
+    std::ofstream out(diff_path);
+    if (!out) {
+      std::cerr << "bench_check: cannot write " << diff_path << "\n";
+      return 2;
+    }
+    write_diff(out, rows, baseline_only, current_only, speed_factor, min_rel);
+  }
+
+  if (any_regressed) {
+    std::cerr << "bench_check: performance regression detected\n";
+    return 1;
+  }
+  std::cout << "\nbench_check: no regressions (" << rows.size()
+            << " kernels gated)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "bench_check: " << error.what() << "\n";
+    return 2;
+  }
+}
