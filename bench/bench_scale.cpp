@@ -4,12 +4,22 @@
 // scales along, --users-per-server) and solves each drop with the
 // "sharded:<scheme>" wrapper: the deployment is partitioned into
 // interference-locality shards, each shard solved independently by the
-// wrapped scheme, then boundary users are repaired against the global
-// problem under the anytime SolveBudget (--budget-ms).
+// wrapped scheme — concurrently when --shard-threads > 1 — then boundary
+// users are repaired against the global problem under the anytime
+// SolveBudget (--budget-ms), which the wrapper splits across shards
+// work-proportionally.
 //
-// Reported per population point: deployment shape (servers, shards,
-// boundary users), mean utility and offload count, solve-latency p50/p99
-// across trials, and whether every trial landed within the budget
+// --thread-sweep runs every population point at each listed thread count
+// (same drops, same solve RNG stream — the scenario is built once per
+// trial and the post-build RNG state is replayed per thread count), and
+// the table adds a speedup column relative to the sweep's first entry.
+// The sharded solve is bit-identical across thread counts under iteration
+// budgets; wall-clock budgets are anytime by nature, so utilities may
+// differ there while remaining within budget.
+//
+// Reported per (population, threads) point: deployment shape (servers,
+// shards, boundary users), mean utility and offload count, solve-latency
+// p50/p99 across trials, and whether every trial landed within the budget
 // (solve_seconds <= budget * slack; the deadline is checked at pass
 // boundaries and every 32 fixup users, so small overshoot is expected and
 // --budget-slack defaults to 1.25). The validation audit of
@@ -53,6 +63,7 @@ struct Point {
   std::size_t servers = 0;
   std::size_t shards = 0;
   std::size_t boundary_cells = 0;
+  std::size_t shard_threads = 1;
   std::vector<Trial> trials;
 
   [[nodiscard]] std::vector<double> solve_samples() const {
@@ -91,7 +102,13 @@ int main(int argc, char** argv) {
   cli.add_flag("chain-length", "TSAJS Markov-chain length L", "30");
   cli.add_flag("reach", "interference reach [m] (0 = auto from site grid)",
                "0");
-  cli.add_flag("threads", "shard-solve threads (1 = sequential)", "1");
+  cli.add_flag("shard-threads",
+               "shard-solve/fixup threads (1 = sequential, 0 = hardware)",
+               "1");
+  cli.add_flag("thread-sweep",
+               "run every point at each of these thread counts "
+               "(e.g. 1,2,8; empty = just --shard-threads)",
+               "");
   cli.add_flag("budget-ms", "anytime wall-clock budget per solve [ms]",
                "2000");
   cli.add_flag("budget-slack",
@@ -114,24 +131,46 @@ int main(int argc, char** argv) {
   const double slack = cli.get_double("budget-slack");
   const double reach_flag = cli.get_double("reach");
 
+  std::vector<std::size_t> thread_list;
+  for (const double value : cli.get_double_list("thread-sweep")) {
+    thread_list.push_back(static_cast<std::size_t>(value));
+  }
+  if (thread_list.empty()) {
+    thread_list.push_back(
+        static_cast<std::size_t>(cli.get_uint("shard-threads")));
+  }
+
   algo::RegistryOptions options;
   options.chain_length =
       static_cast<std::size_t>(cli.get_uint("chain-length"));
   options.budget.max_seconds = budget_s;
   options.shard_reach_m = reach_flag;
-  options.threads = static_cast<std::size_t>(cli.get_uint("threads"));
   const std::string scheme_name = "sharded:" + cli.get_string("scheme");
-  const auto scheduler = algo::make_scheduler(scheme_name, options);
+  // One scheduler per sweep entry: the thread count is a construction-time
+  // knob, and a per-count instance also keeps each entry's epoch cache to
+  // itself (partition + shard compilations reused across trials).
+  std::vector<std::unique_ptr<algo::Scheduler>> schedulers;
+  for (const std::size_t threads : thread_list) {
+    options.shard_threads = threads;
+    schedulers.push_back(algo::make_scheduler(scheme_name, options));
+  }
 
   std::vector<Point> points;
   for (const double users_value : cli.get_double_list("users")) {
-    Point point;
-    point.users = static_cast<std::size_t>(users_value);
-    point.servers = std::max<std::size_t>(9, point.users / users_per_server);
+    const auto num_users = static_cast<std::size_t>(users_value);
+    const std::size_t num_servers =
+        std::max<std::size_t>(9, num_users / users_per_server);
     const mec::ScenarioBuilder builder = mec::ScenarioBuilder()
-                                             .num_users(point.users)
-                                             .num_servers(point.servers)
+                                             .num_users(num_users)
+                                             .num_servers(num_servers)
                                              .num_subchannels(num_subchannels);
+    std::vector<Point> thread_points(thread_list.size());
+    for (std::size_t i = 0; i < thread_list.size(); ++i) {
+      thread_points[i].users = num_users;
+      thread_points[i].servers = num_servers;
+      thread_points[i].shard_threads = thread_list[i];
+      thread_points[i].shards = 1;
+    }
     for (std::size_t t = 0; t < trials; ++t) {
       Rng rng(seed + t);  // same drops at every sweep point (paired)
       const mec::Scenario scenario = builder.build(rng);
@@ -147,43 +186,74 @@ int main(int argc, char** argv) {
                              : geo::InterferencePartition::auto_reach(sites);
         if (reach > 0.0) {
           const geo::InterferencePartition partition(sites, reach);
-          point.shards = partition.num_shards();
-          point.boundary_cells = partition.boundary_cells().size();
-        } else {
-          point.shards = 1;
+          for (Point& point : thread_points) {
+            point.shards = partition.num_shards();
+            point.boundary_cells = partition.boundary_cells().size();
+          }
         }
       }
       const Stopwatch compile_timer;
       const jtora::CompiledProblem problem(scenario);
-      Trial trial;
-      trial.compile_seconds = compile_timer.elapsed_seconds();
-      const algo::ScheduleResult result =
-          algo::run_and_validate(*scheduler, problem, rng);
-      trial.utility = result.system_utility;
-      trial.solve_seconds = result.solve_seconds;
-      trial.evaluations = result.evaluations;
-      trial.offloaded = result.assignment.num_offloaded();
-      point.trials.push_back(trial);
+      const double compile_seconds = compile_timer.elapsed_seconds();
+      for (std::size_t i = 0; i < thread_list.size(); ++i) {
+        // Replay the post-build RNG state per thread count: every sweep
+        // entry solves the same drop with the same stream.
+        Rng solve_rng = rng;
+        Trial trial;
+        trial.compile_seconds = compile_seconds;
+        const algo::ScheduleResult result =
+            algo::run_and_validate(*schedulers[i], problem, solve_rng);
+        trial.utility = result.system_utility;
+        trial.solve_seconds = result.solve_seconds;
+        trial.evaluations = result.evaluations;
+        trial.offloaded = result.assignment.num_offloaded();
+        thread_points[i].trials.push_back(trial);
+      }
     }
-    std::cerr << "U=" << point.users << " done (" << trials << " trials)\n";
-    points.push_back(std::move(point));
+    std::cerr << "U=" << num_users << " done (" << trials << " trials x "
+              << thread_list.size() << " thread counts)\n";
+    for (Point& point : thread_points) points.push_back(std::move(point));
   }
 
-  Table table({"users", "servers", "shards", "boundary cells", "utility",
-               "offloaded", "solve p50", "solve p99", "within budget"});
+  const bool sweeping = thread_list.size() > 1;
+  std::vector<std::string> headers = {
+      "users",     "servers",   "shards",    "boundary cells",
+      "threads",   "utility",   "offloaded", "solve p50",
+      "solve p99", "within budget"};
+  if (sweeping) headers.insert(headers.begin() + 9, "speedup");
+  Table table(headers);
   bool all_within = true;
   for (const Point& point : points) {
     const std::vector<double> samples = point.solve_samples();
     const bool within = point.max_solve() <= budget_s * slack;
     all_within = all_within && within;
-    table.add_row({std::to_string(point.users), std::to_string(point.servers),
-                   std::to_string(point.shards),
-                   std::to_string(point.boundary_cells),
-                   format_double(point.mean_utility(), 3),
-                   std::to_string(point.trials.front().offloaded),
-                   units::duration_string(quantile(samples, 0.5)),
-                   units::duration_string(quantile(samples, 0.99)),
-                   within ? "yes" : "NO"});
+    std::vector<std::string> row = {
+        std::to_string(point.users),
+        std::to_string(point.servers),
+        std::to_string(point.shards),
+        std::to_string(point.boundary_cells),
+        std::to_string(point.shard_threads),
+        format_double(point.mean_utility(), 3),
+        std::to_string(point.trials.front().offloaded),
+        units::duration_string(quantile(samples, 0.5)),
+        units::duration_string(quantile(samples, 0.99))};
+    if (sweeping) {
+      // Speedup vs the sweep's first entry at the same population.
+      double base_p50 = 0.0;
+      for (const Point& other : points) {
+        if (other.users == point.users &&
+            other.shard_threads == thread_list.front()) {
+          base_p50 = quantile(other.solve_samples(), 0.5);
+          break;
+        }
+      }
+      const double p50 = quantile(samples, 0.5);
+      row.push_back(p50 > 0.0 && base_p50 > 0.0
+                        ? format_double(base_p50 / p50, 2) + "x"
+                        : "-");
+    }
+    row.push_back(within ? "yes" : "NO");
+    table.add_row(row);
   }
   std::cout << "\n== City-scale sweep (" << scheme_name << ", budget "
             << units::duration_string(budget_s) << ", seed " << seed
@@ -209,6 +279,7 @@ int main(int argc, char** argv) {
       out << "{\"users\":" << point.users << ",\"servers\":" << point.servers
           << ",\"shards\":" << point.shards
           << ",\"boundary_cells\":" << point.boundary_cells
+          << ",\"shard_threads\":" << point.shard_threads
           << ",\"solve_p50\":" << quantile(samples, 0.5)
           << ",\"solve_p99\":" << quantile(samples, 0.99)
           << ",\"within_budget\":"

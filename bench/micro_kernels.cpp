@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "algo/neighborhood.h"
+#include "common/thread_pool.h"
 #include "algo/registry.h"
 #include "algo/scheduler.h"
 #include "jtora/batch_kernels.h"
@@ -318,6 +319,25 @@ void BM_PreviewRow_Scalar(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PreviewRow_Scalar);
+
+// Chunked parallel_for dispatch: per-task overhead (submit + future) across
+// grain sizes, over a body cheap enough that dispatch dominates. Grain 1 is
+// the historical one-task-per-index path; larger grains batch indices per
+// task (what the sharded fixup uses when shards outnumber workers); 0 is
+// the even-split mode. Two workers keep the measurement meaningful on the
+// 1-core CI container without oversubscribing it.
+void BM_ParallelForGrain(benchmark::State& state) {
+  ThreadPool pool(2);
+  const std::size_t n = 8192;
+  std::vector<double> out(n, 0.0);
+  const auto grain = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    pool.parallel_for(
+        n, [&](std::size_t i) { out[i] += static_cast<double>(i); }, grain);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ParallelForGrain)->Arg(1)->Arg(64)->Arg(1024)->Arg(0);
 
 }  // namespace
 

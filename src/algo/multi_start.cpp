@@ -24,18 +24,32 @@ std::string MultiStartScheduler::name() const {
 
 ScheduleResult MultiStartScheduler::schedule(
     const jtora::CompiledProblem& problem, Rng& rng) const {
-  return run_restarts(problem, nullptr, rng);
+  return run_restarts(problem, nullptr, nullptr, rng);
 }
 
 ScheduleResult MultiStartScheduler::schedule_from(
     const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
     Rng& rng) const {
-  return run_restarts(problem, &hint, rng);
+  return run_restarts(problem, &hint, nullptr, rng);
+}
+
+ScheduleResult MultiStartScheduler::schedule_within(
+    const jtora::CompiledProblem& problem, const SolveBudget& budget,
+    Rng& rng) const {
+  budget.validate();
+  return run_restarts(problem, nullptr, &budget, rng);
+}
+
+ScheduleResult MultiStartScheduler::schedule_from_within(
+    const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
+    const SolveBudget& budget, Rng& rng) const {
+  budget.validate();
+  return run_restarts(problem, &hint, &budget, rng);
 }
 
 ScheduleResult MultiStartScheduler::run_restarts(
     const jtora::CompiledProblem& problem, const jtora::Assignment* hint,
-    Rng& rng) const {
+    const SolveBudget* budget, Rng& rng) const {
   // Derive every child seed up front, in restart order. This is the only
   // point that touches the caller's rng, so the seed stream — and therefore
   // each restart's entire run — is independent of how restarts are executed.
@@ -45,12 +59,20 @@ ScheduleResult MultiStartScheduler::run_restarts(
   const auto* warm_inner =
       hint != nullptr ? dynamic_cast<const WarmStartable*>(inner_.get())
                       : nullptr;
+  const auto* capped_inner =
+      budget != nullptr ? dynamic_cast<const BudgetAware*>(inner_.get())
+                        : nullptr;
   std::vector<std::optional<ScheduleResult>> results(restarts_);
   const auto run_restart = [&](std::size_t r) {
     Rng child(seeds[r]);
     // Restart 0 carries the hint; the rest explore from cold starts.
     if (r == 0 && warm_inner != nullptr) {
-      results[r] = warm_inner->schedule_from(problem, *hint, child);
+      results[r] = capped_inner != nullptr
+                       ? capped_inner->schedule_from_within(problem, *hint,
+                                                            *budget, child)
+                       : warm_inner->schedule_from(problem, *hint, child);
+    } else if (capped_inner != nullptr) {
+      results[r] = capped_inner->schedule_within(problem, *budget, child);
     } else {
       results[r] = inner_->schedule(problem, child);
     }

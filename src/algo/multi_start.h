@@ -19,7 +19,9 @@
 
 namespace tsajs::algo {
 
-class MultiStartScheduler final : public Scheduler, public WarmStartable {
+class MultiStartScheduler final : public Scheduler,
+                                  public WarmStartable,
+                                  public BudgetAware {
  public:
   using Scheduler::schedule;
   using WarmStartable::schedule_from;
@@ -46,6 +48,17 @@ class MultiStartScheduler final : public Scheduler, public WarmStartable {
       const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
       Rng& rng) const override;
 
+  /// Per-call budget (BudgetAware): when the inner scheduler is itself
+  /// BudgetAware, every restart runs under `budget` (each restart gets the
+  /// full cap, mirroring how a configured budget applies per restart);
+  /// otherwise the budget is ignored, as in the unwrapped scheme.
+  [[nodiscard]] ScheduleResult schedule_within(
+      const jtora::CompiledProblem& problem, const SolveBudget& budget,
+      Rng& rng) const override;
+  [[nodiscard]] ScheduleResult schedule_from_within(
+      const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
+      const SolveBudget& budget, Rng& rng) const override;
+
   [[nodiscard]] std::size_t restarts() const noexcept { return restarts_; }
   [[nodiscard]] std::size_t num_threads() const noexcept {
     return num_threads_;
@@ -54,7 +67,7 @@ class MultiStartScheduler final : public Scheduler, public WarmStartable {
  private:
   [[nodiscard]] ScheduleResult run_restarts(
       const jtora::CompiledProblem& problem, const jtora::Assignment* hint,
-      Rng& rng) const;
+      const SolveBudget* budget, Rng& rng) const;
 
   std::unique_ptr<Scheduler> inner_;
   std::size_t restarts_;

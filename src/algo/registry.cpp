@@ -64,10 +64,15 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
                   "sharded: wrappers do not nest");
     ShardedConfig config;
     config.reach_m = options.shard_reach_m;
-    config.threads = options.threads;
+    config.threads = options.shard_threads;
     config.budget = options.budget;
+    // The wrapper owns the budget (per-shard slices + reclaim + fixup
+    // deadline); the inner scheme must run uncapped within its slice, so
+    // its configured budget is cleared here.
+    RegistryOptions inner_options = options;
+    inner_options.budget = SolveBudget{};
     return std::make_unique<ShardedScheduler>(
-        make_scheduler(inner_name, options), config);
+        make_scheduler(inner_name, inner_options), config);
   }
   throw NotFoundError("unknown scheduler: " + name);
 }

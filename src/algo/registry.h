@@ -32,12 +32,20 @@ struct RegistryOptions {
   std::optional<double> warm_reheat;
   /// Anytime solve budget for the TSAJS variants (tsajs, tsajs-geo,
   /// tsajs-x4); the default (unlimited) keeps them bit-identical to the
-  /// unbudgeted solvers. "sharded:<inner>" wrappers apply the wall-clock
-  /// cap to their fixup rounds. Other schemes currently ignore it.
+  /// unbudgeted solvers. "sharded:<inner>" wrappers own the whole budget —
+  /// they slice it across shards and guard the fixup rounds with the
+  /// wall-clock cap — so their inner scheme is built with the budget
+  /// cleared (no double-capping). Other schemes currently ignore it.
   SolveBudget budget;
   /// Interference reach [m] for "sharded:<inner>" wrappers; 0 (default)
   /// auto-derives it from the deployment geometry.
   double shard_reach_m = 0.0;
+  /// Worker threads for "sharded:<inner>" wrappers (shard solves + colored
+  /// fixup sweeps): 1 = sequential (default), 0 = hardware concurrency.
+  /// Results are bit-identical for every setting; only the wall clock
+  /// changes. Kept separate from `threads` so a sharded multi-start
+  /// ("sharded:tsajs-x4") does not multiply the two pools together.
+  std::size_t shard_threads = 1;
 };
 
 /// Creates a scheduler by name: "tsajs", "tsajs-geo" (geometric-cooling

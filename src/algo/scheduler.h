@@ -99,6 +99,30 @@ class WarmStartable {
                                              Rng& rng) const;
 };
 
+/// Capability interface for schedulers whose search effort can be capped
+/// *per call*, independently of their configured budget. The sharded
+/// wrapper uses it to hand each shard its slice of the global SolveBudget
+/// (work-proportional split + deadline-aware reclaim) without rebuilding
+/// the inner scheduler. Implementations must make schedule_within with a
+/// budget equal to the configured one bit-identical to a plain schedule()
+/// — same RNG stream, same result.
+class BudgetAware {
+ public:
+  virtual ~BudgetAware() = default;
+
+  /// Like Scheduler::schedule, but capped by `budget` instead of the
+  /// configured budget.
+  [[nodiscard]] virtual ScheduleResult schedule_within(
+      const jtora::CompiledProblem& problem, const SolveBudget& budget,
+      Rng& rng) const = 0;
+
+  /// Warm-started variant: like WarmStartable::schedule_from, capped by
+  /// `budget`.
+  [[nodiscard]] virtual ScheduleResult schedule_from_within(
+      const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
+      const SolveBudget& budget, Rng& rng) const = 0;
+};
+
 /// Clamps `hint` to a feasible assignment for `scenario`: users beyond the
 /// scenario's user count are dropped, slots outside the scenario's
 /// server/sub-channel grid — or masked unavailable by the scenario's fault

@@ -1,5 +1,6 @@
 #include "algo/sharded.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <optional>
@@ -12,6 +13,7 @@
 #include "geo/partition.h"
 #include "jtora/incremental.h"
 #include "jtora/sharded_problem.h"
+#include "jtora/utility.h"
 
 namespace tsajs::algo {
 
@@ -22,12 +24,32 @@ void ShardedConfig::validate() const {
   budget.validate();
 }
 
+/// Epoch cache: everything derivable from (site layout, reach) alone plus
+/// the per-shard compilations. ShardedProblem::compile handles its own
+/// epoch-over-epoch reuse; the partition and the fixup coloring only
+/// rebuild when the sites or the reach change.
+struct ShardedScheduler::Cache {
+  std::vector<geo::Point> sites;
+  double reach = 0.0;
+  std::optional<geo::InterferencePartition> partition;
+  jtora::ShardedProblem sharded;
+  /// Fixup color classes: shards grouped so same-color shards never share
+  /// a halo server; class lists ascend, classes commit in list order.
+  std::vector<std::vector<std::size_t>> color_classes;
+  /// Per shard: its own servers plus all adjacent shards' servers,
+  /// ascending global ids — the candidate set its boundary sweep scans and
+  /// the only servers its moves can touch.
+  std::vector<std::vector<std::size_t>> halo_servers;
+};
+
 ShardedScheduler::ShardedScheduler(std::unique_ptr<Scheduler> inner,
                                    ShardedConfig config)
     : inner_(std::move(inner)), config_(config) {
   TSAJS_REQUIRE(inner_ != nullptr, "sharded scheduler needs an inner scheme");
   config_.validate();
 }
+
+ShardedScheduler::~ShardedScheduler() = default;
 
 std::string ShardedScheduler::name() const {
   // Matches the registry's "sharded:<inner>" spelling, so names round-trip
@@ -37,54 +59,196 @@ std::string ShardedScheduler::name() const {
 
 namespace {
 
-/// One deterministic boundary-fixup sweep: re-score each boundary user
-/// against the *global* problem (ascending user order) and keep the best
-/// placement — any free (server, sub-channel) slot, its current slot, or
-/// local execution — accepting strict improvements only. Returns the number
-/// of users whose placement changed; `evaluations` counts candidate
-/// utilities scored.
-std::size_t fixup_sweep(jtora::IncrementalEvaluator& eval,
-                        const std::vector<std::size_t>& boundary_users,
-                        std::vector<double>& preview, std::size_t& evaluations,
-                        const Stopwatch& timer, double deadline) {
-  const jtora::CompiledProblem& problem = eval.problem();
-  const std::size_t num_servers = problem.scenario().num_servers();
-  const std::size_t num_subchannels = problem.scenario().num_subchannels();
-  std::size_t moved = 0;
+/// Greedy coloring of the shard graph under *distance-2* conflicts: two
+/// shards conflict when they are adjacent or share a common neighbor.
+/// Same-color shards then have no adjacent shard in common, so their halos
+/// (own + adjacent cells) are disjoint — which is what lets a whole color
+/// class propose *and commit* concurrently-computed boundary moves without
+/// two shards ever writing the same server. Greedy over ascending shard
+/// ids with the lowest free color is deterministic; on the square-tile
+/// partition the conflict graph has bounded degree (<= 24 tiles within
+/// distance 2), so the class count stays small no matter the city size.
+void build_fixup_plan(const geo::InterferencePartition& partition,
+                      std::vector<std::vector<std::size_t>>& color_classes,
+                      std::vector<std::vector<std::size_t>>& halo_servers) {
+  const std::size_t num_shards = partition.num_shards();
+  color_classes.clear();
+  halo_servers.assign(num_shards, {});
+  std::vector<std::size_t> color(num_shards, 0);
+  std::vector<std::uint8_t> used(num_shards + 1, 0);
+  for (std::size_t k = 0; k < num_shards; ++k) {
+    std::fill(used.begin(), used.end(), 0);
+    for (const std::size_t a : partition.adjacent_shards(k)) {
+      if (a < k) used[color[a]] = 1;
+      for (const std::size_t b : partition.adjacent_shards(a)) {
+        if (b < k && b != k) used[color[b]] = 1;
+      }
+    }
+    std::size_t c = 0;
+    while (used[c] != 0) ++c;
+    color[k] = c;
+    if (c >= color_classes.size()) color_classes.resize(c + 1);
+    color_classes[c].push_back(k);  // k ascends, so each class list ascends
+
+    std::vector<std::size_t>& halo = halo_servers[k];
+    halo = partition.cells(k);
+    for (const std::size_t a : partition.adjacent_shards(k)) {
+      const std::vector<std::size_t>& cells = partition.cells(a);
+      halo.insert(halo.end(), cells.begin(), cells.end());
+    }
+    std::sort(halo.begin(), halo.end());
+  }
+}
+
+/// Largest-remainder apportionment of `total` units over integer weights:
+/// floor the exact share, then hand the leftover units to the largest
+/// fractional parts (lowest shard id on ties). With `at_least_one`, every
+/// positive-weight shard gets >= 1 unit — a SolveBudget slice of 0 would
+/// mean "unlimited", the opposite of a small share.
+std::vector<std::size_t> split_units(std::size_t total,
+                                     const std::vector<std::uint64_t>& weights,
+                                     bool at_least_one) {
+  const std::size_t n = weights.size();
+  std::vector<std::size_t> alloc(n, 0);
+  // Deterministically downscale the weights until their sum fits in 32
+  // bits: the apportionment below forms remainder x weight products, and
+  // bounding the sum bounds both factors, so no product can overflow.
+  // Halving preserves the proportions to within the resolution the split
+  // can express anyway.
+  std::vector<std::uint64_t> scaled(weights);
+  std::uint64_t weight_sum = 0;
+  for (const std::uint64_t w : scaled) weight_sum += w;
+  while (weight_sum >= (std::uint64_t{1} << 32)) {
+    weight_sum = 0;
+    for (std::uint64_t& w : scaled) {
+      if (w != 0) w = std::max<std::uint64_t>(std::uint64_t{1}, w / 2);
+      weight_sum += w;
+    }
+  }
+  if (weight_sum == 0 || total == 0) return alloc;
+  const std::uint64_t quotient = total / weight_sum;
+  const std::uint64_t residue = total % weight_sum;
+  std::uint64_t assigned = 0;
+  std::vector<std::pair<std::uint64_t, std::size_t>> remainders;
+  remainders.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (scaled[k] == 0) continue;
+    // total * w / sum, split as q*w + r*w/sum so every product stays
+    // within 64 bits (q*w <= total, r*w < sum^2 < 2^64).
+    alloc[k] = static_cast<std::size_t>(quotient * scaled[k] +
+                                        (residue * scaled[k]) / weight_sum);
+    assigned += alloc[k];
+    remainders.emplace_back((residue * scaled[k]) % weight_sum, k);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const std::pair<std::uint64_t, std::size_t>& a,
+               const std::pair<std::uint64_t, std::size_t>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  std::uint64_t leftover = total > assigned ? total - assigned : 0;
+  for (const auto& [remainder, k] : remainders) {
+    if (leftover == 0) break;
+    ++alloc[k];
+    --leftover;
+  }
+  if (at_least_one) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (weights[k] != 0 && alloc[k] == 0) alloc[k] = 1;
+    }
+  }
+  return alloc;
+}
+
+/// One accepted boundary-user placement from a shard sweep, in the global
+/// frame. Replayed verbatim on the master evaluator at commit time.
+struct UserMove {
+  std::size_t user = 0;
+  std::optional<jtora::Slot> from;
+  std::optional<jtora::Slot> to;
+};
+
+struct ShardSweep {
+  std::vector<UserMove> moves;
+  std::size_t evaluations = 0;
+};
+
+/// Propose phase of the colored fixup for one shard: sweep the shard's
+/// boundary users (ascending) on a *private copy* of the master evaluator,
+/// restricting candidate servers to the shard's halo, and record each
+/// strict improvement. The copy sees the other same-color shards' state as
+/// it was at the start of the class (Jacobi within a class) — but since
+/// their halos are disjoint, none of their moves touches a server this
+/// sweep scores against, so replaying the recorded moves on the master
+/// reproduces this sweep's occupancy evolution exactly.
+ShardSweep sweep_shard(const jtora::IncrementalEvaluator& master,
+                       const std::vector<std::size_t>& boundary_users,
+                       const std::vector<std::size_t>& halo,
+                       std::size_t num_subchannels, const Stopwatch& timer,
+                       double deadline) {
+  ShardSweep out;
+  jtora::IncrementalEvaluator eval = master;  // flat arrays, shared problem
+  std::vector<double> preview(eval.problem().scenario().num_servers());
   std::size_t scanned = 0;
   for (const std::size_t u : boundary_users) {
-    // At city scale one sweep visits tens of thousands of users; honor the
-    // anytime deadline inside the pass, not just between passes. Every
-    // prefix of the sweep leaves the assignment feasible, so breaking out
-    // mid-pass is safe.
+    // Honor the anytime deadline inside the sweep, not just between
+    // passes; every prefix of the recorded moves is feasible.
     if (deadline > 0.0 && (scanned++ & 31) == 0 &&
         timer.elapsed_seconds() >= deadline) {
       break;
     }
     const std::optional<jtora::Slot> orig = eval.slot_of(u);
-    // Lift the user out so the batch previews (which require a local mover)
-    // can scan every sub-channel row; the user's own slot becomes free and
-    // is re-scored on equal terms with every alternative.
+    // Lift the user out so the batch previews (which require a local
+    // mover) can scan whole sub-channel rows; the user's own slot becomes
+    // free and is re-scored on equal terms with every alternative.
     if (orig.has_value()) eval.apply_make_local(u);
     double best_utility = eval.utility();  // staying local
     std::optional<jtora::Slot> best;
-    ++evaluations;
+    ++out.evaluations;
     for (std::size_t j = 0; j < num_subchannels; ++j) {
       eval.preview_offload_subchannel(u, j, preview.data());
-      for (std::size_t s = 0; s < num_servers; ++s) {
+      for (const std::size_t s : halo) {
         if (std::isnan(preview[s])) continue;
-        ++evaluations;
+        ++out.evaluations;
         if (preview[s] > best_utility) {
           best_utility = preview[s];
           best = jtora::Slot{s, j};
         }
       }
     }
-    if (best.has_value()) {
-      eval.apply_offload(u, best->server, best->subchannel);
-    }
-    if (orig != best) ++moved;
+    if (best.has_value()) eval.apply_offload(u, best->server, best->subchannel);
+    if (orig != best) out.moves.push_back(UserMove{u, orig, best});
   }
+  return out;
+}
+
+/// Commit phase: replay every sweep's moves on the master evaluator, shard
+/// order within the class. Halo disjointness makes the replayed utilities
+/// match what each private sweep computed up to far-field interference the
+/// halo cut off — the checkpoint guard rolls the whole class back in the
+/// (rare) case those neglected couplings net out to a loss. Returns the
+/// number of users moved, 0 when reverted.
+std::size_t commit_class(jtora::IncrementalEvaluator& master,
+                         const std::vector<ShardSweep>& sweeps) {
+  std::size_t moved = 0;
+  for (const ShardSweep& sweep : sweeps) moved += sweep.moves.size();
+  if (moved == 0) return 0;
+  const double before = master.utility();
+  master.set_undo_logging(true);
+  const std::size_t mark = master.checkpoint();
+  for (const ShardSweep& sweep : sweeps) {
+    for (const UserMove& move : sweep.moves) {
+      master.apply_make_local(move.user);
+      if (move.to.has_value()) {
+        master.apply_offload(move.user, move.to->server, move.to->subchannel);
+      }
+    }
+  }
+  if (master.utility() < before) {
+    master.rollback(mark);
+    moved = 0;
+  }
+  master.set_undo_logging(false);  // drops the history too
   return moved;
 }
 
@@ -92,6 +256,40 @@ std::size_t fixup_sweep(jtora::IncrementalEvaluator& eval,
 
 ScheduleResult ShardedScheduler::schedule(const jtora::CompiledProblem& problem,
                                           Rng& rng) const {
+  return solve(problem, nullptr, rng);
+}
+
+ScheduleResult ShardedScheduler::schedule_from(
+    const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
+    Rng& rng) const {
+  return solve(problem, &hint, rng);
+}
+
+ScheduleResult ShardedScheduler::passthrough(
+    const jtora::CompiledProblem& problem, const jtora::Assignment* hint,
+    Rng& rng) const {
+  // A default budget keeps the historical delegation paths, bit for bit;
+  // a real budget routes through the BudgetAware entry points when the
+  // inner scheme has them (the cap still applies on the unsharded solve).
+  const auto* capped = !config_.budget.unlimited()
+                           ? dynamic_cast<const BudgetAware*>(inner_.get())
+                           : nullptr;
+  if (hint != nullptr) {
+    if (capped != nullptr) {
+      return capped->schedule_from_within(problem, *hint, config_.budget, rng);
+    }
+    const auto* warm = dynamic_cast<const WarmStartable*>(inner_.get());
+    if (warm != nullptr) return warm->schedule_from(problem, *hint, rng);
+  }
+  if (capped != nullptr) {
+    return capped->schedule_within(problem, config_.budget, rng);
+  }
+  return inner_->schedule(problem, rng);
+}
+
+ScheduleResult ShardedScheduler::solve(const jtora::CompiledProblem& problem,
+                                       const jtora::Assignment* hint,
+                                       Rng& rng) const {
   const Stopwatch timer;
   const mec::Scenario& scenario = problem.scenario();
 
@@ -106,31 +304,202 @@ ScheduleResult ShardedScheduler::schedule(const jtora::CompiledProblem& problem,
   // A single site (auto reach 0) cannot be partitioned; neither can a
   // deployment whose sites all share one tile. Both degenerate to the
   // wrapped scheme verbatim — same Rng, same result, bit for bit.
-  if (reach <= 0.0) return inner_->schedule(problem, rng);
-  const geo::InterferencePartition partition(sites, reach);
-  if (partition.num_shards() == 1) return inner_->schedule(problem, rng);
+  if (reach <= 0.0) return passthrough(problem, hint, rng);
 
-  const jtora::ShardedProblem sharded(problem, partition);
+  // The mutex is held for the whole solve: concurrent schedule() calls on
+  // one instance serialize (each still deterministic), and the cache below
+  // is only touched under it.
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (!cache_) cache_ = std::make_unique<Cache>();
+  Cache& cache = *cache_;
+  const bool layout_unchanged =
+      cache.partition.has_value() && cache.reach == reach &&
+      cache.sites.size() == sites.size() &&
+      std::equal(sites.begin(), sites.end(), cache.sites.begin(),
+                 [](const geo::Point& a, const geo::Point& b) {
+                   return a.x == b.x && a.y == b.y;
+                 });
+  if (!layout_unchanged) {
+    cache.sites = sites;
+    cache.reach = reach;
+    cache.partition.emplace(sites, reach);
+    build_fixup_plan(*cache.partition, cache.color_classes,
+                     cache.halo_servers);
+  }
+  const geo::InterferencePartition& partition = *cache.partition;
+  if (partition.num_shards() == 1) return passthrough(problem, hint, rng);
+
+  // Re-slice for this epoch; ShardedProblem reuses whatever it can.
+  cache.sharded.compile(problem, partition);
+  const jtora::ShardedProblem& sharded = cache.sharded;
   const std::size_t num_shards = sharded.num_shards();
+
+  const SolveBudget& budget = config_.budget;
+  const auto* capped_inner = !budget.unlimited()
+                                 ? dynamic_cast<const BudgetAware*>(inner_.get())
+                                 : nullptr;
+  const auto* warm_inner = hint != nullptr
+                               ? dynamic_cast<const WarmStartable*>(inner_.get())
+                               : nullptr;
+
+  // Work-proportional budget slices, derived once in shard order.
+  // Weight = users x servers, the size of a shard's placement grid — a
+  // proxy for how much search effort its solve deserves.
+  std::vector<std::uint64_t> weights(num_shards, 0);
+  std::uint64_t weight_sum = 0;
+  for (std::size_t k = 0; k < num_shards; ++k) {
+    const jtora::ShardedProblem::Shard& shard = sharded.shard(k);
+    if (shard.problem == nullptr) continue;
+    weights[k] = static_cast<std::uint64_t>(shard.users.size()) *
+                 static_cast<std::uint64_t>(
+                     std::max<std::size_t>(std::size_t{1}, shard.servers.size()));
+    weight_sum += weights[k];
+  }
+  std::vector<std::size_t> iter_slice(num_shards, 0);
+  if (capped_inner != nullptr && budget.max_iterations != 0) {
+    iter_slice = split_units(budget.max_iterations, weights, true);
+  }
+  std::vector<double> sec_slice(num_shards, 0.0);
+  if (capped_inner != nullptr && budget.max_seconds > 0.0 && weight_sum > 0) {
+    for (std::size_t k = 0; k < num_shards; ++k) {
+      if (weights[k] == 0) continue;
+      sec_slice[k] =
+          std::max(1e-9, budget.max_seconds * (static_cast<double>(weights[k]) /
+                                               static_cast<double>(weight_sum)));
+    }
+  }
+
+  // The hint is repaired once against the global scenario, then sliced per
+  // shard inside the workers (shard_hint is a const read — thread-safe).
+  std::optional<jtora::Assignment> repaired;
+  if (hint != nullptr && (warm_inner != nullptr || capped_inner != nullptr)) {
+    repaired = repair_hint(scenario, *hint);
+  }
 
   // Derive every child seed up front, in shard order — the only point that
   // touches the caller's rng, so each shard's solve is independent of
   // execution order and thread count (the MultiStartScheduler pattern).
-  std::vector<std::uint64_t> seeds(num_shards);
-  for (std::size_t k = 0; k < num_shards; ++k) seeds[k] = rng.derive_seed(k);
+  // Seeds k and num_shards + k feed shard k's phase-1 solve and its
+  // reclaim re-solve respectively.
+  std::vector<std::uint64_t> seeds(2 * num_shards);
+  for (std::size_t k = 0; k < seeds.size(); ++k) seeds[k] = rng.derive_seed(k);
 
-  std::vector<std::optional<ScheduleResult>> results(num_shards);
+  struct Outcome {
+    std::optional<ScheduleResult> result;
+    bool truncated = false;
+  };
+  std::vector<Outcome> outcomes(num_shards);
   const auto solve_shard = [&](std::size_t k) {
     const jtora::ShardedProblem::Shard& shard = sharded.shard(k);
     if (shard.problem == nullptr) return;  // no user homes here
     Rng child(seeds[k]);
-    results[k] = inner_->schedule(*shard.problem, child);
+    Outcome& out = outcomes[k];
+    const Stopwatch shard_timer;
+    if (capped_inner != nullptr) {
+      SolveBudget slice;
+      slice.max_iterations = iter_slice[k];
+      slice.max_seconds = sec_slice[k];
+      out.result =
+          repaired.has_value()
+              ? capped_inner->schedule_from_within(
+                    *shard.problem, sharded.shard_hint(k, *repaired), slice,
+                    child)
+              : capped_inner->schedule_within(*shard.problem, slice, child);
+      // Truncated = the slice (not mere preference) stopped the solve; only
+      // these shards compete for reclaimed budget. The iteration test is a
+      // pure function of the result, keeping iteration-only budgets
+      // bit-deterministic; the wall-clock test is anytime by nature.
+      out.truncated =
+          (slice.max_iterations != 0 &&
+           out.result->evaluations >= slice.max_iterations) ||
+          (slice.max_seconds > 0.0 &&
+           shard_timer.elapsed_seconds() >= slice.max_seconds);
+    } else if (warm_inner != nullptr) {
+      out.result = warm_inner->schedule_from(
+          *shard.problem, sharded.shard_hint(k, *repaired), child);
+    } else {
+      out.result = inner_->schedule(*shard.problem, child);
+    }
   };
-  if (config_.threads != 1 && num_shards > 1) {
-    ThreadPool pool(config_.threads);
-    pool.parallel_for(num_shards, solve_shard);
+
+  // One pool serves the shard solves, the reclaim pass, and the fixup
+  // sweeps. A light grain batches shards per task when there are many more
+  // shards than workers; results are slot-addressed, so chunking cannot
+  // change them.
+  std::optional<ThreadPool> pool;
+  if (config_.threads != 1 && num_shards > 1) pool.emplace(config_.threads);
+  const std::size_t grain =
+      pool.has_value()
+          ? std::max<std::size_t>(std::size_t{1},
+                                  num_shards / (pool->num_threads() * 8))
+          : std::size_t{1};
+  if (pool.has_value()) {
+    pool->parallel_for(num_shards, solve_shard, grain);
   } else {
     for (std::size_t k = 0; k < num_shards; ++k) solve_shard(k);
+  }
+
+  // Deadline-aware reclaim: budget the fast shards did not use flows to
+  // the truncated ones. The iteration pool is the non-truncated shards'
+  // unused allocations (deterministic); the wall-clock pool is whatever
+  // remains of the global deadline now. Each truncated shard re-solves
+  // *warm from its own phase-1 result* under its share of the pool and
+  // keeps the better of the two.
+  if (capped_inner != nullptr) {
+    std::vector<std::uint64_t> reclaim_weights(num_shards, 0);
+    std::uint64_t reclaim_weight_sum = 0;
+    bool any_truncated = false;
+    for (std::size_t k = 0; k < num_shards; ++k) {
+      if (outcomes[k].result.has_value() && outcomes[k].truncated) {
+        reclaim_weights[k] = weights[k];
+        reclaim_weight_sum += weights[k];
+        any_truncated = true;
+      }
+    }
+    std::size_t iter_pool = 0;
+    if (budget.max_iterations != 0) {
+      for (std::size_t k = 0; k < num_shards; ++k) {
+        const Outcome& out = outcomes[k];
+        if (!out.result.has_value() || out.truncated) continue;
+        iter_pool +=
+            iter_slice[k] - std::min(out.result->evaluations, iter_slice[k]);
+      }
+    }
+    const double sec_pool =
+        budget.max_seconds > 0.0
+            ? std::max(0.0, budget.max_seconds - timer.elapsed_seconds())
+            : 0.0;
+    if (any_truncated && (iter_pool > 0 || sec_pool > 0.0)) {
+      // No >=1 clamp here: a shard whose reclaimed share rounds to nothing
+      // simply keeps its phase-1 result.
+      const std::vector<std::size_t> iter_extra =
+          split_units(iter_pool, reclaim_weights, false);
+      const auto resolve_shard = [&](std::size_t k) {
+        if (reclaim_weights[k] == 0) return;
+        SolveBudget slice;
+        slice.max_iterations = iter_extra[k];
+        if (sec_pool > 0.0) {
+          slice.max_seconds =
+              std::max(1e-9, sec_pool * (static_cast<double>(weights[k]) /
+                                         static_cast<double>(reclaim_weight_sum)));
+        }
+        if (slice.unlimited()) return;  // nothing reclaimed for this shard
+        Rng child(seeds[num_shards + k]);
+        ScheduleResult& phase1 = *outcomes[k].result;
+        const ScheduleResult warm = capped_inner->schedule_from_within(
+            *sharded.shard(k).problem, phase1.assignment, slice, child);
+        phase1.evaluations += warm.evaluations;
+        if (warm.system_utility > phase1.system_utility) {
+          phase1.assignment = warm.assignment;
+          phase1.system_utility = warm.system_utility;
+        }
+      };
+      if (pool.has_value()) {
+        pool->parallel_for(num_shards, resolve_shard, grain);
+      } else {
+        for (std::size_t k = 0; k < num_shards; ++k) resolve_shard(k);
+      }
+    }
   }
 
   // Merge in shard order. Shards own disjoint server sets, so the merged
@@ -138,30 +507,56 @@ ScheduleResult ShardedScheduler::schedule(const jtora::CompiledProblem& problem,
   jtora::Assignment merged(scenario);
   std::size_t evaluations = 0;
   for (std::size_t k = 0; k < num_shards; ++k) {
-    if (!results[k].has_value()) continue;
-    evaluations += results[k]->evaluations;
-    sharded.merge_into(k, results[k]->assignment, merged);
+    if (!outcomes[k].result.has_value()) continue;
+    evaluations += outcomes[k].result->evaluations;
+    sharded.merge_into(k, outcomes[k].result->assignment, merged);
   }
 
   // Boundary fixup on the *global* problem: shard solves scored boundary
   // users without cross-shard interference, so their placements can be
-  // mispriced. Sweep them with batch previews until a round changes
-  // nothing, the round cap fires, or the wall clock runs out.
-  jtora::IncrementalEvaluator eval(problem, merged);
-  eval.set_undo_logging(false);
-  std::vector<double> preview(scenario.num_servers());
-  const double deadline = config_.budget.max_seconds;
+  // mispriced. If the shard phase already exhausted the anytime deadline,
+  // do not even build the fixup machinery — score the merged assignment
+  // once and return it.
+  const double deadline = budget.max_seconds;
+  if (deadline > 0.0 && timer.elapsed_seconds() >= deadline) {
+    const double utility =
+        jtora::UtilityEvaluator(problem).system_utility(merged);
+    return ScheduleResult{std::move(merged), utility, timer.elapsed_seconds(),
+                          evaluations};
+  }
+
+  jtora::IncrementalEvaluator master(problem, merged);
+  master.set_undo_logging(false);
+  const std::size_t num_subchannels = scenario.num_subchannels();
+  std::vector<ShardSweep> sweeps;
   for (std::size_t pass = 0; pass < config_.fixup_passes; ++pass) {
     if (deadline > 0.0 && timer.elapsed_seconds() >= deadline) break;
-    const std::size_t moved = fixup_sweep(eval, sharded.boundary_users(),
-                                          preview, evaluations, timer, deadline);
+    std::size_t moved = 0;
+    for (const std::vector<std::size_t>& color_class : cache.color_classes) {
+      if (deadline > 0.0 && timer.elapsed_seconds() >= deadline) break;
+      sweeps.assign(color_class.size(), ShardSweep{});
+      const auto sweep_one = [&](std::size_t i) {
+        const std::size_t k = color_class[i];
+        const std::vector<std::size_t>& users = sharded.boundary_users_of(k);
+        if (users.empty()) return;
+        sweeps[i] = sweep_shard(master, users, cache.halo_servers[k],
+                                num_subchannels, timer, deadline);
+      };
+      if (pool.has_value()) {
+        pool->parallel_for(color_class.size(), sweep_one);
+      } else {
+        for (std::size_t i = 0; i < color_class.size(); ++i) sweep_one(i);
+      }
+      for (const ShardSweep& sweep : sweeps) evaluations += sweep.evaluations;
+      moved += commit_class(master, sweeps);
+    }
     if (moved == 0) break;
   }
 
   // Settle the running sums so the reported utility matches an independent
   // evaluation to well under the validation tolerance.
-  eval.rebuild();
-  return ScheduleResult{eval.assignment(), eval.utility(),
+  master.rebuild();
+  return ScheduleResult{master.assignment(), master.utility(),
                         timer.elapsed_seconds(), evaluations};
 }
 

@@ -4,27 +4,57 @@
 // The wrapped scheduler ("inner") sees per-shard subproblems produced by
 // jtora::ShardedProblem over a geo::InterferencePartition of the cell
 // sites: beyond the interference reach, co-channel coupling is negligible,
-// so shards are (nearly) independent and solve in parallel on the shared
-// ThreadPool. Afterwards a deterministic *boundary fixup* re-scores every
-// user homed in a boundary cell against the full global problem — the one
-// place the decomposition neglected cross-shard interference — using the
-// IncrementalEvaluator's batch sub-channel previews (jtora::batch) and
-// keeping only strict improvements.
+// so shards are (nearly) independent and solve in parallel on a
+// common::ThreadPool. Afterwards a deterministic *boundary fixup*
+// re-scores every user homed in a boundary cell against the full global
+// problem — the one place the decomposition neglected cross-shard
+// interference — using the IncrementalEvaluator's batch sub-channel
+// previews and keeping only strict improvements.
 //
-// Determinism: child seeds derive from the caller Rng up front in shard
-// order (the MultiStartScheduler pattern), shard solves merge in shard
-// order, and the fixup scans boundary users / sub-channels / servers in
-// ascending order with strict-improvement acceptance — the result is a
-// pure function of (problem, seed), independent of thread count.
+// Parallelism & determinism (see DESIGN.md "Parallel sharded solving"):
+//   * Shard solves: child seeds derive from the caller Rng up front in
+//     shard order (the MultiStartScheduler pattern), results land in
+//     preallocated per-shard slots, and the merge scans them in shard
+//     order — bit-identical for every thread count.
+//   * Budget split: the anytime SolveBudget is sliced across shards
+//     work-proportionally (weight = shard users x servers; largest-
+//     remainder apportionment for the iteration cap), handed to a
+//     BudgetAware inner scheme via schedule_within, and followed by a
+//     deadline-aware reclaim pass: slack the fast shards left behind —
+//     unused iterations plus whatever remains of the wall clock — is
+//     re-split over the truncated shards, which re-solve warm from their
+//     own phase-1 result. With an iteration budget the whole policy is a
+//     pure function of (problem, seed); wall-clock caps are anytime by
+//     nature and never bit-stable.
+//   * Boundary fixup: shards are greedily colored on the *squared* shard
+//     adjacency (conflict = adjacent or sharing a neighbor), so same-color
+//     shards have disjoint server halos. Each color class sweeps its
+//     shards' boundary users concurrently against private snapshots of the
+//     master evaluator (candidates restricted to the shard's halo) and
+//     commits in shard order — Jacobi within a class, Gauss-Seidel across
+//     classes — which makes the sweep thread-count independent by
+//     construction. Each pass re-checks the deadline before it starts,
+//     before every color class, and every 32 users inside a sweep.
+//
+// Warm start & epoch reuse: the scheduler is WarmStartable — a global hint
+// is repaired once, sliced per shard (jtora::ShardedProblem::shard_hint),
+// and routed to the inner scheme's warm entry point, so the dynamic
+// simulator's carried-assignment path works transparently. The partition,
+// the fixup coloring, and the per-shard compilations persist across
+// schedule() calls in an internal cache keyed by the site layout; per
+// epoch only the shard scenarios refresh (membership-changed shards
+// rebuild, the rest recompile in place). Caching is bitwise-invisible.
 //
 // Degenerate decompositions pass straight through: with a single shard (or
 // a single cell site, where no finite reach separates anything) schedule()
-// delegates to the inner scheduler with the caller's own Rng, so the
-// result is bit-identical to the unsharded solve.
+// delegates to the inner scheduler with the caller's own Rng — budget and
+// hint still applied — so the result is bit-identical to the unsharded
+// solve.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "algo/scheduler.h"
@@ -36,35 +66,64 @@ struct ShardedConfig {
   /// the deployment via geo::InterferencePartition::auto_reach.
   double reach_m = 0.0;
   /// Boundary fixup rounds after the shard solves. Each round sweeps the
-  /// boundary users once; rounds stop early when a sweep changes nothing.
+  /// boundary users once (colored, see above); rounds stop early when a
+  /// sweep changes nothing.
   std::size_t fixup_passes = 2;
-  /// Worker threads for the shard solves: 1 = sequential (default),
-  /// 0 = hardware concurrency. Results are identical for every setting.
+  /// Worker threads for the shard solves and the colored fixup sweeps:
+  /// 1 = sequential (default), 0 = hardware concurrency. Results are
+  /// identical for every setting.
   std::size_t threads = 1;
-  /// Wall-clock guard checked between shard merge and each fixup round
-  /// (max_seconds only; the iteration cap is the inner scheduler's
-  /// business). The merged shard solution is always feasible, so firing
-  /// the budget mid-fixup still returns a valid anytime result.
+  /// Anytime budget for the whole sharded solve. The iteration cap and the
+  /// wall-clock deadline are split across the shard solves when the inner
+  /// scheme is BudgetAware (work-proportional + reclaim, see above); the
+  /// wall-clock deadline additionally guards the fixup rounds. The merged
+  /// shard solution is always feasible, so firing the budget at any point
+  /// still returns a valid anytime result.
   SolveBudget budget;
 
   void validate() const;
 };
 
-class ShardedScheduler : public Scheduler {
+class ShardedScheduler : public Scheduler, public WarmStartable {
  public:
   explicit ShardedScheduler(std::unique_ptr<Scheduler> inner,
                             ShardedConfig config = {});
+  ~ShardedScheduler() override;
 
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
                                         Rng& rng) const override;
 
+  /// Warm start: `hint` is repaired against the problem, sliced per shard,
+  /// and handed to the inner scheme's warm entry point (when it has one);
+  /// the boundary fixup then runs as in a cold solve.
+  [[nodiscard]] ScheduleResult schedule_from(
+      const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
+      Rng& rng) const override;
+
   using Scheduler::schedule;
+  using WarmStartable::schedule_from;
 
  private:
+  struct Cache;
+
+  [[nodiscard]] ScheduleResult solve(const jtora::CompiledProblem& problem,
+                                     const jtora::Assignment* hint,
+                                     Rng& rng) const;
+  /// Degenerate (single-shard) path: delegate to the inner scheme with the
+  /// caller's Rng, still applying the configured budget and any hint.
+  [[nodiscard]] ScheduleResult passthrough(
+      const jtora::CompiledProblem& problem, const jtora::Assignment* hint,
+      Rng& rng) const;
+
   std::unique_ptr<Scheduler> inner_;
   ShardedConfig config_;
+  /// Epoch cache (partition, coloring, per-shard compilations), reused
+  /// while the site layout and reach stay put. The mutex is held for the
+  /// whole solve, serializing concurrent schedule() calls on one instance.
+  mutable std::mutex cache_mutex_;
+  mutable std::unique_ptr<Cache> cache_;
 };
 
 }  // namespace tsajs::algo

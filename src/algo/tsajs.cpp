@@ -47,10 +47,10 @@ namespace {
 // `Snapshot` returns the current assignment by value. Rejection is free by
 // construction: an unrealized proposal leaves no trace.
 template <typename Propose, typename Commit, typename Snapshot>
-ScheduleResult anneal(const TsajsConfig& config, Rng& rng,
-                      double initial_temperature, double initial_utility,
-                      Propose&& propose, Commit&& commit,
-                      Snapshot&& snapshot) {
+ScheduleResult anneal(const TsajsConfig& config, const SolveBudget& budget,
+                      Rng& rng, double initial_temperature,
+                      double initial_utility, Propose&& propose,
+                      Commit&& commit, Snapshot&& snapshot) {
   // Algorithm 1 lines 3-4: temperature schedule parameters.
   double temperature = initial_temperature;
   TSAJS_CHECK(temperature > config.min_temperature,
@@ -63,7 +63,7 @@ ScheduleResult anneal(const TsajsConfig& config, Rng& rng,
 
   // Anytime budget: consulted only at plateau boundaries, and only when the
   // caller set one, so an unlimited solve takes the identical path.
-  const bool budgeted = !config.budget.unlimited();
+  const bool budgeted = !budget.unlimited();
   const Stopwatch deadline_timer;
 
   std::size_t worse_accept_count = 0;  // Algorithm 1's `count`.
@@ -91,10 +91,10 @@ ScheduleResult anneal(const TsajsConfig& config, Rng& rng,
     // holds the best feasible decision seen so far, so stopping here is
     // "return best-so-far", never "return partial state".
     if (budgeted &&
-        ((config.budget.max_iterations != 0 &&
-          result.evaluations >= config.budget.max_iterations) ||
-         (config.budget.max_seconds > 0.0 &&
-          deadline_timer.elapsed_seconds() >= config.budget.max_seconds))) {
+        ((budget.max_iterations != 0 &&
+          result.evaluations >= budget.max_iterations) ||
+         (budget.max_seconds > 0.0 &&
+          deadline_timer.elapsed_seconds() >= budget.max_seconds))) {
       break;
     }
     // Lines 26-30: threshold-triggered cooling.
@@ -114,31 +114,46 @@ ScheduleResult anneal(const TsajsConfig& config, Rng& rng,
 
 ScheduleResult TsajsScheduler::schedule(const jtora::CompiledProblem& problem,
                                         Rng& rng) const {
-  // Algorithm 1 line 5: random feasible initial solution; line 3: T <- N.
-  jtora::Assignment initial = random_feasible_assignment(
-      problem.scenario(), rng, config_.initial_offload_prob);
-  const double initial_temperature = config_.initial_temperature.value_or(
-      static_cast<double>(problem.num_subchannels()));
-  return solve(problem, std::move(initial), initial_temperature, rng);
+  return schedule_within(problem, config_.budget, rng);
 }
 
 ScheduleResult TsajsScheduler::schedule_from(
     const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
     Rng& rng) const {
+  return schedule_from_within(problem, hint, config_.budget, rng);
+}
+
+ScheduleResult TsajsScheduler::schedule_within(
+    const jtora::CompiledProblem& problem, const SolveBudget& budget,
+    Rng& rng) const {
+  budget.validate();
+  // Algorithm 1 line 5: random feasible initial solution; line 3: T <- N.
+  jtora::Assignment initial = random_feasible_assignment(
+      problem.scenario(), rng, config_.initial_offload_prob);
+  const double initial_temperature = config_.initial_temperature.value_or(
+      static_cast<double>(problem.num_subchannels()));
+  return solve(problem, std::move(initial), initial_temperature, budget, rng);
+}
+
+ScheduleResult TsajsScheduler::schedule_from_within(
+    const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
+    const SolveBudget& budget, Rng& rng) const {
+  budget.validate();
   // The hint replaces the random start; repair makes it feasible for this
   // scenario whatever it was shaped for. Annealing restarts from the low
   // warm_reheat temperature instead of re-melting at T = N.
   return solve(problem, repair_hint(problem.scenario(), hint),
-               config_.warm_reheat, rng);
+               config_.warm_reheat, budget, rng);
 }
 
 ScheduleResult TsajsScheduler::solve(const jtora::CompiledProblem& problem,
                                      jtora::Assignment initial,
                                      double initial_temperature,
+                                     const SolveBudget& budget,
                                      Rng& rng) const {
   ScheduleResult result = anneal_solve(problem, std::move(initial),
-                                       initial_temperature, rng);
-  if (!config_.budget.unlimited() && result.system_utility < 0.0) {
+                                       initial_temperature, budget, rng);
+  if (!budget.unlimited() && result.system_utility < 0.0) {
     // The budget fired before the search reached anything at least as good
     // as all-local execution (system utility exactly 0, feasible by
     // construction): degrade to it rather than return a worse start.
@@ -150,7 +165,7 @@ ScheduleResult TsajsScheduler::solve(const jtora::CompiledProblem& problem,
 
 ScheduleResult TsajsScheduler::anneal_solve(
     const jtora::CompiledProblem& problem, jtora::Assignment initial,
-    double initial_temperature, Rng& rng) const {
+    double initial_temperature, const SolveBudget& budget, Rng& rng) const {
   const Neighborhood neighborhood(problem.scenario(), config_.neighborhood);
 
   if (config_.use_incremental_evaluator) {
@@ -163,7 +178,7 @@ ScheduleResult TsajsScheduler::anneal_solve(
     state.set_rebuild_interval(config_.rebuild_interval);
     Neighborhood::Move move;
     return anneal(
-        config_, rng, initial_temperature, state.utility(),
+        config_, budget, rng, initial_temperature, state.utility(),
         /*propose=*/
         [&](Rng& r) {
           move = neighborhood.propose(state, r);
@@ -182,7 +197,8 @@ ScheduleResult TsajsScheduler::anneal_solve(
   jtora::Assignment candidate = current;
   double candidate_utility = 0.0;
   return anneal(
-      config_, rng, initial_temperature, evaluator.system_utility(current),
+      config_, budget, rng, initial_temperature,
+      evaluator.system_utility(current),
       /*propose=*/
       [&](Rng& r) {
         candidate = current;

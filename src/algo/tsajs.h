@@ -78,7 +78,9 @@ struct TsajsConfig {
   void validate() const;
 };
 
-class TsajsScheduler final : public Scheduler, public WarmStartable {
+class TsajsScheduler final : public Scheduler,
+                             public WarmStartable,
+                             public BudgetAware {
  public:
   using Scheduler::schedule;
   using WarmStartable::schedule_from;
@@ -96,6 +98,17 @@ class TsajsScheduler final : public Scheduler, public WarmStartable {
       const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
       Rng& rng) const override;
 
+  /// Per-call budget overrides (BudgetAware): identical search, but the
+  /// anytime caps checked at each plateau boundary come from `budget`
+  /// instead of `config().budget`. With `budget == config().budget` the
+  /// result is bit-identical to the plain entry points.
+  [[nodiscard]] ScheduleResult schedule_within(
+      const jtora::CompiledProblem& problem, const SolveBudget& budget,
+      Rng& rng) const override;
+  [[nodiscard]] ScheduleResult schedule_from_within(
+      const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
+      const SolveBudget& budget, Rng& rng) const override;
+
   [[nodiscard]] const TsajsConfig& config() const noexcept { return config_; }
 
  private:
@@ -103,10 +116,11 @@ class TsajsScheduler final : public Scheduler, public WarmStartable {
   [[nodiscard]] ScheduleResult solve(const jtora::CompiledProblem& problem,
                                      jtora::Assignment initial,
                                      double initial_temperature,
+                                     const SolveBudget& budget,
                                      Rng& rng) const;
   [[nodiscard]] ScheduleResult anneal_solve(
       const jtora::CompiledProblem& problem, jtora::Assignment initial,
-      double initial_temperature, Rng& rng) const;
+      double initial_temperature, const SolveBudget& budget, Rng& rng) const;
 
   TsajsConfig config_;
 };

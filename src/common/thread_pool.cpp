@@ -38,17 +38,31 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (n == 0) return;
+  if (grain == 0) {
+    // Auto grain: an even split across the workers. Fine for uniform tiny
+    // bodies; callers with skewed work should pick a smaller grain.
+    grain = (n + num_threads() - 1) / num_threads();
+  }
+  const std::size_t num_chunks = (n + grain - 1) / grain;
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  futures.reserve(num_chunks);
+  for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    const std::size_t begin = chunk * grain;
+    const std::size_t end = std::min(n, begin + grain);
+    futures.push_back(submit([&fn, begin, end] {
+      // Ascending within the chunk, so the chunk's future carries its
+      // lowest-index failure.
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
   }
   // Drain every future before rethrowing: all tasks must have finished when
   // parallel_for returns (callers' captured state dies with the frame). The
-  // index-ordered scan makes the propagated exception the *lowest-index*
-  // failure, deterministically, no matter which worker threw first on the
-  // wall clock.
+  // chunk-ordered scan makes the propagated exception the *lowest-index*
+  // failure among the executed calls, deterministically, no matter which
+  // worker threw first on the wall clock.
   std::exception_ptr lowest_index_error;
   for (auto& future : futures) {
     try {

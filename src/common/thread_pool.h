@@ -43,10 +43,21 @@ class ThreadPool {
   }
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for *all* tasks
-  /// to finish. If any tasks threw, the exception of the lowest-index
-  /// failing task is rethrown — a deterministic choice, independent of the
+  /// to finish. If any calls threw, the exception of the lowest-index
+  /// failure is rethrown — a deterministic choice, independent of the
   /// temporal order in which workers hit their errors.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  ///
+  /// `grain` sets the chunk size: one pool task covers `grain` consecutive
+  /// indices, run in ascending order. The default (1) submits one task per
+  /// index — right for heavy bodies like a shard solve; a larger grain
+  /// amortizes the queue/future overhead when the per-index body is tiny
+  /// and the index count is large (see BM_ParallelForGrain). `grain == 0`
+  /// picks an even split over the workers automatically. Within a chunk a
+  /// throwing index skips the chunk's remaining indices (chunks are
+  /// all-or-nothing past the failure); with the default grain of 1 every
+  /// index runs regardless, as before.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
 
  private:
   void worker_loop();

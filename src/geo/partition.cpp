@@ -49,21 +49,34 @@ InterferencePartition::InterferencePartition(const std::vector<Point>& sites,
     cells_[k].push_back(c);  // ascending: c is ascending
   }
 
-  // Boundary cells: any foreign-shard site within reach. O(C^2) over the
-  // site list — hundreds of cells at city scale, negligible next to one
-  // shard solve.
+  // Boundary cells and shard adjacency off the same O(C^2) site-pair scan:
+  // a foreign-shard site within reach marks the cell as boundary *and*
+  // links the two shards — hundreds of cells at city scale, negligible next
+  // to one shard solve.
   boundary_.assign(sites.size(), 0);
+  adjacent_.assign(next_id, {});
   const double reach_sq = reach_m * reach_m;
   for (std::size_t c = 0; c < sites.size(); ++c) {
     for (std::size_t d = 0; d < sites.size(); ++d) {
       if (shard_of_[d] == shard_of_[c]) continue;
       if (distance_squared(sites[c], sites[d]) <= reach_sq) {
         boundary_[c] = 1;
-        break;
+        adjacent_[shard_of_[c]].push_back(shard_of_[d]);
       }
     }
     if (boundary_[c] != 0) boundary_cells_.push_back(c);
   }
+  for (std::vector<std::size_t>& neighbors : adjacent_) {
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+  }
+}
+
+const std::vector<std::size_t>& InterferencePartition::adjacent_shards(
+    std::size_t k) const {
+  TSAJS_REQUIRE(k < adjacent_.size(), "shard index out of range");
+  return adjacent_[k];
 }
 
 std::size_t InterferencePartition::shard_of(std::size_t c) const {

@@ -59,6 +59,13 @@ class InterferencePartition {
     return boundary_cells_;
   }
 
+  /// Shards adjacent to shard `k`: every shard owning a cell within reach
+  /// of one of k's cells (exactly the shards k's boundary users can
+  /// exchange non-negligible interference with). Ascending, excludes k.
+  /// Symmetric: l in adjacent_shards(k) iff k in adjacent_shards(l).
+  [[nodiscard]] const std::vector<std::size_t>& adjacent_shards(
+      std::size_t k) const;
+
   /// Default reach for a deployment: twice the closest site spacing (ring-1
   /// neighbours interfere, ring-2 is down in the noise). Returns 0 for a
   /// single site (any positive reach yields one shard).
@@ -70,6 +77,7 @@ class InterferencePartition {
   std::vector<std::vector<std::size_t>> cells_;
   std::vector<std::uint8_t> boundary_;
   std::vector<std::size_t> boundary_cells_;
+  std::vector<std::vector<std::size_t>> adjacent_;
 };
 
 }  // namespace tsajs::geo

@@ -8,30 +8,84 @@
 namespace tsajs::jtora {
 
 ShardedProblem::ShardedProblem(const CompiledProblem& problem,
-                               const geo::InterferencePartition& partition)
-    : parent_(&problem) {
+                               const geo::InterferencePartition& partition) {
+  compile(problem, partition);
+}
+
+bool ShardedProblem::layout_reusable(
+    const mec::Scenario& scenario,
+    const geo::InterferencePartition& partition) const {
+  if (shards_.empty() || shards_.size() != partition.num_shards()) {
+    return false;
+  }
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const Shard& shard = shards_[k];
+    if (shard.servers != partition.cells(k)) return false;
+    if (!shard.workspace) continue;
+    // A retained workspace froze the sliced server set, spectrum, and noise
+    // floor at creation; any drift there invalidates the whole slice.
+    const mec::ScenarioWorkspace& ws = *shard.workspace;
+    if (ws.noise_w() != scenario.noise_w() ||
+        ws.spectrum().bandwidth_hz() != scenario.spectrum().bandwidth_hz() ||
+        ws.spectrum().num_subchannels() !=
+            scenario.spectrum().num_subchannels()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < shard.servers.size(); ++i) {
+      const mec::EdgeServer& held = ws.servers()[i];
+      const mec::EdgeServer& live = scenario.server(shard.servers[i]);
+      if (held.cpu_hz != live.cpu_hz || held.tx_power_w != live.tx_power_w ||
+          held.position.x != live.position.x ||
+          held.position.y != live.position.y) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void ShardedProblem::compile(const CompiledProblem& problem,
+                             const geo::InterferencePartition& partition) {
   TSAJS_REQUIRE(problem.compiled(), "ShardedProblem needs a compiled problem");
   const mec::Scenario& scenario = problem.scenario();
   TSAJS_REQUIRE(partition.num_cells() == scenario.num_servers(),
                 "partition must have one cell per server");
+  parent_ = &problem;
 
   const std::size_t num_users = scenario.num_users();
   const std::size_t num_servers = scenario.num_servers();
   const std::size_t num_subchannels = scenario.num_subchannels();
+  const std::size_t num_shards = partition.num_shards();
 
-  // Shard skeletons: the partition's server groups.
-  shards_.resize(partition.num_shards());
-  std::vector<std::size_t> local_server(num_servers, 0);
-  for (std::size_t k = 0; k < partition.num_shards(); ++k) {
-    shards_[k].servers = partition.cells(k);
-    for (std::size_t i = 0; i < shards_[k].servers.size(); ++i) {
-      local_server[shards_[k].servers[i]] = i;
+  // Shard skeletons: the partition's server groups. Kept — workspaces,
+  // compilations and all — when the layout still matches.
+  if (!layout_reusable(scenario, partition)) {
+    shards_.clear();
+    shards_.resize(num_shards);
+    for (std::size_t k = 0; k < num_shards; ++k) {
+      shards_[k].servers = partition.cells(k);
+    }
+  }
+  server_shard_.resize(num_servers);
+  server_local_.resize(num_servers);
+  for (std::size_t k = 0; k < num_shards; ++k) {
+    const std::vector<std::size_t>& servers = shards_[k].servers;
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      server_shard_[servers[i]] = k;
+      server_local_[servers[i]] = i;
     }
   }
 
-  // Home cell per user = nearest server, lowest index on ties.
+  // Home cell per user = nearest server, lowest index on ties. Staged into
+  // scratch lists first so each shard's new membership can be diffed
+  // against the retained one.
   home_server_.resize(num_users);
   shard_of_user_.resize(num_users);
+  boundary_users_.clear();
+  staged_users_.resize(num_shards);
+  for (std::vector<std::size_t>& list : staged_users_) list.clear();
+  boundary_users_of_.resize(num_shards);
+  for (std::vector<std::size_t>& list : boundary_users_of_) list.clear();
   for (std::size_t u = 0; u < num_users; ++u) {
     const geo::Point pos = scenario.user(u).position;
     std::size_t best = 0;
@@ -47,23 +101,45 @@ ShardedProblem::ShardedProblem(const CompiledProblem& problem,
     home_server_[u] = best;
     const std::size_t k = partition.shard_of(best);
     shard_of_user_[u] = k;
-    shards_[k].users.push_back(u);  // ascending: u is ascending
-    if (partition.is_boundary(best)) boundary_users_.push_back(u);
+    staged_users_[k].push_back(u);  // ascending: u is ascending
+    if (partition.is_boundary(best)) {
+      boundary_users_.push_back(u);
+      boundary_users_of_[k].push_back(u);
+    }
   }
 
-  // Materialize one sub-scenario + compilation per populated shard.
-  for (Shard& shard : shards_) {
-    if (shard.users.empty()) continue;
-    std::vector<mec::UserEquipment> users;
-    users.reserve(shard.users.size());
-    for (const std::size_t gu : shard.users) users.push_back(scenario.user(gu));
-    std::vector<mec::EdgeServer> servers;
-    servers.reserve(shard.servers.size());
-    for (const std::size_t gs : shard.servers) {
-      servers.push_back(scenario.server(gs));
+  // Materialize (or refresh) one sub-scenario + compilation per populated
+  // shard. The workspace retains the staging buffers across epochs and the
+  // shard's CompiledProblem recompiles in place, skipping per-user constant
+  // blocks that did not change — the values are bitwise identical to a
+  // from-scratch slice either way.
+  shards_rebuilt_ = 0;
+  shards_refreshed_ = 0;
+  for (std::size_t k = 0; k < num_shards; ++k) {
+    Shard& shard = shards_[k];
+    const bool members_changed = shard.users != staged_users_[k];
+    shard.users.swap(staged_users_[k]);
+    if (shard.users.empty()) {
+      shard.scenario = nullptr;
+      shard.problem.reset();
+      continue;
     }
-    Matrix3<double> gains(shard.users.size(), shard.servers.size(),
-                          num_subchannels);
+    if (!shard.workspace) {
+      std::vector<mec::EdgeServer> servers;
+      servers.reserve(shard.servers.size());
+      for (const std::size_t gs : shard.servers) {
+        servers.push_back(scenario.server(gs));
+      }
+      shard.workspace = std::make_unique<mec::ScenarioWorkspace>(
+          std::move(servers), scenario.spectrum(), scenario.noise_w());
+    }
+    mec::ScenarioWorkspace& ws = *shard.workspace;
+    ws.begin_epoch();
+    for (const std::size_t gu : shard.users) {
+      ws.users().push_back(scenario.user(gu));
+    }
+    Matrix3<double>& gains = ws.gains();
+    gains.reshape(shard.users.size(), shard.servers.size(), num_subchannels);
     for (std::size_t lu = 0; lu < shard.users.size(); ++lu) {
       for (std::size_t ls = 0; ls < shard.servers.size(); ++ls) {
         for (std::size_t j = 0; j < num_subchannels; ++j) {
@@ -72,10 +148,10 @@ ShardedProblem::ShardedProblem(const CompiledProblem& problem,
         }
       }
     }
-    mec::Availability availability;  // unconstrained in the healthy case
-    if (!scenario.fully_available()) {
-      availability =
-          mec::Availability(shard.servers.size(), num_subchannels);
+    if (scenario.fully_available()) {
+      ws.set_availability(mec::Availability{});
+    } else {
+      mec::Availability availability(shard.servers.size(), num_subchannels);
       for (std::size_t ls = 0; ls < shard.servers.size(); ++ls) {
         const std::size_t gs = shard.servers[ls];
         if (!scenario.server_available(gs)) {
@@ -86,11 +162,16 @@ ShardedProblem::ShardedProblem(const CompiledProblem& problem,
           if (!scenario.slot_available(gs, j)) availability.block_slot(ls, j);
         }
       }
+      ws.set_availability(std::move(availability));
     }
-    shard.scenario = std::make_unique<mec::Scenario>(
-        std::move(users), std::move(servers), scenario.spectrum(),
-        scenario.noise_w(), std::move(gains), std::move(availability));
-    shard.problem = std::make_unique<CompiledProblem>(*shard.scenario);
+    shard.scenario = &ws.commit();
+    if (!shard.problem) shard.problem = std::make_unique<CompiledProblem>();
+    shard.problem->compile(*shard.scenario);
+    if (members_changed) {
+      ++shards_rebuilt_;
+    } else {
+      ++shards_refreshed_;
+    }
   }
 }
 
@@ -109,6 +190,22 @@ std::size_t ShardedProblem::shard_of_user(std::size_t u) const {
   return shard_of_user_[u];
 }
 
+std::size_t ShardedProblem::shard_of_server(std::size_t s) const {
+  TSAJS_REQUIRE(s < server_shard_.size(), "server index out of range");
+  return server_shard_[s];
+}
+
+std::size_t ShardedProblem::local_server_index(std::size_t s) const {
+  TSAJS_REQUIRE(s < server_local_.size(), "server index out of range");
+  return server_local_[s];
+}
+
+const std::vector<std::size_t>& ShardedProblem::boundary_users_of(
+    std::size_t k) const {
+  TSAJS_REQUIRE(k < boundary_users_of_.size(), "shard index out of range");
+  return boundary_users_of_[k];
+}
+
 void ShardedProblem::merge_into(std::size_t k, const Assignment& local,
                                 Assignment& global) const {
   const Shard& shard = this->shard(k);
@@ -120,6 +217,30 @@ void ShardedProblem::merge_into(std::size_t k, const Assignment& local,
     global.offload(shard.users[lu], shard.servers[slot->server],
                    slot->subchannel);
   }
+}
+
+Assignment ShardedProblem::shard_hint(std::size_t k,
+                                      const Assignment& global) const {
+  const Shard& shard = this->shard(k);
+  TSAJS_REQUIRE(shard.scenario != nullptr,
+                "shard_hint needs a populated shard");
+  Assignment local(*shard.scenario);
+  const std::size_t num_subchannels = shard.scenario->num_subchannels();
+  for (std::size_t lu = 0; lu < shard.users.size(); ++lu) {
+    const std::size_t gu = shard.users[lu];
+    if (gu >= global.num_users()) continue;
+    const auto slot = global.slot_of(gu);
+    if (!slot.has_value()) continue;
+    if (slot->server >= server_shard_.size() ||
+        server_shard_[slot->server] != k ||
+        slot->subchannel >= num_subchannels) {
+      continue;  // placed outside the shard: the local solve starts it local
+    }
+    const std::size_t ls = server_local_[slot->server];
+    if (!local.slot_available(ls, slot->subchannel)) continue;
+    local.offload(lu, ls, slot->subchannel);
+  }
+  return local;
 }
 
 }  // namespace tsajs::jtora

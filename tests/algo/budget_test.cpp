@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <memory>
 
+#include "algo/multi_start.h"
 #include "algo/registry.h"
 #include "algo/scheduler.h"
 #include "algo/tsajs.h"
@@ -154,6 +156,74 @@ TEST(SolveBudgetTest, WarmStartRespectsIterationBudget) {
       run_and_validate(scheduler, scenario, hint, solve_rng);
   EXPECT_GE(result.system_utility, 0.0);
   EXPECT_LE(result.evaluations, scheduler.config().chain_length + 1);
+}
+
+// BudgetAware contract: schedule_within under a budget equal to the
+// configured one must be bit-identical to a plain schedule() — same RNG
+// stream, same decision, same effort. The sharded wrapper relies on this
+// to hand shards their slices without rebuilding the inner scheduler.
+TEST(SolveBudgetTest, ScheduleWithinEqualsConfiguredBudgetBitwise) {
+  Rng env(17);
+  const mec::Scenario scenario =
+      mec::ScenarioBuilder().num_users(25).build(env);
+  const jtora::CompiledProblem problem(scenario);
+
+  TsajsConfig config;
+  config.budget.max_iterations = 500;
+  const TsajsScheduler scheduler(config);
+
+  Rng rng_a(21);
+  Rng rng_b(21);
+  const ScheduleResult plain = scheduler.schedule(problem, rng_a);
+  const ScheduleResult within =
+      scheduler.schedule_within(problem, config.budget, rng_b);
+  EXPECT_EQ(plain.assignment, within.assignment);
+  EXPECT_EQ(plain.system_utility, within.system_utility);
+  EXPECT_EQ(plain.evaluations, within.evaluations);
+}
+
+// The per-call budget overrides the configured one: an *unbudgeted*
+// scheduler handed a one-iteration cap must stop at the first plateau.
+TEST(SolveBudgetTest, ScheduleWithinOverridesConfiguredBudget) {
+  Rng env(42);
+  const mec::Scenario scenario = make_u90(env);
+  const jtora::CompiledProblem problem(scenario);
+
+  const TsajsScheduler scheduler;  // unlimited configured budget
+  SolveBudget cap;
+  cap.max_iterations = 1;
+  Rng rng(7);
+  const ScheduleResult result = scheduler.schedule_within(problem, cap, rng);
+  EXPECT_GE(result.system_utility, 0.0);
+  EXPECT_LE(result.evaluations, scheduler.config().chain_length + 1);
+}
+
+// Multi-start forwards the per-call cap to every restart.
+TEST(SolveBudgetTest, MultiStartScheduleWithinCapsEveryRestart) {
+  Rng env(42);
+  const mec::Scenario scenario = make_u90(env);
+  const jtora::CompiledProblem problem(scenario);
+
+  TsajsConfig inner_config;
+  inner_config.chain_length = 10;
+  const MultiStartScheduler scheduler(
+      std::make_unique<TsajsScheduler>(inner_config), 3);
+  SolveBudget cap;
+  cap.max_iterations = 1;
+  Rng rng(5);
+  const ScheduleResult result = scheduler.schedule_within(problem, cap, rng);
+  EXPECT_LE(result.evaluations, 3 * (inner_config.chain_length + 1));
+
+  // And the capped parallel path stays bit-identical to the sequential one.
+  const MultiStartScheduler pooled(
+      std::make_unique<TsajsScheduler>(inner_config), 3, 4);
+  Rng rng_a(5);
+  Rng rng_b(5);
+  const ScheduleResult seq = scheduler.schedule_within(problem, cap, rng_a);
+  const ScheduleResult par = pooled.schedule_within(problem, cap, rng_b);
+  EXPECT_EQ(seq.assignment, par.assignment);
+  EXPECT_EQ(seq.system_utility, par.system_utility);
+  EXPECT_EQ(seq.evaluations, par.evaluations);
 }
 
 }  // namespace

@@ -135,6 +135,179 @@ TEST(ShardedSchedulerTest, TinyWallClockBudgetStillFeasible) {
   result.assignment.check_consistency();
 }
 
+// The tentpole acceptance golden: the parallel shard path — solves, budget
+// split, reclaim, colored fixup — must be bit-identical to the sequential
+// one at every thread count, for a stochastic inner scheme.
+TEST(ShardedSchedulerTest, ParallelSolveBitIdenticalAt1_2_8Threads) {
+  const mec::Scenario scenario = make_scenario(21, 60);
+  const jtora::CompiledProblem problem(scenario);
+  ShardedConfig base;
+  base.reach_m = 2000.0;
+  base.threads = 1;
+  const ShardedScheduler sequential(
+      std::make_unique<TsajsScheduler>(small_tsajs()), base);
+  Rng rng_ref(31);
+  const ScheduleResult reference = sequential.schedule(problem, rng_ref);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE("threads: " + std::to_string(threads));
+    ShardedConfig pooled = base;
+    pooled.threads = threads;
+    const ShardedScheduler parallel(
+        std::make_unique<TsajsScheduler>(small_tsajs()), pooled);
+    Rng rng(31);
+    const ScheduleResult result = parallel.schedule(problem, rng);
+    EXPECT_EQ(result.assignment, reference.assignment);
+    EXPECT_EQ(result.system_utility, reference.system_utility);  // bitwise
+    EXPECT_EQ(result.evaluations, reference.evaluations);
+  }
+}
+
+// Iteration budgets split across mixed-size shards must stay a pure
+// function of (problem, seed): the cap forces truncation (so the reclaim
+// pass runs) and the outcome is identical at 1 and 4 threads, bit for bit.
+TEST(ShardedSchedulerTest, IterationBudgetSplitIsDeterministicAcrossThreads) {
+  // 60 users over 9 servers, reach 2000 -> several shards of uneven size.
+  const mec::Scenario scenario = make_scenario(22, 60);
+  const jtora::CompiledProblem problem(scenario);
+  ShardedConfig config;
+  config.reach_m = 2000.0;
+  // Small enough that shards exhaust their slices (TSAJS runs thousands of
+  // evaluations unbudgeted), large enough that every shard solves.
+  config.budget.max_iterations = 200;
+  config.threads = 1;
+  const ShardedScheduler one(std::make_unique<TsajsScheduler>(small_tsajs()),
+                             config);
+  config.threads = 4;
+  const ShardedScheduler four(std::make_unique<TsajsScheduler>(small_tsajs()),
+                              config);
+  Rng rng_a(17);
+  Rng rng_b(17);
+  const ScheduleResult a = run_and_validate(one, problem, rng_a);
+  const ScheduleResult b = run_and_validate(four, problem, rng_b);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.system_utility, b.system_utility);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  // The cap bit: effort is far below the ~20k evaluations of an unbudgeted
+  // solve on this instance. The total may legitimately exceed the nominal
+  // 200 — each shard overshoots by up to one plateau in both the first
+  // pass and the reclaim pass, and the boundary-fixup previews count as
+  // evaluations too — so only a loose ceiling is asserted.
+  EXPECT_GT(a.evaluations, 0u);
+  EXPECT_LE(a.evaluations, 20 * config.budget.max_iterations);
+}
+
+// Warm start: a global hint routes through per-shard slices to the inner
+// scheme. The warm solve must be deterministic, feasible under the full
+// audit, and bit-identical across thread counts.
+TEST(ShardedSchedulerTest, WarmStartIsDeterministicAndThreadInvariant) {
+  const mec::Scenario scenario = make_scenario(23, 55);
+  const jtora::CompiledProblem problem(scenario);
+  ShardedConfig config;
+  config.reach_m = 2000.0;
+  const ShardedScheduler scheduler(
+      std::make_unique<TsajsScheduler>(small_tsajs()), config);
+
+  Rng cold_rng(41);
+  const ScheduleResult cold = scheduler.schedule(problem, cold_rng);
+
+  Rng rng_a(43);
+  const ScheduleResult warm_a =
+      run_and_validate(scheduler, problem, cold.assignment, rng_a);
+  Rng rng_b(43);
+  const ScheduleResult warm_b =
+      run_and_validate(scheduler, problem, cold.assignment, rng_b);
+  EXPECT_EQ(warm_a.assignment, warm_b.assignment);
+  EXPECT_EQ(warm_a.system_utility, warm_b.system_utility);
+
+  config.threads = 4;
+  const ShardedScheduler pooled(
+      std::make_unique<TsajsScheduler>(small_tsajs()), config);
+  Rng rng_c(43);
+  const ScheduleResult warm_c =
+      run_and_validate(pooled, problem, cold.assignment, rng_c);
+  EXPECT_EQ(warm_c.assignment, warm_a.assignment);
+  EXPECT_EQ(warm_c.system_utility, warm_a.system_utility);
+}
+
+// The epoch cache (partition, coloring, per-shard compilations held across
+// schedule() calls) must be bitwise-invisible: a scheduler that solved
+// other scenarios first returns exactly what a fresh instance returns.
+TEST(ShardedSchedulerTest, EpochCacheReuseIsBitwiseInvisible) {
+  const mec::Scenario first = make_scenario(24, 40);
+  const mec::Scenario second = make_scenario(25, 48);
+  const jtora::CompiledProblem problem_a(first);
+  const jtora::CompiledProblem problem_b(second);
+  ShardedConfig config;
+  config.reach_m = 2000.0;
+  const ShardedScheduler reused(
+      std::make_unique<TsajsScheduler>(small_tsajs()), config);
+  const ShardedScheduler fresh(
+      std::make_unique<TsajsScheduler>(small_tsajs()), config);
+
+  Rng warmup(3);
+  (void)reused.schedule(problem_a, warmup);  // populate the cache
+
+  Rng rng_a(55);
+  Rng rng_b(55);
+  const ScheduleResult cached = reused.schedule(problem_b, rng_a);
+  const ScheduleResult cold = fresh.schedule(problem_b, rng_b);
+  EXPECT_EQ(cached.assignment, cold.assignment);
+  EXPECT_EQ(cached.system_utility, cold.system_utility);
+  EXPECT_EQ(cached.evaluations, cold.evaluations);
+}
+
+// Single-shard passthrough still applies the budget and the hint: the
+// wrapper must match the inner scheme's own BudgetAware / WarmStartable
+// entry points bit for bit.
+TEST(ShardedSchedulerTest, SingleShardPassthroughAppliesBudgetAndHint) {
+  const mec::Scenario scenario = make_scenario(26);
+  const jtora::CompiledProblem problem(scenario);
+  ShardedConfig config;
+  config.reach_m = 1e7;  // one shard
+  config.budget.max_iterations = 40;
+  const ShardedScheduler sharded(
+      std::make_unique<TsajsScheduler>(small_tsajs()), config);
+  const TsajsScheduler inner(small_tsajs());
+
+  Rng rng_a(61);
+  Rng rng_b(61);
+  const ScheduleResult a = sharded.schedule(problem, rng_a);
+  const ScheduleResult b = inner.schedule_within(problem, config.budget, rng_b);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+
+  const jtora::Assignment hint(scenario);  // all-local
+  Rng rng_c(62);
+  Rng rng_d(62);
+  const ScheduleResult c = sharded.schedule_from(problem, hint, rng_c);
+  const ScheduleResult d =
+      inner.schedule_from_within(problem, hint, config.budget, rng_d);
+  EXPECT_EQ(c.assignment, d.assignment);
+  EXPECT_EQ(c.evaluations, d.evaluations);
+}
+
+// Registry wiring: --shard-threads drives the wrapper, and the inner
+// scheme is built with its budget cleared (the wrapper owns the split), so
+// a budgeted sharded:tsajs does not double-cap.
+TEST(ShardedSchedulerTest, RegistryShardThreadsAreBitwiseInvisible) {
+  const mec::Scenario scenario = make_scenario(27, 50);
+  const jtora::CompiledProblem problem(scenario);
+  RegistryOptions options;
+  options.chain_length = 10;
+  options.shard_reach_m = 2000.0;
+  options.budget.max_iterations = 300;
+  const auto sequential = make_scheduler("sharded:tsajs", options);
+  options.shard_threads = 4;
+  const auto pooled = make_scheduler("sharded:tsajs", options);
+  Rng rng_a(71);
+  Rng rng_b(71);
+  const ScheduleResult a = sequential->schedule(problem, rng_a);
+  const ScheduleResult b = pooled->schedule(problem, rng_b);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.system_utility, b.system_utility);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
 TEST(ShardedSchedulerTest, RegistryBuildsShardedWrappers) {
   const auto scheduler = make_scheduler("sharded:greedy");
   ASSERT_NE(scheduler, nullptr);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -127,6 +128,64 @@ TEST(InterferencePartitionTest, SmallReachIsolatesHexSites) {
   const InterferencePartition p(sites, 400.0);
   EXPECT_EQ(p.num_shards(), sites.size());
   EXPECT_TRUE(p.boundary_cells().empty());
+}
+
+TEST(InterferencePartitionTest, AdjacencyMatchesCrossShardReach) {
+  // Sites at x = 0, 1000, 2000 with reach 1500: shards {0,1} and {2}, and
+  // the 1-2 pair (1000 m apart) links the two shards.
+  const std::vector<Point> sites{{0.0, 0.0}, {1000.0, 0.0}, {2000.0, 0.0}};
+  const InterferencePartition p(sites, 1500.0);
+  ASSERT_EQ(p.num_shards(), 2u);
+  EXPECT_EQ(p.adjacent_shards(0), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(p.adjacent_shards(1), (std::vector<std::size_t>{0}));
+  EXPECT_THROW((void)p.adjacent_shards(2), InvalidArgumentError);
+}
+
+TEST(InterferencePartitionTest, AdjacencyIsSymmetricSortedAndSelfFree) {
+  Rng rng(13);
+  const mec::Scenario scenario =
+      mec::ScenarioBuilder().num_users(1).num_servers(16).build(rng);
+  std::vector<Point> sites;
+  for (std::size_t s = 0; s < scenario.num_servers(); ++s) {
+    sites.push_back(scenario.server(s).position);
+  }
+  const double reach = InterferencePartition::auto_reach(sites);
+  const InterferencePartition p(sites, reach);
+  const double reach_sq = reach * reach;
+  for (std::size_t k = 0; k < p.num_shards(); ++k) {
+    const std::vector<std::size_t>& adj = p.adjacent_shards(k);
+    EXPECT_TRUE(std::is_sorted(adj.begin(), adj.end()));
+    EXPECT_EQ(std::adjacent_find(adj.begin(), adj.end()), adj.end());
+    for (const std::size_t a : adj) {
+      EXPECT_NE(a, k);
+      const std::vector<std::size_t>& back = p.adjacent_shards(a);
+      EXPECT_NE(std::find(back.begin(), back.end(), k), back.end());
+    }
+  }
+  // Ground truth from the definition: shards are adjacent iff some
+  // cross-shard site pair is within reach.
+  for (std::size_t c = 0; c < sites.size(); ++c) {
+    for (std::size_t d = 0; d < sites.size(); ++d) {
+      if (p.shard_of(c) == p.shard_of(d)) continue;
+      if (distance_squared(sites[c], sites[d]) > reach_sq) continue;
+      const std::vector<std::size_t>& adj = p.adjacent_shards(p.shard_of(c));
+      EXPECT_NE(std::find(adj.begin(), adj.end(), p.shard_of(d)), adj.end());
+    }
+  }
+}
+
+TEST(InterferencePartitionTest, IsolatedShardsHaveNoAdjacency) {
+  Rng rng(11);
+  const mec::Scenario scenario =
+      mec::ScenarioBuilder().num_users(1).num_servers(9).build(rng);
+  std::vector<Point> sites;
+  for (std::size_t s = 0; s < scenario.num_servers(); ++s) {
+    sites.push_back(scenario.server(s).position);
+  }
+  const InterferencePartition p(sites, 400.0);  // no cross-shard pair in reach
+  for (std::size_t k = 0; k < p.num_shards(); ++k) {
+    EXPECT_TRUE(p.adjacent_shards(k).empty());
+  }
 }
 
 }  // namespace

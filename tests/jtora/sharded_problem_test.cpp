@@ -240,5 +240,157 @@ TEST(ShardedProblemTest, RejectsMismatchedPartition) {
   EXPECT_THROW(ShardedProblem(problem, partition), InvalidArgumentError);
 }
 
+TEST(ShardedProblemTest, BoundaryUsersOfPartitionsBoundaryUsers) {
+  const mec::Scenario scenario = make_scenario(12, 60);
+  const CompiledProblem problem(scenario);
+  const std::vector<geo::Point> sites = sites_of(scenario);
+  const geo::InterferencePartition partition(
+      sites, geo::InterferencePartition::auto_reach(sites));
+  const ShardedProblem sharded(problem, partition);
+
+  std::vector<std::size_t> collected;
+  for (std::size_t k = 0; k < sharded.num_shards(); ++k) {
+    const std::vector<std::size_t>& list = sharded.boundary_users_of(k);
+    EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+    for (const std::size_t u : list) {
+      EXPECT_EQ(sharded.shard_of_user(u), k);
+      collected.push_back(u);
+    }
+  }
+  std::sort(collected.begin(), collected.end());
+  EXPECT_EQ(collected, sharded.boundary_users());
+  EXPECT_THROW((void)sharded.boundary_users_of(sharded.num_shards()),
+               InvalidArgumentError);
+}
+
+TEST(ShardedProblemTest, ServerIndexMapsRoundTrip) {
+  const mec::Scenario scenario = make_scenario(13, 30);
+  const CompiledProblem problem(scenario);
+  const std::vector<geo::Point> sites = sites_of(scenario);
+  const geo::InterferencePartition partition(
+      sites, geo::InterferencePartition::auto_reach(sites));
+  const ShardedProblem sharded(problem, partition);
+  for (std::size_t s = 0; s < scenario.num_servers(); ++s) {
+    const std::size_t k = sharded.shard_of_server(s);
+    const std::size_t ls = sharded.local_server_index(s);
+    EXPECT_EQ(k, partition.shard_of(s));
+    ASSERT_LT(ls, sharded.shard(k).servers.size());
+    EXPECT_EQ(sharded.shard(k).servers[ls], s);
+  }
+}
+
+// Epoch reuse, channel-only change: re-compiling against a scenario that
+// differs only in availability keeps every shard's membership (all
+// "refreshed", none "rebuilt") and stays bitwise equal to a from-scratch
+// slice.
+TEST(ShardedProblemTest, CompileReuseAvailabilityRefreshIsBitwise) {
+  const mec::Scenario scenario = make_scenario(14, 50);
+  const CompiledProblem problem(scenario);
+  const std::vector<geo::Point> sites = sites_of(scenario);
+  const geo::InterferencePartition partition(
+      sites, geo::InterferencePartition::auto_reach(sites));
+
+  ShardedProblem reused(problem, partition);
+  std::size_t populated = 0;
+  for (std::size_t k = 0; k < reused.num_shards(); ++k) {
+    if (reused.shard(k).problem != nullptr) ++populated;
+  }
+
+  mec::Availability mask(scenario.num_servers(), scenario.num_subchannels());
+  mask.block_slot(0, 1);
+  mask.fail_server(scenario.num_servers() - 1);
+  const mec::Scenario faulted = scenario.with_availability(mask);
+  const CompiledProblem faulted_problem(faulted);
+
+  reused.compile(faulted_problem, partition);
+  EXPECT_EQ(reused.shards_rebuilt(), 0u);
+  EXPECT_EQ(reused.shards_refreshed(), populated);
+
+  const ShardedProblem fresh(faulted_problem, partition);
+  ASSERT_EQ(reused.num_shards(), fresh.num_shards());
+  for (std::size_t k = 0; k < fresh.num_shards(); ++k) {
+    SCOPED_TRACE("shard " + std::to_string(k));
+    const ShardedProblem::Shard& a = reused.shard(k);
+    const ShardedProblem::Shard& b = fresh.shard(k);
+    EXPECT_EQ(a.users, b.users);
+    ASSERT_EQ(a.problem == nullptr, b.problem == nullptr);
+    if (a.problem != nullptr) {
+      EXPECT_TRUE(a.problem->bitwise_equal(*b.problem));
+    }
+  }
+}
+
+// Epoch reuse, membership change: a different user drop over the same
+// server grid marks moved-population shards "rebuilt", and the slices
+// still equal a from-scratch construction bit for bit.
+TEST(ShardedProblemTest, CompileReuseMembershipChangeIsBitwise) {
+  const mec::Scenario first = make_scenario(15, 50);
+  const mec::Scenario second = make_scenario(16, 50);
+  // Precondition: the hex server grid is deterministic, only users moved.
+  ASSERT_EQ(first.num_servers(), second.num_servers());
+  for (std::size_t s = 0; s < first.num_servers(); ++s) {
+    ASSERT_EQ(first.server(s).position.x, second.server(s).position.x);
+    ASSERT_EQ(first.server(s).position.y, second.server(s).position.y);
+  }
+  const CompiledProblem problem_a(first);
+  const CompiledProblem problem_b(second);
+  const std::vector<geo::Point> sites = sites_of(first);
+  const geo::InterferencePartition partition(
+      sites, geo::InterferencePartition::auto_reach(sites));
+
+  ShardedProblem reused(problem_a, partition);
+  reused.compile(problem_b, partition);
+  EXPECT_GE(reused.shards_rebuilt(), 1u);
+
+  const ShardedProblem fresh(problem_b, partition);
+  for (std::size_t k = 0; k < fresh.num_shards(); ++k) {
+    SCOPED_TRACE("shard " + std::to_string(k));
+    const ShardedProblem::Shard& a = reused.shard(k);
+    const ShardedProblem::Shard& b = fresh.shard(k);
+    EXPECT_EQ(a.users, b.users);
+    ASSERT_EQ(a.problem == nullptr, b.problem == nullptr);
+    if (a.problem != nullptr) {
+      EXPECT_TRUE(a.problem->bitwise_equal(*b.problem));
+    }
+  }
+}
+
+// shard_hint slices a feasible global assignment into a shard's local
+// frame: in-shard slots survive (translated), out-of-shard placements
+// start local.
+TEST(ShardedProblemTest, ShardHintSlicesGlobalAssignment) {
+  const mec::Scenario scenario = make_scenario(17, 40);
+  const CompiledProblem problem(scenario);
+  const std::vector<geo::Point> sites = sites_of(scenario);
+  const geo::InterferencePartition partition(
+      sites, geo::InterferencePartition::auto_reach(sites));
+  const ShardedProblem sharded(problem, partition);
+
+  Rng rng(5);
+  const Assignment global =
+      algo::random_feasible_assignment(scenario, rng, 0.6);
+  for (std::size_t k = 0; k < sharded.num_shards(); ++k) {
+    const ShardedProblem::Shard& shard = sharded.shard(k);
+    if (shard.problem == nullptr) continue;
+    const Assignment local = sharded.shard_hint(k, global);
+    ASSERT_EQ(local.num_users(), shard.users.size());
+    for (std::size_t lu = 0; lu < shard.users.size(); ++lu) {
+      const auto global_slot = global.slot_of(shard.users[lu]);
+      const auto local_slot = local.slot_of(lu);
+      const bool in_shard =
+          global_slot.has_value() &&
+          sharded.shard_of_server(global_slot->server) == k;
+      if (in_shard) {
+        ASSERT_TRUE(local_slot.has_value());
+        EXPECT_EQ(shard.servers[local_slot->server], global_slot->server);
+        EXPECT_EQ(local_slot->subchannel, global_slot->subchannel);
+      } else {
+        EXPECT_FALSE(local_slot.has_value());
+      }
+    }
+    local.check_consistency();
+  }
+}
+
 }  // namespace
 }  // namespace tsajs::jtora

@@ -94,6 +94,34 @@ TEST(ChaosTest, AllSchemesSurviveRandomizedFaultTimelines) {
   EXPECT_GE(faulted_epochs_total, 200u);
 }
 
+// The parallel sharded wrapper under the same chaos harness, with worker
+// threads on and a reach small enough that the 3-server hex grid really
+// splits into per-server shards (hex sites are >= 1000 m apart, so 400 m
+// tiles isolate every site). Exercises the multicore shard solves, the
+// epoch cache across fault-mutated scenarios, and — with the wider reach —
+// the colored boundary fixup, all under TSan in the sanitizer CI job.
+TEST(ChaosTest, ShardedSchedulerSurvivesFaultsWithWorkerThreads) {
+  const DynamicConfig config = chaos_config();
+  const DynamicSimulator simulator(kPopulation, kServers, kSubchannels,
+                                   config);
+  std::size_t seed = 3000;
+  // 400 m isolates every site; 1500 m keeps cross-shard adjacency alive so
+  // the fixup sweep and its commit path run too.
+  for (const double reach : {400.0, 1500.0}) {
+    algo::RegistryOptions options;
+    options.shard_reach_m = reach;
+    options.shard_threads = 2;
+    const auto scheduler = algo::make_scheduler("sharded:tsajs", options);
+    for (const WarmStart warm : {WarmStart::kCold, WarmStart::kWarm}) {
+      SCOPED_TRACE("reach " + std::to_string(reach));
+      Rng rng(++seed);
+      const DynamicReport report = simulator.run(*scheduler, rng, warm);
+      check_report_invariants("sharded:tsajs", report, config.epochs);
+      EXPECT_GE(report.faulted_epochs, 1u);
+    }
+  }
+}
+
 // Static cross-check of the same property without the simulator in the
 // loop: on a scenario with a failed server and a blacked-out slot, every
 // registered scheme must produce an assignment that leaves the masked

@@ -21,9 +21,21 @@
 //
 // A markdown report (--diff) records every comparison for the CI artifact.
 //
+// Scale-sweep gate (optional): with --scale-baseline/--scale-current the
+// bench_scale JSON dumps are compared too — per (users, shard_threads)
+// point, the per-trial solve_seconds fold into the same Welford + CI
+// machinery, the ratios are normalized by the micro gate's machine-speed
+// factor (the sweep alone is too few points for a robust median), and the
+// thread-scaling rows guard the parallel sharded path against p50
+// regressions. --scale-min-rel defaults looser (35%) than the micro floor:
+// end-to-end solves under wall-clock budgets carry more run-to-run noise
+// than micro kernels.
+//
 // Usage:
 //   bench_check --baseline bench/BENCH_micro.json --current fresh.json
 //               [--diff diff.md] [--min-rel 0.10] [--filter substring]
+//               [--scale-baseline bench/BENCH_scale.json
+//                --scale-current fresh_scale.json [--scale-min-rel 0.35]]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -134,6 +146,35 @@ std::string format_ns(double ns) {
   return tsajs::units::duration_string(ns * 1e-9, 3);
 }
 
+/// Folds a bench_scale JSON dump into per-point samples keyed by
+/// "U=<users> T=<shard_threads>"; the sample is the per-trial solve time
+/// (seconds converted to ns so the shared formatting applies). Points
+/// missing shard_threads (pre-sweep dumps) count as 1.
+std::map<std::string, KernelSample> load_scale_points(const JsonValue& doc) {
+  std::map<std::string, KernelSample> points;
+  for (const JsonValue& point : doc.at("points").as_array()) {
+    const auto users = static_cast<std::size_t>(point.at("users").as_number());
+    const JsonValue* threads_field = point.find("shard_threads");
+    const std::size_t threads =
+        threads_field != nullptr
+            ? static_cast<std::size_t>(threads_field->as_number())
+            : 1;
+    Accumulator acc;
+    for (const JsonValue& trial : point.at("trials").as_array()) {
+      acc.add(trial.at("solve_seconds").as_number() * 1e9);
+    }
+    if (acc.count() == 0) continue;
+    KernelSample sample;
+    sample.count = acc.count();
+    sample.mean_ns = acc.mean();
+    sample.stddev_ns = acc.stddev();
+    points.emplace("U=" + std::to_string(users) +
+                       " T=" + std::to_string(threads),
+                   sample);
+  }
+  return points;
+}
+
 void write_diff(std::ostream& os, const std::vector<Comparison>& rows,
                 const std::vector<std::string>& baseline_only,
                 const std::vector<std::string>& current_only,
@@ -164,6 +205,36 @@ void write_diff(std::ostream& os, const std::vector<Comparison>& rows,
   }
 }
 
+void write_scale_diff(std::ostream& os, const std::vector<Comparison>& rows,
+                      const std::vector<std::string>& baseline_only,
+                      const std::vector<std::string>& current_only,
+                      double speed_factor, double min_rel) {
+  os << "\n## Scale sweep gate\n\n"
+     << "Per (users, shard_threads) point: p50-style mean of per-trial solve "
+        "times, normalized by the micro gate's machine-speed factor ("
+     << speed_factor << "); allowance = max(" << min_rel * 100.0
+     << "%, sum of 95% CI half-widths).\n\n"
+     << "| point | baseline | current | raw ratio | normalized | allowance "
+        "| verdict |\n"
+     << "|---|---|---|---|---|---|---|\n";
+  for (const Comparison& row : rows) {
+    std::ostringstream cells;
+    cells.setf(std::ios::fixed);
+    cells.precision(3);
+    cells << "| " << row.name << " | " << format_ns(row.baseline.mean_ns)
+          << " | " << format_ns(row.current.mean_ns) << " | " << row.raw_ratio
+          << " | " << row.normalized_ratio << " | " << (1.0 + row.allowance)
+          << " | " << (row.regressed ? "**REGRESSED**" : "ok") << " |\n";
+    os << cells.str();
+  }
+  for (const std::string& name : baseline_only) {
+    os << "| " << name << " | - | - | - | - | - | baseline only |\n";
+  }
+  for (const std::string& name : current_only) {
+    os << "| " << name << " | - | - | - | - | - | new point |\n";
+  }
+}
+
 int run(int argc, const char* const* argv) {
   tsajs::CliParser cli(
       "bench_check: perf-regression gate comparing a fresh google-benchmark "
@@ -177,6 +248,11 @@ int run(int argc, const char* const* argv) {
   cli.add_flag("min-rel",
                "minimum relative regression that can fail the gate", "0.10");
   cli.add_flag("filter", "only gate kernels whose name contains this", "");
+  cli.add_flag("scale-baseline",
+               "baseline bench_scale JSON (empty = skip the scale gate)", "");
+  cli.add_flag("scale-current", "fresh bench_scale JSON to gate", "");
+  cli.add_flag("scale-min-rel",
+               "minimum relative regression failing the scale gate", "0.35");
   if (!cli.parse(argc, argv)) return 2;
 
   const std::string current_path = cli.get_string("current");
@@ -238,8 +314,63 @@ int run(int argc, const char* const* argv) {
               return a.normalized_ratio > b.normalized_ratio;
             });
 
-  write_diff(std::cout, rows, baseline_only, current_only, speed_factor,
-             min_rel);
+  // Optional scale-sweep gate: same comparison machinery over the
+  // bench_scale per-point solve times, reusing the micro gate's
+  // machine-speed factor for normalization.
+  std::vector<Comparison> scale_rows;
+  std::vector<std::string> scale_baseline_only;
+  std::vector<std::string> scale_current_only;
+  const std::string scale_baseline_path = cli.get_string("scale-baseline");
+  const std::string scale_current_path = cli.get_string("scale-current");
+  const double scale_min_rel = cli.get_double("scale-min-rel");
+  const bool scale_gate = !scale_baseline_path.empty();
+  if (scale_gate) {
+    if (scale_current_path.empty()) {
+      std::cerr << "bench_check: --scale-baseline needs --scale-current\n";
+      return 2;
+    }
+    const auto scale_baseline =
+        load_scale_points(tsajs::exp::parse_json_file(scale_baseline_path));
+    const auto scale_current =
+        load_scale_points(tsajs::exp::parse_json_file(scale_current_path));
+    for (const auto& [name, base] : scale_baseline) {
+      const auto it = scale_current.find(name);
+      if (it == scale_current.end()) {
+        scale_baseline_only.push_back(name);
+        continue;
+      }
+      Comparison row;
+      row.name = name;
+      row.baseline = base;
+      row.current = it->second;
+      TSAJS_REQUIRE(base.mean_ns > 0.0 && it->second.mean_ns > 0.0,
+                    "scale point means must be positive");
+      row.raw_ratio = it->second.mean_ns / base.mean_ns;
+      row.normalized_ratio = row.raw_ratio / speed_factor;
+      row.allowance = std::max(scale_min_rel,
+                               base.rel_ci() + it->second.rel_ci());
+      row.regressed = row.normalized_ratio > 1.0 + row.allowance;
+      any_regressed = any_regressed || row.regressed;
+      scale_rows.push_back(row);
+    }
+    for (const auto& [name, sample] : scale_current) {
+      (void)sample;
+      if (scale_baseline.count(name) == 0) scale_current_only.push_back(name);
+    }
+    std::sort(scale_rows.begin(), scale_rows.end(),
+              [](const Comparison& a, const Comparison& b) {
+                return a.normalized_ratio > b.normalized_ratio;
+              });
+  }
+
+  const auto write_report = [&](std::ostream& os) {
+    write_diff(os, rows, baseline_only, current_only, speed_factor, min_rel);
+    if (scale_gate) {
+      write_scale_diff(os, scale_rows, scale_baseline_only,
+                       scale_current_only, speed_factor, scale_min_rel);
+    }
+  };
+  write_report(std::cout);
   const std::string diff_path = cli.get_string("diff");
   if (!diff_path.empty()) {
     std::ofstream out(diff_path);
@@ -247,7 +378,7 @@ int run(int argc, const char* const* argv) {
       std::cerr << "bench_check: cannot write " << diff_path << "\n";
       return 2;
     }
-    write_diff(out, rows, baseline_only, current_only, speed_factor, min_rel);
+    write_report(out);
   }
 
   if (any_regressed) {
@@ -255,7 +386,7 @@ int run(int argc, const char* const* argv) {
     return 1;
   }
   std::cout << "\nbench_check: no regressions (" << rows.size()
-            << " kernels gated)\n";
+            << " kernels, " << scale_rows.size() << " scale points gated)\n";
   return 0;
 }
 
