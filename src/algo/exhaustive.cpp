@@ -42,13 +42,20 @@ class Enumerator {
     }
     // Option 1: user u stays local.
     recurse(u + 1);
-    // Option 2: user u takes any currently free, available slot.
+    // Option 2: user u takes any currently free, available slot — served on
+    // the edge, and (option 3, cloud scenarios) forwarded to the cloud when
+    // the tier admits it.
     for (std::size_t s = 0; s < scenario_.num_servers(); ++s) {
       for (std::size_t j = 0; j < scenario_.num_subchannels(); ++j) {
         if (!scenario_.slot_available(s, j)) continue;  // fault-masked
         if (current_.occupant(s, j).has_value()) continue;
         current_.offload(u, s, j);
         recurse(u + 1);
+        if (current_.can_forward(u)) {
+          current_.set_forwarded(u, true);
+          recurse(u + 1);
+          current_.set_forwarded(u, false);
+        }
         current_.make_local(u);
       }
     }

@@ -82,6 +82,33 @@ ScheduleResult GreedyScheduler::fill_and_prune(
     x.make_local(*worst_user);
   }
 
+  // Cloud tier pass: greedily toggle each survivor's tier (edge-serve vs
+  // forward-to-cloud) while any toggle improves J*(X). Each toggle only
+  // perturbs the two compute pools, so a few passes reach a fixed point.
+  if (problem.has_cloud()) {
+    double best = evaluator.system_utility(x);
+    ++evaluations;
+    constexpr std::size_t kMaxTierPasses = 4;
+    for (std::size_t pass = 0; pass < kMaxTierPasses; ++pass) {
+      bool changed = false;
+      for (std::size_t u = 0; u < scenario.num_users(); ++u) {
+        if (!x.is_offloaded(u)) continue;
+        const bool forwarded = x.is_forwarded(u);
+        if (!forwarded && !x.can_forward(u)) continue;
+        x.set_forwarded(u, !forwarded);
+        const double candidate = evaluator.system_utility(x);
+        ++evaluations;
+        if (candidate > best) {
+          best = candidate;
+          changed = true;
+        } else {
+          x.set_forwarded(u, forwarded);
+        }
+      }
+      if (!changed) break;
+    }
+  }
+
   const double utility = evaluator.system_utility(x);
   return ScheduleResult{std::move(x), utility, 0.0, evaluations};
 }

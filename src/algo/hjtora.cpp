@@ -70,6 +70,7 @@ ScheduleResult HjtoraScheduler::schedule(const jtora::CompiledProblem& problem,
       if (!slot.has_value()) continue;
 
       std::optional<Move> best;
+      const bool was_forwarded = x.is_forwarded(u);
       // Drop to local.
       x.make_local(u);
       const double dropped = evaluator.system_utility(x);
@@ -100,8 +101,31 @@ ScheduleResult HjtoraScheduler::schedule(const jtora::CompiledProblem& problem,
         utility = best->utility;
         changed = true;
       } else {
-        // Restore the original slot.
+        // Restore the original slot (and cloud tier — offload() recalls).
         x.offload(u, slot->server, slot->subchannel);
+        if (was_forwarded) x.set_forwarded(u, true);
+      }
+    }
+    return changed;
+  };
+
+  // Phase 3 (cloud scenarios only): best-gain tier toggles — forward an
+  // edge-served user to the cloud or recall a forwarded one. Radio state is
+  // untouched, so each toggle is a pure compute-pool exchange.
+  const auto tier_pass = [&] {
+    bool changed = false;
+    for (std::size_t u = 0; u < scenario.num_users(); ++u) {
+      if (!x.is_offloaded(u)) continue;
+      const bool forwarded = x.is_forwarded(u);
+      if (!forwarded && !x.can_forward(u)) continue;
+      x.set_forwarded(u, !forwarded);
+      const double candidate = evaluator.system_utility(x);
+      ++evaluations;
+      if (candidate > utility + config_.min_gain) {
+        utility = candidate;
+        changed = true;
+      } else {
+        x.set_forwarded(u, forwarded);
       }
     }
     return changed;
@@ -111,11 +135,13 @@ ScheduleResult HjtoraScheduler::schedule(const jtora::CompiledProblem& problem,
   // profitable admission (a freed slot, reduced interference) and vice
   // versa, so at convergence neither any admission nor any one-exchange
   // improves the objective.
+  const bool has_cloud = problem.has_cloud();
   admission_phase();
   for (std::size_t pass = 0; pass < config_.max_adjustment_passes; ++pass) {
     const bool adjusted = adjustment_pass();
+    const bool tiered = has_cloud && tier_pass();
     const bool admitted = admission_phase();
-    if (!adjusted && !admitted) break;
+    if (!adjusted && !tiered && !admitted) break;
   }
 
   return ScheduleResult{std::move(x), utility, 0.0, evaluations};

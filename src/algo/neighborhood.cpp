@@ -8,11 +8,14 @@ void NeighborhoodConfig::validate() const {
                 "operation probabilities must form a sub-distribution");
   TSAJS_REQUIRE(move_server_share >= 0.0 && move_server_share <= 1.0,
                 "move_server_share must lie in [0,1]");
+  TSAJS_REQUIRE(forward_prob >= 0.0 && forward_prob <= 1.0,
+                "forward_prob must lie in [0,1]");
 }
 
 Neighborhood::Neighborhood(const mec::Scenario& scenario,
                            NeighborhoodConfig config)
-    : scenario_(&scenario), config_(config) {
+    : scenario_(&scenario), config_(config),
+      cloud_active_(scenario.has_cloud()) {
   config_.validate();
 }
 

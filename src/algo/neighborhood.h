@@ -49,6 +49,11 @@ struct NeighborhoodConfig {
   double swap_prob = 0.15;    ///< toggle < rand <= +swap     -> swap.
   double move_server_share = 0.6875;  ///< share of "move" mass that changes
                                       ///< server: (0.75-0.2)/0.8 in Alg. 2.
+  /// Probability of proposing a cloud tier change (forward / recall) for the
+  /// drawn user *before* the Alg. 2 operation draw. Only consulted — and
+  /// only consumes RNG — when the scenario has an enabled cloud tier, so
+  /// cloud-disabled runs keep their exact pre-cloud proposal streams.
+  double forward_prob = 0.10;
 
   void validate() const;
 };
@@ -65,6 +70,8 @@ class Neighborhood {
       kMakeLocal,  ///< user goes local
       kSwap,       ///< user and other exchange slots
       kReplace,    ///< evict occupant of (server, subchannel), place user
+      kForward,    ///< forward offloaded user to the cloud tier
+      kRecall,     ///< recall forwarded user back to edge service
     };
     Kind kind = Kind::kNone;
     std::size_t user = 0;
@@ -83,6 +90,9 @@ class Neighborhood {
   [[nodiscard]] Move propose(const Decision& decision, Rng& rng) const {
     const auto u =
         static_cast<std::size_t>(rng.uniform_index(scenario_->num_users()));
+    if (cloud_active_ && rng.uniform() < config_.forward_prob) {
+      return propose_tier(decision, u);
+    }
     const double r = rng.uniform();
     if (r < config_.toggle_prob) return propose_toggle(decision, u, rng);
     if (r < config_.toggle_prob + config_.swap_prob) {
@@ -113,6 +123,10 @@ class Neighborhood {
       case Move::Kind::kReplace:
         return evaluator.preview_replace(move.user, move.server,
                                          move.subchannel);
+      case Move::Kind::kForward:
+        return evaluator.preview_set_forwarded(move.user, true);
+      case Move::Kind::kRecall:
+        return evaluator.preview_set_forwarded(move.user, false);
     }
     return evaluator.utility();  // unreachable
   }
@@ -139,6 +153,12 @@ class Neighborhood {
         decision.offload(move.user, move.server, move.subchannel);
         return true;
       }
+      case Move::Kind::kForward:
+        decision.set_forwarded(move.user, true);
+        return true;
+      case Move::Kind::kRecall:
+        decision.set_forwarded(move.user, false);
+        return true;
     }
     return false;
   }
@@ -243,6 +263,21 @@ class Neighborhood {
             evictable[rng.uniform_index(evictable.size())]};
   }
 
+  /// Cloud tier toggle for `u`: recall when forwarded, forward when the
+  /// admission checks pass, no-op otherwise (local user, dead backhaul,
+  /// full cloud). Consumes no RNG beyond the draws already made.
+  template <typename Decision>
+  Move propose_tier(const Decision& decision, std::size_t u) const {
+    if (!decision.is_offloaded(u)) return {};
+    if (decision.is_forwarded(u)) {
+      return {Move::Kind::kRecall, u, 0, 0, 0};
+    }
+    if (decision.can_forward(u)) {
+      return {Move::Kind::kForward, u, 0, 0, 0};
+    }
+    return {};
+  }
+
   template <typename Decision>
   Move propose_swap(const Decision& decision, std::size_t u, Rng& rng) const {
     (void)decision;
@@ -273,6 +308,9 @@ class Neighborhood {
 
   const mec::Scenario* scenario_;
   NeighborhoodConfig config_;
+  /// Cached scenario_->has_cloud(): gates the tier draw so cloud-disabled
+  /// scenarios consume exactly the pre-cloud RNG stream.
+  bool cloud_active_ = false;
 };
 
 }  // namespace tsajs::algo

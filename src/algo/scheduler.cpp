@@ -98,6 +98,48 @@ void validate_result(const Scheduler& scheduler,
     violations.push_back(os.str());
   }
 
+  // Cloud tier: the assignment's forwarding state must mirror the problem's
+  // tier, every forwarded user must be offloaded via a live backhaul, and
+  // the admission cap must hold.
+  if (x.cloud_enabled() != problem.has_cloud()) {
+    violations.push_back(
+        x.cloud_enabled()
+            ? "assignment carries forwarding state but the problem has no "
+              "cloud tier"
+            : "problem has a cloud tier but the assignment was built without "
+              "one");
+  } else if (x.cloud_enabled()) {
+    std::size_t forwarded = 0;
+    for (std::size_t u = 0; u < x.num_users(); ++u) {
+      if (!x.is_forwarded(u)) continue;
+      ++forwarded;
+      const auto slot = x.slot_of(u);
+      if (!slot.has_value()) {
+        std::ostringstream os;
+        os << "user " << u << " is forwarded to the cloud but not offloaded";
+        violations.push_back(os.str());
+        continue;
+      }
+      if (!problem.cloud_forwardable(slot->server)) {
+        violations.push_back(format_slot(u, *slot) +
+                             ": forwarded over a down backhaul");
+      }
+    }
+    if (forwarded != x.num_forwarded()) {
+      std::ostringstream os;
+      os << "cached forwarded count " << x.num_forwarded() << " vs "
+         << forwarded << " forwarded users";
+      violations.push_back(os.str());
+    }
+    if (problem.cloud_max_forwarded() > 0 &&
+        forwarded > problem.cloud_max_forwarded()) {
+      std::ostringstream os;
+      os << forwarded << " forwarded users exceed the cloud admission cap "
+         << problem.cloud_max_forwarded();
+      violations.push_back(os.str());
+    }
+  }
+
   // Reported utility: finite and within tolerance of an independent
   // evaluation; per-user delay / energy / utility finite.
   const jtora::UtilityEvaluator evaluator(problem);
@@ -215,6 +257,12 @@ jtora::Assignment repair_hint(const mec::Scenario& scenario,
       continue;  // first-come (lowest user index) keeps a contested slot
     }
     x.offload(u, slot->server, slot->subchannel);
+    // Carry the cloud-forwarding bit when the new scenario still admits it;
+    // a vanished tier, dead backhaul, or full cloud strands the user on edge
+    // service (still feasible) rather than on a dead cloud path.
+    if (hint.is_forwarded(u) && x.can_forward(u)) {
+      x.set_forwarded(u, true);
+    }
   }
   return x;
 }

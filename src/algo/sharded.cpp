@@ -197,6 +197,10 @@ ShardSweep sweep_shard(const jtora::IncrementalEvaluator& master,
         timer.elapsed_seconds() >= deadline) {
       break;
     }
+    // A cloud-forwarded user's compute does not touch its server's pool and
+    // its uplink was already priced by the shard solve; re-placing it here
+    // would silently recall it. Tier decisions stay with the shard solves.
+    if (eval.is_forwarded(u)) continue;
     const std::optional<jtora::Slot> orig = eval.slot_of(u);
     // Lift the user out so the batch previews (which require a local
     // mover) can scan whole sub-channel rows; the user's own slot becomes

@@ -19,6 +19,14 @@ Assignment::Assignment(const mec::Scenario& scenario)
       }
     }
   }
+  if (scenario.has_cloud()) {
+    forwarded_.assign(user_slot_.size(), 0);
+    backhaul_ok_.assign(num_servers_, 0);
+    for (std::size_t s = 0; s < num_servers_; ++s) {
+      if (scenario.backhaul_available(s)) backhaul_ok_[s] = 1;
+    }
+    max_forwarded_ = scenario.cloud().max_forwarded;
+  }
 }
 
 void Assignment::require_user(std::size_t u) const {
@@ -54,6 +62,7 @@ void Assignment::offload(std::size_t u, std::size_t s, std::size_t j) {
                 "slot already occupied by another user (constraint 12d)");
   TSAJS_REQUIRE(slot_available(s, j),
                 "slot is masked unavailable (failed server or blackout)");
+  if (current.has_value() && *current == u) return;  // true no-op: keep tier
   make_local(u);
   user_slot_[u] = Slot{s, j};
   slot_user_[slot_index(s, j)] = u;
@@ -63,6 +72,11 @@ void Assignment::offload(std::size_t u, std::size_t s, std::size_t j) {
 void Assignment::make_local(std::size_t u) {
   require_user(u);
   if (!user_slot_[u].has_value()) return;
+  if (!forwarded_.empty() && forwarded_[u] != 0) {
+    // Releasing the uplink slot recalls the task from the cloud too.
+    forwarded_[u] = 0;
+    --num_forwarded_;
+  }
   const Slot slot = *user_slot_[u];
   slot_user_[slot_index(slot.server, slot.subchannel)].reset();
   user_slot_[u].reset();
@@ -84,7 +98,44 @@ void Assignment::swap(std::size_t u1, std::size_t u2) {
 void Assignment::clear() {
   for (auto& slot : user_slot_) slot.reset();
   for (auto& user : slot_user_) user.reset();
+  for (auto& fwd : forwarded_) fwd = 0;
   num_offloaded_ = 0;
+  num_forwarded_ = 0;
+}
+
+bool Assignment::can_forward(std::size_t u) const {
+  require_user(u);
+  if (forwarded_.empty() || !user_slot_[u].has_value()) return false;
+  if (backhaul_ok_[user_slot_[u]->server] == 0) return false;
+  if (forwarded_[u] != 0) return true;  // already admitted, may stay
+  return max_forwarded_ == 0 || num_forwarded_ < max_forwarded_;
+}
+
+void Assignment::set_forwarded(std::size_t u, bool forwarded) {
+  require_user(u);
+  TSAJS_REQUIRE(!forwarded_.empty(),
+                "forwarding needs a cloud tier in the scenario");
+  TSAJS_REQUIRE(user_slot_[u].has_value(),
+                "only an offloaded user can be forwarded to the cloud");
+  if ((forwarded_[u] != 0) == forwarded) return;
+  if (forwarded) {
+    TSAJS_REQUIRE(can_forward(u),
+                  "cannot forward: backhaul down or cloud cap reached");
+    forwarded_[u] = 1;
+    ++num_forwarded_;
+  } else {
+    forwarded_[u] = 0;
+    --num_forwarded_;
+  }
+}
+
+std::vector<std::size_t> Assignment::forwarded_users() const {
+  std::vector<std::size_t> users;
+  users.reserve(num_forwarded_);
+  for (std::size_t u = 0; u < forwarded_.size(); ++u) {
+    if (forwarded_[u] != 0) users.push_back(u);
+  }
+  return users;
 }
 
 std::vector<std::size_t> Assignment::users_on_server(std::size_t s) const {
@@ -148,6 +199,18 @@ void Assignment::check_consistency() const {
   }
   TSAJS_CHECK(occupied == offloaded, "occupied-slot count mismatch");
   TSAJS_CHECK(num_offloaded_ == offloaded, "cached offload count mismatch");
+  std::size_t forwarded = 0;
+  for (std::size_t u = 0; u < forwarded_.size(); ++u) {
+    if (forwarded_[u] == 0) continue;
+    ++forwarded;
+    TSAJS_CHECK(user_slot_[u].has_value(),
+                "forwarded user is not offloaded");
+    TSAJS_CHECK(backhaul_ok_[user_slot_[u]->server] != 0,
+                "forwarded user sits behind a dead backhaul");
+  }
+  TSAJS_CHECK(num_forwarded_ == forwarded, "cached forward count mismatch");
+  TSAJS_CHECK(max_forwarded_ == 0 || forwarded <= max_forwarded_,
+              "cloud admission cap exceeded");
 }
 
 }  // namespace tsajs::jtora

@@ -10,6 +10,16 @@
 // masked slots are additionally *unassignable*: offload() rejects them and
 // free_subchannels()/random_free_subchannel() never report them, so every
 // scheduler built on these queries is fault-mask-safe without changes.
+//
+// When the scenario carries a mec::CloudTier, each offloaded user
+// additionally carries a *forwarding bit*: the edge server holding its
+// uplink slot relays the task to the cloud instead of executing it (the
+// three-way placement local / edge-serve / edge-forward). The same
+// by-construction discipline applies: set_forwarded() rejects dead
+// backhauls and cloud over-admission, and every slot mutation
+// (offload/make_local/swap) recalls the user to edge-serve first — so
+// schedulers that never touch the bit still produce cloud-feasible
+// decisions.
 #pragma once
 
 #include <cstddef>
@@ -56,11 +66,13 @@ class Assignment {
                                                     std::size_t j) const;
 
   /// Assigns user `u` to slot (s, j). The user's previous slot (if any) is
-  /// released. Requires the target slot to be free (constraint 12d) unless
-  /// it is already held by `u` itself.
+  /// released, which clears its forwarding bit. Requires the target slot to
+  /// be free (constraint 12d) unless it is already held by `u` itself, in
+  /// which case the call is a complete no-op (forwarding state included).
   void offload(std::size_t u, std::size_t s, std::size_t j);
 
-  /// Releases user `u`'s slot; no-op when already local.
+  /// Releases user `u`'s slot (clearing its forwarding bit, if set); no-op
+  /// when already local.
   void make_local(std::size_t u);
 
   /// Exchanges the slots of two users (either may be local, in which case
@@ -102,6 +114,38 @@ class Assignment {
     return blocked_.empty() || blocked_[slot_index(s, j)] == 0;
   }
 
+  // --- cloud forwarding (three-way placement) -----------------------------
+
+  /// True when the scenario behind this assignment has a cloud tier (the
+  /// forwarding bit exists).
+  [[nodiscard]] bool cloud_enabled() const noexcept {
+    return !forwarded_.empty();
+  }
+
+  /// True iff user `u` is offloaded *and* its edge server forwards the task
+  /// to the cloud. Always false without a cloud tier.
+  [[nodiscard]] bool is_forwarded(std::size_t u) const {
+    require_user(u);
+    return !forwarded_.empty() && forwarded_[u] != 0;
+  }
+
+  /// Number of users currently forwarded to the cloud.
+  [[nodiscard]] std::size_t num_forwarded() const noexcept {
+    return num_forwarded_;
+  }
+
+  /// True when user `u` could be forwarded right now: it is offloaded, the
+  /// tier exists, its server's backhaul is up, and the cloud admission cap
+  /// is not exhausted (a user already forwarded always may stay).
+  [[nodiscard]] bool can_forward(std::size_t u) const;
+
+  /// Sets/clears user `u`'s forwarding bit. Requires a cloud tier and an
+  /// offloaded user; forwarding additionally requires can_forward(u).
+  void set_forwarded(std::size_t u, bool forwarded);
+
+  /// All forwarded users, ascending user index.
+  [[nodiscard]] std::vector<std::size_t> forwarded_users() const;
+
   /// Free *and available* sub-channels of server `s`, ascending.
   [[nodiscard]] std::vector<std::size_t> free_subchannels(std::size_t s) const;
 
@@ -126,11 +170,20 @@ class Assignment {
   std::size_t num_servers_ = 0;
   std::size_t num_subchannels_ = 0;
   std::size_t num_offloaded_ = 0;
+  std::size_t num_forwarded_ = 0;
   std::vector<std::optional<Slot>> user_slot_;
   std::vector<std::optional<std::size_t>> slot_user_;
   /// Unassignable slots (1 = masked). Empty — no per-slot loads at all —
   /// for the common fully available scenario.
   std::vector<std::uint8_t> blocked_;
+  /// Per-user forwarding bits. Empty — no loads, no storage — for
+  /// scenarios without a cloud tier, so two-tier assignments compare and
+  /// behave exactly as before.
+  std::vector<std::uint8_t> forwarded_;
+  /// Per-server "backhaul up" bits (only sized when the cloud tier exists).
+  std::vector<std::uint8_t> backhaul_ok_;
+  /// Cloud admission cap (0 = unlimited); copied from the scenario's tier.
+  std::size_t max_forwarded_ = 0;
 };
 
 }  // namespace tsajs::jtora

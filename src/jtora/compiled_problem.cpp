@@ -76,6 +76,7 @@ void CompiledProblem::compile(const mec::Scenario& scenario) {
 
   compile_tables(scenario);
   compile_availability(scenario);
+  compile_cloud(scenario);
 }
 
 void CompiledProblem::recompile_channel(const mec::Scenario& scenario) {
@@ -95,6 +96,7 @@ void CompiledProblem::recompile_channel(const mec::Scenario& scenario) {
   }
   compile_tables(scenario);
   compile_availability(scenario);
+  compile_cloud(scenario);
 }
 
 void CompiledProblem::compile_availability(const mec::Scenario& scenario) {
@@ -160,6 +162,34 @@ void CompiledProblem::compile_tables(const mec::Scenario& scenario) {
   }
 }
 
+void CompiledProblem::compile_cloud(const mec::Scenario& scenario) {
+  has_cloud_ = scenario.has_cloud();
+  if (!has_cloud_) {
+    cloud_cpu_hz_ = 0.0;
+    cloud_max_forwarded_ = 0;
+    forward_time_.clear();
+    backhaul_ok_.clear();
+    return;
+  }
+  const mec::CloudTier& cloud = scenario.cloud();
+  cloud_cpu_hz_ = cloud.cpu_hz;
+  cloud_max_forwarded_ = cloud.max_forwarded;
+  backhaul_ok_.assign(num_servers_, 0);
+  for (std::size_t s = 0; s < num_servers_; ++s) {
+    backhaul_ok_[s] = scenario.backhaul_available(s) ? 1 : 0;
+  }
+  // Forwarding delay is channel-independent, so the table is (user, server)
+  // rather than the (user, sub-channel, server) shape of signal/downlink.
+  forward_time_.resize(num_users_ * num_servers_);
+  for (std::size_t u = 0; u < num_users_; ++u) {
+    const double input_bits = scenario.user(u).task.input_bits;
+    double* row = forward_time_.data() + u * num_servers_;
+    for (std::size_t s = 0; s < num_servers_; ++s) {
+      row[s] = input_bits / cloud.backhaul_bps[s] + cloud.backhaul_latency_s[s];
+    }
+  }
+}
+
 bool CompiledProblem::bitwise_equal(const CompiledProblem& other) const {
   return num_users_ == other.num_users_ &&
          num_servers_ == other.num_servers_ &&
@@ -175,7 +205,12 @@ bool CompiledProblem::bitwise_equal(const CompiledProblem& other) const {
          signal_ == other.signal_ && downlink_ == other.downlink_ &&
          all_available_ == other.all_available_ &&
          num_available_slots_ == other.num_available_slots_ &&
-         server_up_ == other.server_up_ && slot_ok_ == other.slot_ok_;
+         server_up_ == other.server_up_ && slot_ok_ == other.slot_ok_ &&
+         has_cloud_ == other.has_cloud_ &&
+         cloud_cpu_hz_ == other.cloud_cpu_hz_ &&
+         cloud_max_forwarded_ == other.cloud_max_forwarded_ &&
+         forward_time_ == other.forward_time_ &&
+         backhaul_ok_ == other.backhaul_ok_;
 }
 
 }  // namespace tsajs::jtora

@@ -93,6 +93,28 @@ class CompiledProblem {
     return num_available_slots_;
   }
 
+  // --- cloud tier (compiled forwarding terms) -----------------------------
+  /// True when the scenario carries an enabled mec::CloudTier.
+  [[nodiscard]] bool has_cloud() const noexcept { return has_cloud_; }
+  /// Cloud pool capacity f_cloud [Hz] (0 without a tier).
+  [[nodiscard]] double cloud_cpu_hz() const noexcept { return cloud_cpu_hz_; }
+  /// Cloud admission cap (0 = unlimited).
+  [[nodiscard]] std::size_t cloud_max_forwarded() const noexcept {
+    return cloud_max_forwarded_;
+  }
+  /// True when server s can forward to the cloud right now (tier enabled
+  /// and backhaul up).
+  [[nodiscard]] bool cloud_forwardable(std::size_t s) const noexcept {
+    return has_cloud_ && backhaul_ok_[s] != 0;
+  }
+  /// Backhaul transfer + propagation delay for forwarding user u's input
+  /// from server s to the cloud: d_u / r_backhaul(s) + tau(s). Compiled
+  /// per (user, server); only valid when has_cloud().
+  [[nodiscard]] double forward_time_s(std::size_t u,
+                                      std::size_t s) const noexcept {
+    return forward_time_[u * num_servers_ + s];
+  }
+
   // --- per-user constants (paper, below Eq. 19 / Eq. 24) ------------------
   [[nodiscard]] double phi(std::size_t u) const noexcept { return phi_[u]; }
   [[nodiscard]] double psi(std::size_t u) const noexcept { return psi_[u]; }
@@ -180,6 +202,7 @@ class CompiledProblem {
 
   void compile_tables(const mec::Scenario& scenario);
   void compile_availability(const mec::Scenario& scenario);
+  void compile_cloud(const mec::Scenario& scenario);
 
   const mec::Scenario* scenario_ = nullptr;
   std::size_t num_users_ = 0;
@@ -210,6 +233,15 @@ class CompiledProblem {
   /// `all_available_` so the healthy path allocates nothing.
   std::vector<std::uint8_t> server_up_;
   std::vector<std::uint8_t> slot_ok_;
+
+  bool has_cloud_ = false;
+  double cloud_cpu_hz_ = 0.0;
+  std::size_t cloud_max_forwarded_ = 0;
+  /// Per (user, server) forwarding delay [u * num_servers + s]; sub-channel
+  /// independent (the backhaul is wired, not radio). Empty without a tier.
+  std::vector<double> forward_time_;
+  /// Per-server backhaul state (1 = up); empty without a tier.
+  std::vector<std::uint8_t> backhaul_ok_;
 };
 
 }  // namespace tsajs::jtora

@@ -20,23 +20,25 @@ double CraSolver::server_objective(double sqrt_eta_sum, double server_cpu_hz) {
 CraResult CraSolver::solve(const Assignment& x) const {
   CraResult result;
   result.cpu_hz.assign(problem_->num_users(), 0.0);
-  for (std::size_t s = 0; s < problem_->num_servers(); ++s) {
-    const std::vector<std::size_t> users = x.users_on_server(s);
-    if (users.empty()) continue;
+  // Forwarded users compute on the cloud, not on their uplink server: they
+  // leave their server's pool and join the cloud's (a virtual server of
+  // capacity f_cloud sharing the same closed form).
+  const bool cloud_pool = x.cloud_enabled() && x.num_forwarded() > 0;
+  const auto allocate_pool = [&](const std::vector<std::size_t>& users,
+                                 double f_s) {
     double sqrt_eta_sum = 0.0;
     for (const std::size_t u : users) {
       sqrt_eta_sum += problem_->sqrt_eta(u);
     }
-    const double f_s = problem_->server_cpu_hz(s);
     if (sqrt_eta_sum == 0.0) {
-      // Degenerate case: every user on this server has beta_time = 0, so
+      // Degenerate case: every user in this pool has beta_time = 0, so
       // the CRA objective does not depend on the split at all (eta_u = 0).
       // Any positive allocation is optimal; use the equal split to keep
       // constraint (12e) satisfied.
       for (const std::size_t u : users) {
         result.cpu_hz[u] = f_s / static_cast<double>(users.size());
       }
-      continue;
+      return;
     }
     // Mixed case: users with eta_u = 0 (pure-energy preference) would get a
     // zero share under Eq. 22, violating (12e). The optimum is a supremum
@@ -56,17 +58,35 @@ CraResult CraSolver::solve(const Assignment& x) const {
                              : pool * problem_->sqrt_eta(u) / sqrt_eta_sum;
     }
     result.objective += server_objective(sqrt_eta_sum, pool);
+  };
+  for (std::size_t s = 0; s < problem_->num_servers(); ++s) {
+    std::vector<std::size_t> users = x.users_on_server(s);
+    if (cloud_pool) {
+      std::erase_if(users,
+                    [&](std::size_t u) { return x.is_forwarded(u); });
+    }
+    if (users.empty()) continue;
+    allocate_pool(users, problem_->server_cpu_hz(s));
+  }
+  if (cloud_pool) {
+    allocate_pool(x.forwarded_users(), problem_->cloud_cpu_hz());
   }
   return result;
 }
 
 double CraSolver::optimal_objective(const Assignment& x) const {
   double total = 0.0;
+  const bool cloud_pool = x.cloud_enabled() && x.num_forwarded() > 0;
+  double cloud_sqrt_eta_sum = 0.0;
   for (std::size_t s = 0; s < problem_->num_servers(); ++s) {
     double sqrt_eta_sum = 0.0;
     bool any = false;
     for (std::size_t j = 0; j < x.num_subchannels(); ++j) {
       if (const auto u = x.occupant(s, j); u.has_value()) {
+        if (cloud_pool && x.is_forwarded(*u)) {
+          cloud_sqrt_eta_sum += problem_->sqrt_eta(*u);
+          continue;
+        }
         sqrt_eta_sum += problem_->sqrt_eta(*u);
         any = true;
       }
@@ -74,6 +94,9 @@ double CraSolver::optimal_objective(const Assignment& x) const {
     if (any) {
       total += server_objective(sqrt_eta_sum, problem_->server_cpu_hz(s));
     }
+  }
+  if (cloud_pool) {
+    total += server_objective(cloud_sqrt_eta_sum, problem_->cloud_cpu_hz());
   }
   return total;
 }
@@ -127,10 +150,9 @@ CraResult CraSolver::solve_numeric(const Assignment& x,
                                    std::size_t iterations) const {
   CraResult result;
   result.cpu_hz.assign(problem_->num_users(), 0.0);
-  for (std::size_t s = 0; s < problem_->num_servers(); ++s) {
-    const std::vector<std::size_t> users = x.users_on_server(s);
-    if (users.empty()) continue;
-    const double f_s = problem_->server_cpu_hz(s);
+  const bool cloud_pool = x.cloud_enabled() && x.num_forwarded() > 0;
+  const auto optimize_pool = [&](const std::vector<std::size_t>& users,
+                                 double f_s) {
     const auto n = users.size();
     const double floor = 1e-6 * f_s / static_cast<double>(n);
 
@@ -174,6 +196,18 @@ CraResult CraSolver::solve_numeric(const Assignment& x,
     }
     for (std::size_t i = 0; i < n; ++i) result.cpu_hz[users[i]] = best[i];
     result.objective += best_obj;
+  };
+  for (std::size_t s = 0; s < problem_->num_servers(); ++s) {
+    std::vector<std::size_t> users = x.users_on_server(s);
+    if (cloud_pool) {
+      std::erase_if(users,
+                    [&](std::size_t u) { return x.is_forwarded(u); });
+    }
+    if (users.empty()) continue;
+    optimize_pool(users, problem_->server_cpu_hz(s));
+  }
+  if (cloud_pool) {
+    optimize_pool(x.forwarded_users(), problem_->cloud_cpu_hz());
   }
   return result;
 }

@@ -11,6 +11,11 @@
 //
 // `solve_numeric` is an independent projected-gradient solver used by the
 // test suite to cross-validate the closed form.
+//
+// With a cloud tier, forwarded users leave their uplink server's pool and
+// share the cloud capacity f_cloud instead — the cloud is one more pool
+// under the identical closed form (a virtual server), so Eq. 22/23 and the
+// epsilon-share/degenerate handling apply unchanged.
 #pragma once
 
 #include <cstddef>

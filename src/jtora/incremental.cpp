@@ -28,6 +28,7 @@ void IncrementalEvaluator::init() {
   num_subchannels_ = problem_->num_subchannels();
   noise_w_ = problem_->noise_w();
   has_downlink_ = problem_->has_downlink();
+  cloud_cpu_hz_ = problem_->cloud_cpu_hz();
   user_gain_.assign(problem_->num_users(), 0.0);
   server_sqrt_eta_.assign(num_servers_, 0.0);
   server_count_.assign(num_servers_, 0);
@@ -39,6 +40,8 @@ void IncrementalEvaluator::rebuild() {
   lambda_cost_ = 0.0;
   server_sqrt_eta_.assign(num_servers_, 0.0);
   server_count_.assign(num_servers_, 0);
+  cloud_sqrt_eta_ = 0.0;
+  cloud_count_ = 0;
   user_gain_.assign(problem_->num_users(), 0.0);
   channel_power_.assign(num_servers_ * num_subchannels_, 0.0);
   const std::vector<std::size_t> offloaded = x_.offloaded_users();
@@ -49,6 +52,11 @@ void IncrementalEvaluator::rebuild() {
     // order (offloaded_users() is ascending), so the result is bit-identical
     // to the per-user AXPY loop below.
     for (const std::size_t u : offloaded) {
+      if (x_.is_forwarded(u)) {
+        cloud_sqrt_eta_ += problem_->sqrt_eta(u);
+        ++cloud_count_;
+        continue;
+      }
       const Slot slot = *x_.slot_of(u);
       server_sqrt_eta_[slot.server] += problem_->sqrt_eta(u);
       ++server_count_[slot.server];
@@ -67,8 +75,13 @@ void IncrementalEvaluator::rebuild() {
   } else {
     for (const std::size_t u : offloaded) {
       const Slot slot = *x_.slot_of(u);
-      server_sqrt_eta_[slot.server] += problem_->sqrt_eta(u);
-      ++server_count_[slot.server];
+      if (x_.is_forwarded(u)) {
+        cloud_sqrt_eta_ += problem_->sqrt_eta(u);
+        ++cloud_count_;
+      } else {
+        server_sqrt_eta_[slot.server] += problem_->sqrt_eta(u);
+        ++server_count_[slot.server];
+      }
       add_channel_power(u, slot.subchannel, +1.0);
     }
   }
@@ -80,6 +93,9 @@ void IncrementalEvaluator::rebuild() {
       lambda_cost_ += server_sqrt_eta_[s] * server_sqrt_eta_[s] /
                       problem_->server_cpu_hz(s);
     }
+  }
+  if (cloud_count_ > 0) {
+    lambda_cost_ += cloud_sqrt_eta_ * cloud_sqrt_eta_ / cloud_cpu_hz_;
   }
   utility_ = gain_minus_gamma_ - lambda_cost_;
 }
@@ -114,9 +130,10 @@ double IncrementalEvaluator::gain_of(std::size_t u, std::size_t s,
 void IncrementalEvaluator::refresh_user_cost(std::size_t u) {
   TSAJS_CHECK(x_.is_offloaded(u), "refresh_user_cost needs an offloader");
   const Slot slot = *x_.slot_of(u);
-  const double gain =
+  double gain =
       gain_of(u, slot.server, slot.subchannel,
               channel_power_[slot.subchannel * num_servers_ + slot.server]);
+  if (x_.is_forwarded(u)) gain -= forward_cost(u, slot.server);
   gain_minus_gamma_ += gain - user_gain_[u];
   user_gain_[u] = gain;
 }
@@ -155,6 +172,23 @@ void IncrementalEvaluator::server_remove(std::size_t s, double sqrt_eta) {
   lambda_cost_ += (after * after - before * before) / problem_->server_cpu_hz(s);
 }
 
+void IncrementalEvaluator::cloud_add(double sqrt_eta) {
+  const double before = cloud_sqrt_eta_;
+  const double after = before + sqrt_eta;
+  ++cloud_count_;
+  cloud_sqrt_eta_ = after;
+  lambda_cost_ += (after * after - before * before) / cloud_cpu_hz_;
+}
+
+void IncrementalEvaluator::cloud_remove(double sqrt_eta) {
+  const double before = cloud_sqrt_eta_;
+  TSAJS_CHECK(cloud_count_ > 0, "cloud_remove on an empty cloud pool");
+  --cloud_count_;
+  const double after = cloud_count_ == 0 ? 0.0 : before - sqrt_eta;
+  cloud_sqrt_eta_ = after;
+  lambda_cost_ += (after * after - before * before) / cloud_cpu_hz_;
+}
+
 void IncrementalEvaluator::note_commit() {
   if (rebuild_interval_ == 0) return;
   if (++commits_since_rebuild_ >= rebuild_interval_) {
@@ -166,9 +200,15 @@ void IncrementalEvaluator::note_commit() {
 void IncrementalEvaluator::do_make_local(std::size_t u) {
   const auto slot = x_.slot_of(u);
   if (!slot.has_value()) return;
-  if (logging_) undo_log_.push_back({u, slot});
+  const bool was_forwarded = x_.is_forwarded(u);
+  if (logging_) undo_log_.push_back({u, slot, was_forwarded});
   drop_user_cost(u);
-  server_remove(slot->server, problem_->sqrt_eta(u));
+  if (was_forwarded) {
+    // The user's compute lived in the cloud pool, not the server's.
+    cloud_remove(problem_->sqrt_eta(u));
+  } else {
+    server_remove(slot->server, problem_->sqrt_eta(u));
+  }
   add_channel_power(u, slot->subchannel, -1.0);
   x_.make_local(u);
   // Users sharing the old sub-channel lost an interferer.
@@ -226,11 +266,41 @@ double IncrementalEvaluator::apply_swap(std::size_t u1, std::size_t u2) {
   return utility_;
 }
 
+void IncrementalEvaluator::do_set_forwarded(std::size_t u, bool forwarded) {
+  if (x_.is_forwarded(u) == forwarded) return;
+  const auto slot = x_.slot_of(u);
+  TSAJS_REQUIRE(slot.has_value(), "set_forwarded needs an offloaded user");
+  if (logging_) undo_log_.push_back({u, slot, !forwarded});
+  const double sqrt_eta = problem_->sqrt_eta(u);
+  if (forwarded) {
+    server_remove(slot->server, sqrt_eta);
+    cloud_add(sqrt_eta);
+  } else {
+    cloud_remove(sqrt_eta);
+    server_add(slot->server, sqrt_eta);
+  }
+  x_.set_forwarded(u, forwarded);
+  // Interference is untouched (the uplink slot is unchanged), so only the
+  // user's own cost moves: refresh picks the forward penalty up or drops it.
+  refresh_user_cost(u);
+  utility_ = gain_minus_gamma_ - lambda_cost_;
+}
+
+double IncrementalEvaluator::apply_set_forwarded(std::size_t u,
+                                                 bool forwarded) {
+  do_set_forwarded(u, forwarded);
+  note_commit();
+  return utility_;
+}
+
 double IncrementalEvaluator::preview_changes(const SlotChange* changes,
                                              std::size_t n) const {
   TSAJS_CHECK(n >= 1 && n <= 2, "previews cover one- and two-user moves");
 
-  // ---- Lambda (Eq. 23) delta over the affected servers (≤ 4). ----
+  // ---- Lambda (Eq. 23) delta over the affected pools (≤ 4). ----
+  // The cloud pool is addressed as a virtual server index num_servers_: a
+  // forwarded mover's eta leaves the cloud, and any slot it lands on implies
+  // a recall (the eta re-enters the real server's pool).
   std::size_t srv[4];
   double srv_delta[4];
   int srv_count_delta[4];
@@ -250,8 +320,10 @@ double IncrementalEvaluator::preview_changes(const SlotChange* changes,
   };
   for (std::size_t c = 0; c < n; ++c) {
     if (changes[c].from.has_value()) {
-      touch_server(changes[c].from->server,
-                   -problem_->sqrt_eta(changes[c].user), -1);
+      const std::size_t pool = x_.is_forwarded(changes[c].user)
+                                   ? num_servers_
+                                   : changes[c].from->server;
+      touch_server(pool, -problem_->sqrt_eta(changes[c].user), -1);
     }
     if (changes[c].to.has_value()) {
       touch_server(changes[c].to->server,
@@ -260,13 +332,15 @@ double IncrementalEvaluator::preview_changes(const SlotChange* changes,
   }
   double lambda_delta = 0.0;
   for (std::size_t i = 0; i < num_srv; ++i) {
-    const double before = server_sqrt_eta_[srv[i]];
+    const bool cloud = srv[i] == num_servers_;
+    const double before = cloud ? cloud_sqrt_eta_ : server_sqrt_eta_[srv[i]];
     const auto count_after =
-        static_cast<int>(server_count_[srv[i]]) + srv_count_delta[i];
+        static_cast<int>(cloud ? cloud_count_ : server_count_[srv[i]]) +
+        srv_count_delta[i];
     // Mirror server_remove's exact-zero snap so preview matches apply.
     const double after = count_after == 0 ? 0.0 : before + srv_delta[i];
-    lambda_delta +=
-        (after * after - before * before) / problem_->server_cpu_hz(srv[i]);
+    lambda_delta += (after * after - before * before) /
+                    (cloud ? cloud_cpu_hz_ : problem_->server_cpu_hz(srv[i]));
   }
 
   // ---- Gamma-side delta: moved users plus affected co-channel users. ----
@@ -326,9 +400,14 @@ double IncrementalEvaluator::preview_changes(const SlotChange* changes,
         if (changes[c].user == *occupant) moved = true;
       }
       if (moved) continue;  // handled above (or vacated the slot)
-      gain_delta +=
-          gain_of(*occupant, s, j, channel_power_[j * num_servers_ + s] + d) -
-          user_gain_[*occupant];
+      double occ_gain =
+          gain_of(*occupant, s, j, channel_power_[j * num_servers_ + s] + d);
+      // A standing forwarded occupant keeps its forward penalty (their
+      // cached user_gain_ includes it; gain_of does not).
+      if (x_.is_forwarded(*occupant)) {
+        occ_gain -= forward_cost(*occupant, s);
+      }
+      gain_delta += occ_gain - user_gain_[*occupant];
     }
   }
   return utility_ + gain_delta - lambda_delta;
@@ -388,7 +467,9 @@ void IncrementalEvaluator::preview_offload_subchannel(std::size_t u,
     if (!occ.has_value()) continue;
     occupied[r] = 1;
     const double power = channel_power_[j * num_servers_ + r] + urow[r];
-    occ_delta.push_back(gain_of(*occ, r, j, power) - user_gain_[*occ]);
+    double occ_gain = gain_of(*occ, r, j, power);
+    if (x_.is_forwarded(*occ)) occ_gain -= forward_cost(*occ, r);
+    occ_delta.push_back(occ_gain - user_gain_[*occ]);
   }
   const double sqrt_eta_u = problem_->sqrt_eta(u);
   const double nan = std::numeric_limits<double>::quiet_NaN();
@@ -410,6 +491,45 @@ void IncrementalEvaluator::preview_offload_subchannel(std::size_t u,
   }
 }
 
+double IncrementalEvaluator::preview_set_forwarded(std::size_t u,
+                                                   bool forwarded) const {
+  if (x_.is_forwarded(u) == forwarded) return utility_;
+  const auto slot = x_.slot_of(u);
+  TSAJS_REQUIRE(slot.has_value(), "set_forwarded needs an offloaded user");
+  const std::size_t s = slot->server;
+  const double sqrt_eta = problem_->sqrt_eta(u);
+
+  // Lambda: eta transfers between the server pool and the cloud pool.
+  // Mirror server_remove/cloud_remove's exact-zero snap.
+  const double srv_before = server_sqrt_eta_[s];
+  const auto srv_count_after =
+      static_cast<int>(server_count_[s]) + (forwarded ? -1 : +1);
+  const double srv_after =
+      srv_count_after == 0 ? 0.0
+                           : srv_before + (forwarded ? -sqrt_eta : +sqrt_eta);
+  const double cloud_before = cloud_sqrt_eta_;
+  const auto cloud_count_after =
+      static_cast<int>(cloud_count_) + (forwarded ? +1 : -1);
+  const double cloud_after =
+      cloud_count_after == 0
+          ? 0.0
+          : cloud_before + (forwarded ? +sqrt_eta : -sqrt_eta);
+  const double lambda_delta =
+      (srv_after * srv_after - srv_before * srv_before) /
+          problem_->server_cpu_hz(s) +
+      (cloud_after * cloud_after - cloud_before * cloud_before) /
+          cloud_cpu_hz_;
+
+  // Gamma: interference is unchanged, so only u's own forward penalty moves.
+  // Re-derive the gain the same way refresh_user_cost would so the preview
+  // tracks apply exactly.
+  double gain = gain_of(u, s, slot->subchannel,
+                        channel_power_[slot->subchannel * num_servers_ + s]);
+  if (forwarded) gain -= forward_cost(u, s);
+  const double gain_delta = gain - user_gain_[u];
+  return utility_ + gain_delta - lambda_delta;
+}
+
 double IncrementalEvaluator::preview_replace(std::size_t u, std::size_t s,
                                              std::size_t j) const {
   const auto occupant = x_.occupant(s, j);
@@ -428,8 +548,14 @@ void IncrementalEvaluator::rollback(std::size_t mark) {
     const UndoEntry entry = undo_log_.back();
     undo_log_.pop_back();
     if (entry.prior.has_value()) {
-      // The user held a slot before this change: put it back.
+      // The user held a slot before this change: put it back. do_offload is
+      // a no-op when the user already sits there (forward/recall entries),
+      // and always leaves the user recalled otherwise — fix the cloud bit
+      // up separately either way.
       do_offload(entry.user, entry.prior->server, entry.prior->subchannel);
+      if (x_.is_forwarded(entry.user) != entry.prior_forwarded) {
+        do_set_forwarded(entry.user, entry.prior_forwarded);
+      }
     } else {
       // The user was local before this change.
       do_make_local(entry.user);

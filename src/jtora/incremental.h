@@ -83,6 +83,11 @@ class IncrementalEvaluator {
   double apply_make_local(std::size_t u);
   /// Swaps the slots of two users.
   double apply_swap(std::size_t u1, std::size_t u2);
+  /// Forwards (`true`) or recalls (`false`) offloaded user `u` to/from the
+  /// cloud tier: its eta moves between the uplink server's pool and the
+  /// cloud pool and its forward-delay penalty toggles; the radio state is
+  /// untouched. No-op when already in the requested tier.
+  double apply_set_forwarded(std::size_t u, bool forwarded);
 
   // --- read-only previews -------------------------------------------------
   // Each returns the utility the corresponding apply_* would yield, without
@@ -101,6 +106,11 @@ class IncrementalEvaluator {
   /// user `u` took the slot. Requires an occupant other than `u`.
   [[nodiscard]] double preview_replace(std::size_t u, std::size_t s,
                                        std::size_t j) const;
+  /// Utility if offloaded user `u` were forwarded to / recalled from the
+  /// cloud tier. Interference is unaffected, so this is O(1): a two-pool
+  /// Lambda transfer plus the user's own forward-penalty delta.
+  [[nodiscard]] double preview_set_forwarded(std::size_t u,
+                                             bool forwarded) const;
 
   /// Batch preview row (jtora::batch): candidate utilities of offloading
   /// *local* user `u` onto sub-channel `j` for every server at once.
@@ -179,11 +189,26 @@ class IncrementalEvaluator {
   [[nodiscard]] std::size_t num_offloaded() const noexcept {
     return x_.num_offloaded();
   }
+  [[nodiscard]] bool cloud_enabled() const noexcept {
+    return x_.cloud_enabled();
+  }
+  [[nodiscard]] bool is_forwarded(std::size_t u) const {
+    return x_.is_forwarded(u);
+  }
+  [[nodiscard]] bool can_forward(std::size_t u) const {
+    return x_.can_forward(u);
+  }
+  [[nodiscard]] std::size_t num_forwarded() const noexcept {
+    return x_.num_forwarded();
+  }
   void offload(std::size_t u, std::size_t s, std::size_t j) {
     apply_offload(u, s, j);
   }
   void make_local(std::size_t u) { apply_make_local(u); }
   void swap(std::size_t u1, std::size_t u2) { apply_swap(u1, u2); }
+  void set_forwarded(std::size_t u, bool forwarded) {
+    apply_set_forwarded(u, forwarded);
+  }
 
  private:
   /// One user's slot transition inside a previewed move; `from`/`to` empty
@@ -202,6 +227,7 @@ class IncrementalEvaluator {
   // rebuild cadence, rollback() replays them.
   void do_offload(std::size_t u, std::size_t s, std::size_t j);
   void do_make_local(std::size_t u);
+  void do_set_forwarded(std::size_t u, bool forwarded);
 
   /// Candidate utility after the (≤ 2) slot changes, computed purely from
   /// the flattened caches. The preview_* entry points funnel here.
@@ -233,6 +259,14 @@ class IncrementalEvaluator {
   /// Adjusts a server's sqrt(eta) sum and the Lambda total.
   void server_add(std::size_t s, double sqrt_eta);
   void server_remove(std::size_t s, double sqrt_eta);
+  /// Same for the cloud pool (forwarded users, Eq. 23 virtual server).
+  void cloud_add(double sqrt_eta);
+  void cloud_remove(double sqrt_eta);
+  /// Weighted forward-delay penalty of user `u` uplinking via server `s`:
+  /// time_cost_scale(u) * forward_time_s(u, s). Only valid with a cloud.
+  [[nodiscard]] double forward_cost(std::size_t u, std::size_t s) const {
+    return problem_->time_cost_scale(u) * problem_->forward_time_s(u, s);
+  }
   /// Commit accounting: triggers the periodic anti-drift rebuild.
   void note_commit();
 
@@ -252,8 +286,12 @@ class IncrementalEvaluator {
   std::vector<double> user_gain_;
   // Per-server sum of sqrt(eta_u) over its users, and the matching user
   // count (so the sum can snap to exact 0 when the last user leaves).
+  // Forwarded users count toward the cloud pool instead of their server's.
   std::vector<double> server_sqrt_eta_;
   std::vector<std::uint32_t> server_count_;
+  double cloud_sqrt_eta_ = 0.0;
+  std::uint32_t cloud_count_ = 0;
+  double cloud_cpu_hz_ = 0.0;
   // Received-power cache, flattened (sub-channel, server) row-major:
   // channel_power_[j * S + s] = sum over users k currently offloaded on
   // sub-channel j of p_k * h_{k->s}^j. The SINR of the occupant u of (s, j)
@@ -269,10 +307,12 @@ class IncrementalEvaluator {
   std::size_t rebuild_interval_ = 4096;
   std::size_t commits_since_rebuild_ = 0;
 
-  // Undo log: the slot each touched user held *before* its state change.
+  // Undo log: the slot (and cloud-forwarding state) each touched user held
+  // *before* its state change.
   struct UndoEntry {
     std::size_t user;
     std::optional<Slot> prior;
+    bool prior_forwarded = false;
   };
   std::vector<UndoEntry> undo_log_;
   bool logging_ = true;

@@ -1,5 +1,6 @@
 #include "jtora/sharded_problem.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.h"
@@ -108,6 +109,60 @@ void ShardedProblem::compile(const CompiledProblem& problem,
     }
   }
 
+  // Cloud tier apportionment: the cloud is one shared global resource, so
+  // each populated shard receives a deterministic slice — compute capacity
+  // proportional to its user count, and the admission cap split by largest
+  // remainder (lowest shard id on ties; the SolveBudget apportionment
+  // style). A shard whose cap share rounds to zero has the tier disabled
+  // outright: a CloudTier cap of 0 means "unlimited", the opposite of a
+  // zero share — so the per-shard caps always sum to at most the global
+  // cap and the merged assignment can never over-admit.
+  std::vector<mec::CloudTier> shard_cloud(num_shards);
+  if (scenario.has_cloud()) {
+    const mec::CloudTier& cloud = scenario.cloud();
+    std::vector<std::size_t> cap(num_shards, 0);
+    if (cloud.max_forwarded > 0) {
+      std::size_t assigned = 0;
+      std::vector<std::pair<std::size_t, std::size_t>> remainders;
+      for (std::size_t k = 0; k < num_shards; ++k) {
+        const std::size_t shard_users = staged_users_[k].size();
+        if (shard_users == 0) continue;
+        cap[k] = cloud.max_forwarded * shard_users / num_users;
+        assigned += cap[k];
+        remainders.emplace_back(cloud.max_forwarded * shard_users % num_users,
+                                k);
+      }
+      std::sort(remainders.begin(), remainders.end(),
+                [](const std::pair<std::size_t, std::size_t>& a,
+                   const std::pair<std::size_t, std::size_t>& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return a.second < b.second;
+                });
+      std::size_t leftover = cloud.max_forwarded - assigned;
+      for (const auto& [remainder, k] : remainders) {
+        if (leftover == 0) break;
+        ++cap[k];
+        --leftover;
+      }
+    }
+    for (std::size_t k = 0; k < num_shards; ++k) {
+      const std::size_t shard_users = staged_users_[k].size();
+      if (shard_users == 0) continue;
+      if (cloud.max_forwarded > 0 && cap[k] == 0) continue;
+      mec::CloudTier tier;
+      tier.cpu_hz = cloud.cpu_hz * static_cast<double>(shard_users) /
+                    static_cast<double>(num_users);
+      tier.max_forwarded = cap[k];
+      tier.backhaul_bps.reserve(shards_[k].servers.size());
+      tier.backhaul_latency_s.reserve(shards_[k].servers.size());
+      for (const std::size_t gs : shards_[k].servers) {
+        tier.backhaul_bps.push_back(cloud.backhaul_bps[gs]);
+        tier.backhaul_latency_s.push_back(cloud.backhaul_latency_s[gs]);
+      }
+      shard_cloud[k] = std::move(tier);
+    }
+  }
+
   // Materialize (or refresh) one sub-scenario + compilation per populated
   // shard. The workspace retains the staging buffers across epochs and the
   // shard's CompiledProblem recompiles in place, skipping per-user constant
@@ -148,12 +203,27 @@ void ShardedProblem::compile(const CompiledProblem& problem,
         }
       }
     }
-    if (scenario.fully_available()) {
+    // Backhaul-only faults do not show in fully_available() (the slot fast
+    // paths deliberately ignore them), so probe them separately when this
+    // shard carries a tier slice.
+    bool backhaul_fault = false;
+    if (shard_cloud[k].enabled()) {
+      for (const std::size_t gs : shard.servers) {
+        if (!scenario.backhaul_available(gs)) {
+          backhaul_fault = true;
+          break;
+        }
+      }
+    }
+    if (scenario.fully_available() && !backhaul_fault) {
       ws.set_availability(mec::Availability{});
     } else {
       mec::Availability availability(shard.servers.size(), num_subchannels);
       for (std::size_t ls = 0; ls < shard.servers.size(); ++ls) {
         const std::size_t gs = shard.servers[ls];
+        if (shard_cloud[k].enabled() && !scenario.backhaul_available(gs)) {
+          availability.fail_backhaul(ls);
+        }
         if (!scenario.server_available(gs)) {
           availability.fail_server(ls);
           continue;
@@ -164,6 +234,7 @@ void ShardedProblem::compile(const CompiledProblem& problem,
       }
       ws.set_availability(std::move(availability));
     }
+    ws.set_cloud(std::move(shard_cloud[k]));
     shard.scenario = &ws.commit();
     if (!shard.problem) shard.problem = std::make_unique<CompiledProblem>();
     shard.problem->compile(*shard.scenario);
@@ -216,6 +287,12 @@ void ShardedProblem::merge_into(std::size_t k, const Assignment& local,
     if (!slot.has_value()) continue;
     global.offload(shard.users[lu], shard.servers[slot->server],
                    slot->subchannel);
+    // Translate the cloud-forwarding bit. The shard's tier slice mirrors
+    // the global backhaul state and its cap never exceeds its share of the
+    // global cap, so the global set_forwarded always admits.
+    if (local.is_forwarded(lu)) {
+      global.set_forwarded(shard.users[lu], true);
+    }
   }
 }
 
@@ -239,6 +316,12 @@ Assignment ShardedProblem::shard_hint(std::size_t k,
     const std::size_t ls = server_local_[slot->server];
     if (!local.slot_available(ls, slot->subchannel)) continue;
     local.offload(lu, ls, slot->subchannel);
+    // Carry the forwarding bit when the shard's tier slice still admits it
+    // (tier present, backhaul up, cap not exhausted); otherwise the user
+    // warm-starts edge-served.
+    if (global.is_forwarded(gu) && local.can_forward(lu)) {
+      local.set_forwarded(lu, true);
+    }
   }
   return local;
 }

@@ -40,6 +40,13 @@ double UtilityEvaluator::system_utility(const Assignment& x) const {
       gamma += problem_->time_cost_scale(u) *
                problem_->downlink_time_s(u, slot.server, slot.subchannel);
     }
+    if (x.is_forwarded(u)) {
+      // Cloud forwarding: relaying the input over the backhaul costs extra
+      // serial delay, weighted like any other delay term.
+      const Slot slot = *x.slot_of(u);
+      gamma += problem_->time_cost_scale(u) *
+               problem_->forward_time_s(u, slot.server);
+    }
   }
   const double lambda_cost = cra_.optimal_objective(x);
   // Eq. 24.
@@ -70,20 +77,25 @@ double UtilityEvaluator::system_utility_batch(const Assignment& x) const {
       gamma += problem_->time_cost_scale(u) *
                problem_->downlink_time_s(u, slot.server, slot.subchannel);
     }
+    if (x.is_forwarded(u)) {
+      gamma += problem_->time_cost_scale(u) *
+               problem_->forward_time_s(u, slot.server);
+    }
   }
   const double lambda_cost = cra_.optimal_objective(x);
   return gain - gamma - lambda_cost;
 }
 
 double UtilityEvaluator::user_utility(std::size_t u, const LinkMetrics& link,
-                                      double cpu_hz) const {
+                                      double cpu_hz,
+                                      double extra_delay_s) const {
   TSAJS_REQUIRE(u < problem_->num_users(), "user index out of range");
   TSAJS_REQUIRE(cpu_hz > 0.0, "allocated CPU must be positive (12e)");
   const mec::UserEquipment& ue = problem_->scenario().user(u);
   const double local_time = problem_->local_time_s(u);
   const double local_energy = problem_->local_energy_j(u);
-  const double t_u =
-      link.upload_s + link.download_s + ue.task.cycles / cpu_hz;
+  const double t_u = link.upload_s + link.download_s +
+                     ue.task.cycles / cpu_hz + extra_delay_s;
   const double e_u = link.tx_energy_j;
   // Eq. 10 with sum_s x_us = 1.
   return ue.beta_time * (local_time - t_u) / local_time +
@@ -106,19 +118,28 @@ Evaluation UtilityEvaluator::evaluate(const Assignment& x) const {
       continue;
     }
     outcome.offloaded = true;
+    outcome.forwarded = x.is_forwarded(u);
     outcome.link = rate_.link(x, u);
     const double cpu = eval.allocation.cpu_hz[u];
     TSAJS_CHECK(cpu > 0.0, "CRA must allocate positive CPU to offloaders");
     outcome.exec_s = ue.task.cycles / cpu;
-    outcome.total_delay_s =
-        outcome.link.upload_s + outcome.link.download_s + outcome.exec_s;
+    if (outcome.forwarded) {
+      const Slot slot = *x.slot_of(u);
+      outcome.forward_s = problem_->forward_time_s(u, slot.server);
+    }
+    outcome.total_delay_s = outcome.link.upload_s + outcome.link.download_s +
+                            outcome.exec_s;
+    if (outcome.forwarded) outcome.total_delay_s += outcome.forward_s;
     outcome.energy_j = outcome.link.tx_energy_j;
-    outcome.utility = user_utility(u, outcome.link, cpu);
+    outcome.utility = user_utility(u, outcome.link, cpu, outcome.forward_s);
 
     eval.gain_term += problem_->gain_const(u);
     const double log_term = std::log2(1.0 + outcome.link.sinr);
     eval.gamma_cost += problem_->gamma_coef(u) / log_term;
     eval.gamma_cost += problem_->time_cost_scale(u) * outcome.link.download_s;
+    if (outcome.forwarded) {
+      eval.gamma_cost += problem_->time_cost_scale(u) * outcome.forward_s;
+    }
     eval.system_utility += ue.lambda * outcome.utility;
   }
   return eval;

@@ -28,8 +28,10 @@ namespace tsajs::jtora {
 /// Per-user outcome under a decision X and the optimal allocation F*(X).
 struct UserOutcome {
   bool offloaded = false;
+  bool forwarded = false;    ///< Edge server relays the task to the cloud.
   LinkMetrics link;          ///< SINR / rate / upload time / tx energy.
   double exec_s = 0.0;       ///< t_execute^u = w_u / f*_us (Eq. 7).
+  double forward_s = 0.0;    ///< Backhaul transfer + latency (0 unless forwarded).
   double total_delay_s = 0.0;///< t_u = upload + execute (Eq. 8); t_local if local.
   double energy_j = 0.0;     ///< E_u (Eq. 9); E_local if local.
   double utility = 0.0;      ///< J_u (Eq. 10); 0 if local.
@@ -69,8 +71,10 @@ class UtilityEvaluator {
 
   /// J_u of a single user given its link metrics and CPU allocation
   /// (Eq. 10). Exposed for baselines that reason about marginal gains.
+  /// `extra_delay_s` adds fixed serial delay to t_u (cloud forwarding).
   [[nodiscard]] double user_utility(std::size_t u, const LinkMetrics& link,
-                                    double cpu_hz) const;
+                                    double cpu_hz,
+                                    double extra_delay_s = 0.0) const;
 
   [[nodiscard]] const mec::Scenario& scenario() const noexcept {
     return problem_->scenario();

@@ -8,7 +8,9 @@
 //   * a *down server* contributes zero capacity — every one of its slots is
 //     unassignable;
 //   * a *blacked-out slot* (s, j) is individually unassignable while the
-//     server keeps serving its other sub-channels.
+//     server keeps serving its other sub-channels;
+//   * a *down backhaul* severs server s's link to the cloud tier — tasks can
+//     still be edge-served on s, but not forwarded (see mec/cloud.h).
 //
 // A default-constructed Availability is *unconstrained*: it carries no
 // storage, matches any grid, and reports everything available — so the
@@ -38,7 +40,8 @@ class Availability {
       : num_servers_(num_servers),
         num_subchannels_(num_subchannels),
         server_up_(num_servers, 1),
-        slot_ok_(num_servers * num_subchannels, 1) {
+        slot_ok_(num_servers * num_subchannels, 1),
+        backhaul_up_(num_servers, 1) {
     TSAJS_REQUIRE(num_servers >= 1 && num_subchannels >= 1,
                   "availability mask needs a non-empty grid");
   }
@@ -63,6 +66,10 @@ class Availability {
   void restore_slot(std::size_t s, std::size_t j) {
     slot_ok_[require_slot(s, j)] = 1;
   }
+  void fail_backhaul(std::size_t s) { backhaul_up_[require_server(s)] = 0; }
+  void restore_backhaul(std::size_t s) {
+    backhaul_up_[require_server(s)] = 1;
+  }
 
   [[nodiscard]] bool server_available(std::size_t s) const {
     if (unconstrained()) return true;
@@ -77,7 +84,17 @@ class Availability {
            slot_ok_[require_slot(s, j)] != 0;
   }
 
-  /// True when no resource is masked (also true for unconstrained masks).
+  /// True when server s's cloud backhaul link is up. A down backhaul only
+  /// blocks forwarding; the server's slots stay assignable, so this state
+  /// is deliberately *not* part of all_available() (the slot fast paths
+  /// must keep treating backhaul-only faults as fully available).
+  [[nodiscard]] bool backhaul_available(std::size_t s) const {
+    if (unconstrained()) return true;
+    return backhaul_up_[require_server(s)] != 0;
+  }
+
+  /// True when no *slot* resource is masked (also true for unconstrained
+  /// masks). Backhaul state is excluded — see backhaul_available().
   [[nodiscard]] bool all_available() const noexcept {
     for (const auto up : server_up_) {
       if (up == 0) return false;
@@ -91,6 +108,12 @@ class Availability {
   [[nodiscard]] std::size_t num_servers_down() const noexcept {
     std::size_t down = 0;
     for (const auto up : server_up_) down += (up == 0) ? 1 : 0;
+    return down;
+  }
+
+  [[nodiscard]] std::size_t num_backhauls_down() const noexcept {
+    std::size_t down = 0;
+    for (const auto up : backhaul_up_) down += (up == 0) ? 1 : 0;
     return down;
   }
 
@@ -133,6 +156,7 @@ class Availability {
   std::size_t num_subchannels_ = 0;
   std::vector<std::uint8_t> server_up_;
   std::vector<std::uint8_t> slot_ok_;
+  std::vector<std::uint8_t> backhaul_up_;
 };
 
 }  // namespace tsajs::mec

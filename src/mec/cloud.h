@@ -1,0 +1,85 @@
+// The cloud tier behind the edge servers — the third placement choice.
+//
+// The paper's model is two-tier: a task runs locally or on the edge server
+// whose (server, sub-channel) uplink slot it takes. Cooperative MEC
+// (Xing et al., arxiv 1802.06862) adds a remote cloud behind the edge: an
+// edge server may *forward* an admitted task over its backhaul link to a
+// large shared compute pool. The radio side is untouched — a forwarded user
+// still holds its uplink slot and causes the same interference — but its
+// compute moves from the edge server's CRA pool to the cloud's, and its
+// delay gains a backhaul term
+//
+//   t_fwd(u, s) = d_u / r_backhaul(s) + tau(s)
+//
+// (transfer of the input over server s's backhaul plus propagation latency).
+//
+// A default-constructed CloudTier is *disabled* (cpu_hz == 0): scenarios
+// without a cloud carry no per-server storage and every cloud branch in the
+// pipeline is skipped, keeping the two-tier paths bit-identical to the
+// pre-cloud tree.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+
+namespace tsajs::mec {
+
+struct CloudTier {
+  /// Cloud compute capacity f_cloud [Hz] shared by all forwarded tasks
+  /// (one CRA pool, like a virtual edge server). 0 disables the tier.
+  double cpu_hz = 0.0;
+  /// Per-edge-server backhaul rate [bit/s] to the cloud; size num_servers
+  /// when the tier is enabled.
+  std::vector<double> backhaul_bps;
+  /// Per-edge-server backhaul propagation latency [s]; size num_servers.
+  std::vector<double> backhaul_latency_s;
+  /// Hard cap on concurrently forwarded tasks (cloud admission control);
+  /// 0 = unlimited (the shared CRA pool is the only brake).
+  std::size_t max_forwarded = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return cpu_hz > 0.0; }
+
+  /// A tier with identical backhaul characteristics on every edge server.
+  [[nodiscard]] static CloudTier uniform(double cpu_hz, double backhaul_bps,
+                                         double backhaul_latency_s,
+                                         std::size_t num_servers,
+                                         std::size_t max_forwarded = 0) {
+    CloudTier cloud;
+    cloud.cpu_hz = cpu_hz;
+    cloud.backhaul_bps.assign(num_servers, backhaul_bps);
+    cloud.backhaul_latency_s.assign(num_servers, backhaul_latency_s);
+    cloud.max_forwarded = max_forwarded;
+    return cloud;
+  }
+
+  /// Validates against a deployment of `num_servers` edge servers. Disabled
+  /// tiers must carry no storage (so operator== keeps treating "no cloud"
+  /// as one canonical value).
+  void validate(std::size_t num_servers) const {
+    if (!enabled()) {
+      TSAJS_REQUIRE(backhaul_bps.empty() && backhaul_latency_s.empty(),
+                    "a disabled cloud tier must not carry backhaul terms");
+      return;
+    }
+    TSAJS_REQUIRE(std::isfinite(cpu_hz) && cpu_hz > 0.0,
+                  "cloud capacity must be positive and finite");
+    TSAJS_REQUIRE(backhaul_bps.size() == num_servers &&
+                      backhaul_latency_s.size() == num_servers,
+                  "backhaul terms must cover every edge server");
+    for (const double bps : backhaul_bps) {
+      TSAJS_REQUIRE(std::isfinite(bps) && bps > 0.0,
+                    "backhaul rate must be positive and finite");
+    }
+    for (const double tau : backhaul_latency_s) {
+      TSAJS_REQUIRE(std::isfinite(tau) && tau >= 0.0,
+                    "backhaul latency must be non-negative and finite");
+    }
+  }
+
+  friend bool operator==(const CloudTier&, const CloudTier&) = default;
+};
+
+}  // namespace tsajs::mec

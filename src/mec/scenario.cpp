@@ -25,13 +25,14 @@ void UserEquipment::validate() const {
 Scenario::Scenario(std::vector<UserEquipment> users,
                    std::vector<EdgeServer> servers, radio::Spectrum spectrum,
                    double noise_w, Matrix3<double> gains,
-                   Availability availability)
+                   Availability availability, CloudTier cloud)
     : users_(std::move(users)),
       servers_(std::move(servers)),
       spectrum_(spectrum),
       noise_w_(noise_w),
       gains_(std::move(gains)),
       availability_(std::move(availability)),
+      cloud_(std::move(cloud)),
       fully_available_(availability_.all_available()) {
   TSAJS_REQUIRE(!users_.empty(), "a scenario needs at least one user");
   TSAJS_REQUIRE(!servers_.empty(), "a scenario needs at least one server");
@@ -43,6 +44,7 @@ Scenario::Scenario(std::vector<UserEquipment> users,
   TSAJS_REQUIRE(
       availability_.matches_grid(servers_.size(), spectrum_.num_subchannels()),
       "availability mask shape must be servers x subchannels");
+  cloud_.validate(servers_.size());
   for (const auto& user : users_) user.validate();
   for (const auto& server : servers_) server.validate();
   for (std::size_t u = 0; u < users_.size(); ++u) {
@@ -67,7 +69,12 @@ const EdgeServer& Scenario::server(std::size_t s) const {
 
 Scenario Scenario::with_availability(Availability availability) const {
   return Scenario(users_, servers_, spectrum_, noise_w_, gains_,
-                  std::move(availability));
+                  std::move(availability), cloud_);
+}
+
+Scenario Scenario::with_cloud(CloudTier cloud) const {
+  return Scenario(users_, servers_, spectrum_, noise_w_, gains_,
+                  availability_, std::move(cloud));
 }
 
 }  // namespace tsajs::mec

@@ -10,6 +10,7 @@
 
 #include "common/matrix.h"
 #include "mec/availability.h"
+#include "mec/cloud.h"
 #include "mec/server.h"
 #include "mec/user.h"
 #include "radio/spectrum.h"
@@ -20,10 +21,12 @@ class Scenario {
  public:
   /// `gains` must be (users × servers × subchannels) with positive entries.
   /// `availability` masks faulted resources; the default (unconstrained)
-  /// mask leaves every server and slot assignable.
+  /// mask leaves every server and slot assignable. `cloud` describes the
+  /// optional cloud tier behind the edge; the default is disabled (the
+  /// paper's two-tier model).
   Scenario(std::vector<UserEquipment> users, std::vector<EdgeServer> servers,
            radio::Spectrum spectrum, double noise_w, Matrix3<double> gains,
-           Availability availability = {});
+           Availability availability = {}, CloudTier cloud = {});
 
   [[nodiscard]] std::size_t num_users() const noexcept {
     return users_.size();
@@ -94,6 +97,18 @@ class Scenario {
   /// ScenarioWorkspace instead).
   [[nodiscard]] Scenario with_availability(Availability availability) const;
 
+  // --- cloud tier (three-way placement) -----------------------------------
+  [[nodiscard]] const CloudTier& cloud() const noexcept { return cloud_; }
+  /// True when a cloud tier sits behind the edge (forwarding possible).
+  [[nodiscard]] bool has_cloud() const noexcept { return cloud_.enabled(); }
+  /// True when server s can currently forward to the cloud: the tier is
+  /// enabled and s's backhaul link is up.
+  [[nodiscard]] bool backhaul_available(std::size_t s) const {
+    return cloud_.enabled() && availability_.backhaul_available(s);
+  }
+  /// Copy of this scenario with `cloud` applied (test/tooling convenience).
+  [[nodiscard]] Scenario with_cloud(CloudTier cloud) const;
+
  private:
   /// ScenarioWorkspace rebuilds scenarios epoch after epoch; it is allowed
   /// to reclaim the user/gain buffers of a scenario it created (and only
@@ -106,8 +121,9 @@ class Scenario {
   double noise_w_;
   Matrix3<double> gains_;
   Availability availability_;
+  CloudTier cloud_;
   /// Cached `availability_.all_available()` so the hot-path checks stay one
-  /// branch in the healthy case.
+  /// branch in the healthy case (backhaul state is excluded by design).
   bool fully_available_ = true;
 };
 

@@ -48,6 +48,13 @@ class ScenarioBuilder {
   ScenarioBuilder& user_cpu_hz(double f);
   ScenarioBuilder& kappa(double k);
 
+  /// Extension: a cloud tier behind the edge servers with uniform backhaul
+  /// characteristics (see mec/cloud.h). cpu_hz = 0 keeps the tier disabled
+  /// (the paper's two-tier model, the default).
+  ScenarioBuilder& cloud(double cpu_hz, double backhaul_bps,
+                         double backhaul_latency_s,
+                         std::size_t max_forwarded = 0);
+
   // --- tasks & preferences --------------------------------------------------
   ScenarioBuilder& task_input_kb(double kb);
   ScenarioBuilder& task_megacycles(double mc);
@@ -94,6 +101,14 @@ class ScenarioBuilder {
   double lambda_ = 1.0;
   std::optional<radio::ChannelModel> channel_;
   std::function<void(std::size_t, UserEquipment&)> customize_;
+
+  struct CloudSpec {
+    double cpu_hz;
+    double backhaul_bps;
+    double backhaul_latency_s;
+    std::size_t max_forwarded;
+  };
+  std::optional<CloudSpec> cloud_;
 
   struct PowerControl {
     double p0_dbm;

@@ -31,10 +31,11 @@ const Scenario& ScenarioWorkspace::commit() {
   // The servers are copied (they are small and epoch-invariant); the user
   // vector and gain tensor are moved, so their allocations travel into the
   // scenario and come back in begin_epoch().
-  // The availability mask is copied, not moved: it persists across epochs
-  // (a multi-epoch outage stages it once).
+  // The availability mask and cloud tier are copied, not moved: they
+  // persist across epochs (a multi-epoch outage stages the mask once; the
+  // cloud tier describes the deployment, not the epoch).
   scenario_.emplace(std::move(users_), servers_, spectrum_, noise_w_,
-                    std::move(gains_), availability_);
+                    std::move(gains_), availability_, cloud_);
   return *scenario_;
 }
 

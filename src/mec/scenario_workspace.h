@@ -69,6 +69,13 @@ class ScenarioWorkspace {
     return availability_;
   }
 
+  /// Stages the cloud tier for the next commit(). Like the availability
+  /// mask it persists across epochs until replaced (the deployment's cloud
+  /// does not come and go per epoch); pass a default-constructed CloudTier
+  /// to disable the tier again.
+  void set_cloud(CloudTier cloud) { cloud_ = std::move(cloud); }
+  [[nodiscard]] const CloudTier& cloud() const noexcept { return cloud_; }
+
   /// Builds and validates the Scenario over the staged users/gains. The
   /// returned reference stays valid until the next begin_epoch().
   const Scenario& commit();
@@ -93,6 +100,7 @@ class ScenarioWorkspace {
   std::vector<UserEquipment> users_;
   Matrix3<double> gains_;
   Availability availability_;
+  CloudTier cloud_;
   std::optional<Scenario> scenario_;
 };
 

@@ -10,6 +10,7 @@
 #include "jtora/assignment.h"
 #include "jtora/compiled_problem.h"
 #include "jtora/utility.h"
+#include "mec/cloud.h"
 #include "mec/scenario_workspace.h"
 #include "radio/spectrum.h"
 
@@ -25,6 +26,15 @@ void DynamicConfig::validate() const {
       "workload range must be positive and ordered");
   TSAJS_REQUIRE(min_input_kb > 0.0 && max_input_kb >= min_input_kb,
                 "input-size range must be positive and ordered");
+  TSAJS_REQUIRE(std::isfinite(cloud_cpu_hz) && cloud_cpu_hz >= 0.0,
+                "cloud capacity must be finite and >= 0 (0 disables)");
+  if (cloud_cpu_hz > 0.0) {
+    TSAJS_REQUIRE(std::isfinite(cloud_backhaul_bps) && cloud_backhaul_bps > 0.0,
+                  "cloud backhaul rate must be positive and finite");
+    TSAJS_REQUIRE(std::isfinite(cloud_backhaul_latency_s) &&
+                      cloud_backhaul_latency_s >= 0.0,
+                  "cloud backhaul latency must be non-negative and finite");
+  }
   fault.validate();
 }
 
@@ -58,6 +68,13 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
   // Initial placement.
   std::vector<geo::Point> positions(population_);
   for (auto& p : positions) p = layout_.sample_in_network(rng);
+  // Waypoint targets — only drawn in waypoint mode, so kWalk timelines
+  // consume exactly the historical env-stream draws.
+  std::vector<geo::Point> waypoints;
+  if (config_.mobility_model == MobilityModel::kWaypoint) {
+    waypoints.resize(population_);
+    for (auto& w : waypoints) w = layout_.sample_in_network(rng);
+  }
   std::vector<geo::Point> bs_positions(servers_.size());
   for (std::size_t s = 0; s < servers_.size(); ++s) {
     bs_positions[s] = servers_[s].position;
@@ -69,9 +86,19 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
   // slot held after the most recent scheduled epoch (the warm-start hint).
   mec::ScenarioWorkspace workspace(
       servers_, radio::Spectrum(bandwidth_hz_, num_subchannels_), noise_w_);
+  const bool has_cloud = config_.cloud_cpu_hz > 0.0;
+  if (has_cloud) {
+    // The tier is static across the timeline; faults vary only the
+    // availability mask, never the tier itself.
+    workspace.set_cloud(mec::CloudTier::uniform(
+        config_.cloud_cpu_hz, config_.cloud_backhaul_bps,
+        config_.cloud_backhaul_latency_s, servers_.size(),
+        config_.cloud_max_forwarded));
+  }
   radio::PathLossCache pathloss_cache;
   pathloss_cache.reset(population_, servers_.size());
   std::vector<std::optional<jtora::Slot>> carried(population_);
+  std::vector<std::uint8_t> carried_forwarded(population_, 0);
   // One CompiledProblem lives for the whole timeline: compile() reuses its
   // flat buffers epoch over epoch and skips per-user constant blocks whose
   // parameters did not change, so each epoch pays only for the re-drawn
@@ -114,16 +141,35 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
       faulted = injector->any_fault();
       if (faulted) ++report.faulted_epochs;
     }
-    // 1. Mobility: random-walk step, rejected if it leaves the network.
-    for (auto& p : positions) {
-      for (int attempt = 0; attempt < 8; ++attempt) {
-        const double angle = rng.uniform(0.0, 2.0 * M_PI);
-        const geo::Point candidate{
-            p.x + config_.mobility_step_m * std::cos(angle),
-            p.y + config_.mobility_step_m * std::sin(angle)};
-        if (layout_.contains(layout_.nearest_cell(candidate), candidate)) {
-          p = candidate;
-          break;
+    // 1. Mobility. Walk: independent random step, rejected if it leaves
+    // the network (the historical draws, bit-identical). Waypoint: move
+    // toward the user's target; a fresh target is drawn on arrival, so the
+    // env stream only pays per completed leg.
+    if (config_.mobility_model == MobilityModel::kWaypoint) {
+      for (std::size_t g = 0; g < population_; ++g) {
+        geo::Point& p = positions[g];
+        const double dx = waypoints[g].x - p.x;
+        const double dy = waypoints[g].y - p.y;
+        const double dist = std::hypot(dx, dy);
+        if (dist <= config_.mobility_step_m) {
+          p = waypoints[g];
+          waypoints[g] = layout_.sample_in_network(rng);
+        } else {
+          p.x += config_.mobility_step_m * dx / dist;
+          p.y += config_.mobility_step_m * dy / dist;
+        }
+      }
+    } else {
+      for (auto& p : positions) {
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          const double angle = rng.uniform(0.0, 2.0 * M_PI);
+          const geo::Point candidate{
+              p.x + config_.mobility_step_m * std::cos(angle),
+              p.y + config_.mobility_step_m * std::sin(angle)};
+          if (layout_.contains(layout_.nearest_cell(candidate), candidate)) {
+            p = candidate;
+            break;
+          }
         }
       }
     }
@@ -152,6 +198,7 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
       if (injector.has_value()) {
         empty.faulted = faulted;
         empty.servers_down = injector->servers_down();
+        empty.backhauls_down = injector->backhauls_down();
         empty.slots_unavailable =
             injector->availability().num_unavailable_slots();
       }
@@ -181,12 +228,18 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
     // on a resource that is now masked. Warm repair returns them to local
     // (eviction); a cold solve re-places them from scratch either way.
     std::size_t evictions = 0;
+    std::size_t cloud_recalls = 0;
     if (injector.has_value()) {
       for (std::size_t i = 0; i < active.size(); ++i) {
         const auto& slot = carried[active[i]];
-        if (slot.has_value() &&
-            !scenario.slot_available(slot->server, slot->subchannel)) {
+        if (!slot.has_value()) continue;
+        if (!scenario.slot_available(slot->server, slot->subchannel)) {
           ++evictions;
+        } else if (carried_forwarded[active[i]] != 0 &&
+                   !scenario.backhaul_available(slot->server)) {
+          // Slot survives but the cloud link behind it is dead: the user is
+          // recalled to edge-served (warm) or re-tiered from scratch (cold).
+          ++cloud_recalls;
         }
       }
     }
@@ -213,6 +266,12 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
             continue;
           }
           hint.offload(i, slot->server, slot->subchannel);
+          // Re-apply the cloud-forwarding bit when the tier still admits it
+          // (backhaul up, cap not hit); a user stranded on a dead backhaul
+          // stays edge-served.
+          if (carried_forwarded[active[i]] != 0 && hint.can_forward(i)) {
+            hint.set_forwarded(i, true);
+          }
         }
         return algo::run_and_validate(scheduler, compiled, hint,
                                       scheduler_rng);
@@ -222,8 +281,10 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
 
     // Remember this epoch's outcome as the next epoch's hint.
     carried.assign(population_, std::nullopt);
+    carried_forwarded.assign(population_, 0);
     for (std::size_t i = 0; i < active.size(); ++i) {
       carried[active[i]] = result.assignment.slot_of(i);
+      if (result.assignment.is_forwarded(i)) carried_forwarded[active[i]] = 1;
     }
 
     // 5. Record — against the same compilation the solve used.
@@ -232,14 +293,19 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
     EpochStats stats;
     stats.active_users = scenario.num_users();
     stats.offloaded = result.assignment.num_offloaded();
+    stats.forwarded = result.assignment.num_forwarded();
+    report.total_forwarded += stats.forwarded;
     stats.utility = result.system_utility;
     stats.solve_seconds = result.solve_seconds;
     if (injector.has_value()) {
       stats.faulted = faulted;
       stats.servers_down = injector->servers_down();
+      stats.backhauls_down = injector->backhauls_down();
       stats.slots_unavailable = scenario.availability().num_unavailable_slots();
       stats.evictions = evictions;
+      stats.cloud_recalls = cloud_recalls;
       report.total_evictions += evictions;
+      report.total_cloud_recalls += cloud_recalls;
     }
     Accumulator delay;
     Accumulator energy;

@@ -40,17 +40,42 @@
 
 namespace tsajs::sim {
 
+/// How users move between epochs.
+enum class MobilityModel {
+  /// Independent random-walk steps of `mobility_step_m` in a uniform
+  /// direction; steps leaving the network are retried (the default — and
+  /// the historical behavior, kept bit-identical).
+  kWalk,
+  /// Random waypoint: each user heads toward a target drawn uniformly in
+  /// the network at `mobility_step_m` per epoch and draws a new target on
+  /// arrival. Produces sustained directional drift (cell hand-offs) rather
+  /// than diffusion.
+  kWaypoint,
+};
+
 struct DynamicConfig {
   std::size_t epochs = 50;
   /// Probability that a user has a task to schedule in a given epoch.
   double activity_prob = 0.6;
-  /// Random-walk step per epoch [m]; steps leaving the network are retried.
+  /// Per-epoch movement distance [m] (walk step or waypoint speed).
   double mobility_step_m = 30.0;
+  /// Movement pattern; kWalk keeps the timeline bit-identical to the
+  /// pre-waypoint implementation.
+  MobilityModel mobility_model = MobilityModel::kWalk;
   /// Task parameter ranges, sampled uniformly per task.
   double min_megacycles = 500.0;
   double max_megacycles = 4000.0;
   double min_input_kb = 100.0;
   double max_input_kb = 800.0;
+  /// Cloud tier behind the edge (disabled by default). When `cloud_cpu_hz`
+  /// is positive every epoch's scenario carries a uniform mec::CloudTier
+  /// with these parameters, and schedulers may forward admitted tasks to
+  /// the cloud; when zero no cloud branch runs and the timeline is
+  /// bit-identical to the two-tier implementation.
+  double cloud_cpu_hz = 0.0;
+  double cloud_backhaul_bps = 100e6;
+  double cloud_backhaul_latency_s = 0.02;
+  std::size_t cloud_max_forwarded = 0;  ///< 0 = unlimited
   /// Fault injection (disabled by default). When any class is enabled the
   /// simulator runs a FaultInjector on its own derived RNG stream; when all
   /// are disabled the environment stream — and therefore the entire
@@ -74,6 +99,7 @@ enum class WarmStart {
 struct EpochStats {
   std::size_t active_users = 0;
   std::size_t offloaded = 0;
+  std::size_t forwarded = 0;  ///< offloaded users forwarded to the cloud
   double utility = 0.0;
   double mean_delay_s = 0.0;   ///< over active users
   double mean_energy_j = 0.0;  ///< over active users
@@ -81,10 +107,14 @@ struct EpochStats {
   // Degradation telemetry (all zero/false when faults are disabled).
   bool faulted = false;  ///< any outage, blackout, or noise burst this epoch
   std::size_t servers_down = 0;
+  std::size_t backhauls_down = 0;  ///< cloud backhaul links currently down
   std::size_t slots_unavailable = 0;  ///< masked slots (outages + blackouts)
   /// Active users whose previous-epoch slot sat on a now-unavailable
   /// resource; they degrade to local (warm) or must be re-placed (cold).
   std::size_t evictions = 0;
+  /// Active users forwarded last epoch whose server's backhaul is now down;
+  /// warm repair recalls them to edge-served before the solve.
+  std::size_t cloud_recalls = 0;
 };
 
 /// Aggregates over a full run. The accumulators aggregate *scheduled*
@@ -106,6 +136,8 @@ struct DynamicReport {
   // during outages.
   std::size_t faulted_epochs = 0;  ///< epochs with any active fault
   std::size_t total_evictions = 0;
+  std::size_t total_forwarded = 0;     ///< cloud-forwarded placements, summed
+  std::size_t total_cloud_recalls = 0; ///< dead-backhaul recalls, summed
   Accumulator healthy_utility;  ///< scheduled epochs with no active fault
   Accumulator faulted_utility;  ///< scheduled epochs with an active fault
   /// Scheduled healthy epochs needed after an outage clears until utility

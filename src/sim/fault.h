@@ -12,14 +12,21 @@
 //     independently unusable for the epoch with a fixed probability;
 //   * noise bursts — with a per-epoch probability, every channel-gain
 //     estimate of the epoch is perturbed by log-normal noise of a
-//     configurable dB sigma (a transient estimation error, not an outage).
+//     configurable dB sigma (a transient estimation error, not an outage);
+//   * backhaul outages — the same geometric MTBF/MTTR model applied to each
+//     edge server's cloud backhaul link: the server keeps serving, but
+//     tasks cannot be forwarded through it while the link is down (only
+//     meaningful for cloud-enabled scenarios).
 //
-// All draws come from the injector's own dedicated RNG stream, seeded once
+// All draws come from the injector's own dedicated RNG streams, seeded once
 // by the caller, in a fixed order (servers ascending, then slots ascending,
-// then the burst coin). The simulator's environment stream is never
-// touched, so with faults disabled the whole timeline stays bit-identical
-// to the pre-fault implementation, and with faults enabled the same seed
-// reproduces the same fault schedule for every scheduler under test.
+// then the burst coin; backhaul coins ascending on their own substream).
+// The simulator's environment stream is never touched, so with faults
+// disabled the whole timeline stays bit-identical to the pre-fault
+// implementation, and with faults enabled the same seed reproduces the same
+// fault schedule for every scheduler under test. Backhaul coins draw from a
+// separate substream derived from the same seed, so enabling them never
+// reshuffles an existing server/blackout/burst schedule — in any epoch.
 #pragma once
 
 #include <cstddef>
@@ -46,11 +53,18 @@ struct FaultConfig {
   double noise_burst_prob = 0.0;
   /// Log-normal sigma [dB] applied to every gain during a burst.
   double noise_burst_sigma_db = 3.0;
+  /// Mean epochs between cloud-backhaul failures per edge server
+  /// (geometric); 0 disables backhaul outages. Only affects cloud-enabled
+  /// scenarios — a masked backhaul forbids forwarding through that server.
+  double backhaul_mtbf_epochs = 0.0;
+  /// Mean epochs to repair a down backhaul link (geometric); must be >= 1
+  /// when backhaul outages are enabled.
+  double backhaul_mttr_epochs = 3.0;
 
   /// True when any fault class can fire.
   [[nodiscard]] bool enabled() const noexcept {
     return server_mtbf_epochs > 0.0 || subchannel_blackout_prob > 0.0 ||
-           noise_burst_prob > 0.0;
+           noise_burst_prob > 0.0 || backhaul_mtbf_epochs > 0.0;
   }
   void validate() const;
 };
@@ -72,9 +86,10 @@ class FaultInjector {
   [[nodiscard]] mec::Availability availability() const;
 
   /// True when the current epoch has any active fault (outage, blackout,
-  /// or noise burst).
+  /// noise burst, or backhaul outage).
   [[nodiscard]] bool any_fault() const noexcept {
-    return servers_down_ > 0 || slots_blacked_out_ > 0 || burst_active_;
+    return servers_down_ > 0 || slots_blacked_out_ > 0 || burst_active_ ||
+           backhauls_down_ > 0;
   }
   [[nodiscard]] bool noise_burst_active() const noexcept {
     return burst_active_;
@@ -84,6 +99,9 @@ class FaultInjector {
   }
   [[nodiscard]] std::size_t slots_blacked_out() const noexcept {
     return slots_blacked_out_;
+  }
+  [[nodiscard]] std::size_t backhauls_down() const noexcept {
+    return backhauls_down_;
   }
 
   /// Applies the epoch's noise burst to a freshly drawn gain tensor:
@@ -98,10 +116,13 @@ class FaultInjector {
   std::size_t num_subchannels_;
   FaultConfig config_;
   Rng rng_;
+  Rng backhaul_rng_;  ///< separate substream; see file comment
   std::vector<std::uint8_t> server_down_;
   std::vector<std::uint8_t> slot_blacked_;
+  std::vector<std::uint8_t> backhaul_down_;
   std::size_t servers_down_ = 0;
   std::size_t slots_blacked_out_ = 0;
+  std::size_t backhauls_down_ = 0;
   bool burst_active_ = false;
 };
 

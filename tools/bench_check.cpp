@@ -183,6 +183,9 @@ void write_diff(std::ostream& os, const std::vector<Comparison>& rows,
      << "Machine-speed factor (median current/baseline ratio): "
      << speed_factor << "; per-kernel allowance = max(" << min_rel * 100.0
      << "%, sum of 95% CI half-widths).\n\n"
+     << "Coverage: " << rows.size() << " kernels matched, "
+     << baseline_only.size() << " baseline-only (unmatched), "
+     << current_only.size() << " new in current.\n\n"
      << "| kernel | baseline | current | raw ratio | normalized | allowance "
         "| verdict |\n"
      << "|---|---|---|---|---|---|---|\n";
@@ -214,6 +217,9 @@ void write_scale_diff(std::ostream& os, const std::vector<Comparison>& rows,
         "times, normalized by the micro gate's machine-speed factor ("
      << speed_factor << "); allowance = max(" << min_rel * 100.0
      << "%, sum of 95% CI half-widths).\n\n"
+     << "Coverage: " << rows.size() << " points matched, "
+     << baseline_only.size() << " baseline-only (unmatched), "
+     << current_only.size() << " new in current.\n\n"
      << "| point | baseline | current | raw ratio | normalized | allowance "
         "| verdict |\n"
      << "|---|---|---|---|---|---|---|\n";
@@ -386,7 +392,12 @@ int run(int argc, const char* const* argv) {
     return 1;
   }
   std::cout << "\nbench_check: no regressions (" << rows.size()
-            << " kernels, " << scale_rows.size() << " scale points gated)\n";
+            << " kernels matched, "
+            << baseline_only.size() + current_only.size()
+            << " unmatched; " << scale_rows.size()
+            << " scale points matched, "
+            << scale_baseline_only.size() + scale_current_only.size()
+            << " unmatched)\n";
   return 0;
 }
 
