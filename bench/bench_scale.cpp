@@ -201,8 +201,11 @@ int main(int argc, char** argv) {
         Rng solve_rng = rng;
         Trial trial;
         trial.compile_seconds = compile_seconds;
+        algo::SolveRequest request;
+        request.problem = &problem;
+        request.rng = &solve_rng;
         const algo::ScheduleResult result =
-            algo::run_and_validate(*schedulers[i], problem, solve_rng);
+            algo::run_and_validate(*schedulers[i], request);
         trial.utility = result.system_utility;
         trial.solve_seconds = result.solve_seconds;
         trial.evaluations = result.evaluations;

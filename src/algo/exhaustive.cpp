@@ -72,8 +72,10 @@ class Enumerator {
 
 }  // namespace
 
-ScheduleResult ExhaustiveScheduler::schedule(const jtora::CompiledProblem& problem,
-                                             Rng& /*rng*/) const {
+ScheduleResult ExhaustiveScheduler::solve(const SolveRequest& request) const {
+  request.validate();
+  const jtora::CompiledProblem& problem = *request.problem;
+
   Enumerator enumerator(problem, max_leaves_);
   return enumerator.run();
 }

@@ -16,7 +16,6 @@ namespace tsajs::algo {
 
 class ExhaustiveScheduler final : public Scheduler {
  public:
-  using Scheduler::schedule;
 
   /// `max_leaves` guards against accidental use on big instances: the solve
   /// throws InvalidArgumentError once more than this many complete
@@ -24,8 +23,8 @@ class ExhaustiveScheduler final : public Scheduler {
   explicit ExhaustiveScheduler(std::size_t max_leaves = 200'000'000);
 
   [[nodiscard]] std::string name() const override { return "exhaustive"; }
-  [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
-                                        Rng& rng) const override;
+  [[nodiscard]] ScheduleResult solve(
+      const SolveRequest& request) const override;
 
  private:
   std::size_t max_leaves_;

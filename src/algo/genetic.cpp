@@ -58,8 +58,11 @@ jtora::Assignment crossover(const mec::Scenario& scenario,
 
 }  // namespace
 
-ScheduleResult GeneticScheduler::schedule(const jtora::CompiledProblem& problem,
-                                          Rng& rng) const {
+ScheduleResult GeneticScheduler::solve(const SolveRequest& request) const {
+  request.validate();
+  const jtora::CompiledProblem& problem = *request.problem;
+  Rng& rng = *request.rng;
+
   const mec::Scenario& scenario = problem.scenario();
   const jtora::UtilityEvaluator evaluator(problem);
   const Neighborhood neighborhood(scenario, config_.neighborhood);

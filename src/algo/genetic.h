@@ -36,13 +36,12 @@ struct GeneticConfig {
 
 class GeneticScheduler final : public Scheduler {
  public:
-  using Scheduler::schedule;
 
   explicit GeneticScheduler(GeneticConfig config = {});
 
   [[nodiscard]] std::string name() const override { return "genetic"; }
-  [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
-                                        Rng& rng) const override;
+  [[nodiscard]] ScheduleResult solve(
+      const SolveRequest& request) const override;
 
  private:
   GeneticConfig config_;

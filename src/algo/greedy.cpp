@@ -18,15 +18,13 @@ struct Candidate {
 
 }  // namespace
 
-ScheduleResult GreedyScheduler::schedule(const jtora::CompiledProblem& problem,
-                                         Rng& /*rng*/) const {
-  return fill_and_prune(problem, jtora::Assignment(problem.scenario()));
-}
-
-ScheduleResult GreedyScheduler::schedule_from(
-    const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
-    Rng& /*rng*/) const {
-  return fill_and_prune(problem, repair_hint(problem.scenario(), hint));
+ScheduleResult GreedyScheduler::solve(const SolveRequest& request) const {
+  request.validate();
+  const jtora::CompiledProblem& problem = *request.problem;
+  return fill_and_prune(
+      problem, request.hint != nullptr
+                   ? repair_hint(problem.scenario(), *request.hint)
+                   : jtora::Assignment(problem.scenario()));
 }
 
 ScheduleResult GreedyScheduler::fill_and_prune(

@@ -19,22 +19,20 @@
 
 namespace tsajs::algo {
 
-class GreedyScheduler final : public Scheduler, public WarmStartable {
+class GreedyScheduler final : public Scheduler {
  public:
-  using Scheduler::schedule;
-  using WarmStartable::schedule_from;
-
   [[nodiscard]] std::string name() const override { return "greedy"; }
-  [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
-                                        Rng& rng) const override;
 
-  /// Warm start: the repaired hint pre-seeds the assignment, the
-  /// signal-ordered fill then only places the remaining users into the
+  /// Warm start (request.hint): the repaired hint pre-seeds the assignment,
+  /// the signal-ordered fill then only places the remaining users into the
   /// remaining slots, and the usual permissibility pass prunes hinted slots
   /// that the epoch's fresh channels have made unprofitable.
-  [[nodiscard]] ScheduleResult schedule_from(
-      const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
-      Rng& rng) const override;
+  [[nodiscard]] ScheduleResult solve(
+      const SolveRequest& request) const override;
+
+  [[nodiscard]] std::uint32_t capabilities() const noexcept override {
+    return kWarmStart;
+  }
 
  private:
   [[nodiscard]] ScheduleResult fill_and_prune(

@@ -24,8 +24,10 @@ struct Move {
 
 }  // namespace
 
-ScheduleResult HjtoraScheduler::schedule(const jtora::CompiledProblem& problem,
-                                         Rng& /*rng*/) const {
+ScheduleResult HjtoraScheduler::solve(const SolveRequest& request) const {
+  request.validate();
+  const jtora::CompiledProblem& problem = *request.problem;
+
   const mec::Scenario& scenario = problem.scenario();
   const jtora::UtilityEvaluator evaluator(problem);
   jtora::Assignment x(scenario);

@@ -36,13 +36,12 @@ struct HjtoraConfig {
 
 class HjtoraScheduler final : public Scheduler {
  public:
-  using Scheduler::schedule;
 
   explicit HjtoraScheduler(HjtoraConfig config = {});
 
   [[nodiscard]] std::string name() const override { return "hjtora"; }
-  [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
-                                        Rng& rng) const override;
+  [[nodiscard]] ScheduleResult solve(
+      const SolveRequest& request) const override;
 
  private:
   HjtoraConfig config_;

@@ -19,18 +19,17 @@ LocalSearchScheduler::LocalSearchScheduler(LocalSearchConfig config)
   config_.validate();
 }
 
-ScheduleResult LocalSearchScheduler::schedule(
-    const jtora::CompiledProblem& problem, Rng& rng) const {
+ScheduleResult LocalSearchScheduler::solve(const SolveRequest& request) const {
+  request.validate();
+  const jtora::CompiledProblem& problem = *request.problem;
+  Rng& rng = *request.rng;
+  if (request.hint != nullptr) {
+    return climb(problem, repair_hint(problem.scenario(), *request.hint), rng);
+  }
   return climb(problem,
                random_feasible_assignment(problem.scenario(), rng,
                                           config_.initial_offload_prob),
                rng);
-}
-
-ScheduleResult LocalSearchScheduler::schedule_from(
-    const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
-    Rng& rng) const {
-  return climb(problem, repair_hint(problem.scenario(), hint), rng);
 }
 
 ScheduleResult LocalSearchScheduler::climb(

@@ -31,23 +31,21 @@ struct LocalSearchConfig {
   void validate() const;
 };
 
-class LocalSearchScheduler final : public Scheduler, public WarmStartable {
+class LocalSearchScheduler final : public Scheduler {
  public:
-  using Scheduler::schedule;
-  using WarmStartable::schedule_from;
-
   explicit LocalSearchScheduler(LocalSearchConfig config = {});
 
   [[nodiscard]] std::string name() const override { return "local-search"; }
-  [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
-                                        Rng& rng) const override;
 
-  /// Warm start: hill-climbs from the repaired hint instead of the random
-  /// initial solution — the natural reading for a pure descent method,
-  /// which keeps whatever start it is given.
-  [[nodiscard]] ScheduleResult schedule_from(
-      const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
-      Rng& rng) const override;
+  /// Warm start (request.hint): hill-climbs from the repaired hint instead
+  /// of the random initial solution — the natural reading for a pure
+  /// descent method, which keeps whatever start it is given.
+  [[nodiscard]] ScheduleResult solve(
+      const SolveRequest& request) const override;
+
+  [[nodiscard]] std::uint32_t capabilities() const noexcept override {
+    return kWarmStart;
+  }
 
  private:
   [[nodiscard]] ScheduleResult climb(const jtora::CompiledProblem& problem,

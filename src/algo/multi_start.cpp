@@ -22,29 +22,14 @@ std::string MultiStartScheduler::name() const {
   return inner_->name() + "-x" + std::to_string(restarts_);
 }
 
-ScheduleResult MultiStartScheduler::schedule(
-    const jtora::CompiledProblem& problem, Rng& rng) const {
-  return run_restarts(problem, nullptr, nullptr, rng);
+ScheduleResult MultiStartScheduler::solve(const SolveRequest& request) const {
+  request.validate();
+  return run_restarts(*request.problem, request.hint, request.budget,
+                      *request.rng);
 }
 
-ScheduleResult MultiStartScheduler::schedule_from(
-    const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
-    Rng& rng) const {
-  return run_restarts(problem, &hint, nullptr, rng);
-}
-
-ScheduleResult MultiStartScheduler::schedule_within(
-    const jtora::CompiledProblem& problem, const SolveBudget& budget,
-    Rng& rng) const {
-  budget.validate();
-  return run_restarts(problem, nullptr, &budget, rng);
-}
-
-ScheduleResult MultiStartScheduler::schedule_from_within(
-    const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
-    const SolveBudget& budget, Rng& rng) const {
-  budget.validate();
-  return run_restarts(problem, &hint, &budget, rng);
+std::uint32_t MultiStartScheduler::capabilities() const noexcept {
+  return inner_->capabilities();
 }
 
 ScheduleResult MultiStartScheduler::run_restarts(
@@ -56,26 +41,19 @@ ScheduleResult MultiStartScheduler::run_restarts(
   std::vector<std::uint64_t> seeds(restarts_);
   for (std::size_t r = 0; r < restarts_; ++r) seeds[r] = rng.derive_seed(r);
 
-  const auto* warm_inner =
-      hint != nullptr ? dynamic_cast<const WarmStartable*>(inner_.get())
-                      : nullptr;
-  const auto* capped_inner =
-      budget != nullptr ? dynamic_cast<const BudgetAware*>(inner_.get())
-                        : nullptr;
   std::vector<std::optional<ScheduleResult>> results(restarts_);
   const auto run_restart = [&](std::size_t r) {
     Rng child(seeds[r]);
-    // Restart 0 carries the hint; the rest explore from cold starts.
-    if (r == 0 && warm_inner != nullptr) {
-      results[r] = capped_inner != nullptr
-                       ? capped_inner->schedule_from_within(problem, *hint,
-                                                            *budget, child)
-                       : warm_inner->schedule_from(problem, *hint, child);
-    } else if (capped_inner != nullptr) {
-      results[r] = capped_inner->schedule_within(problem, *budget, child);
-    } else {
-      results[r] = inner_->schedule(problem, child);
-    }
+    // Restart 0 carries the hint; the rest explore from cold starts. An
+    // inner scheme without kWarmStart / kBudgetAware ignores the matching
+    // field, so no capability probe is needed here — the RNG stream and
+    // result match the historical dynamic_cast fallbacks exactly.
+    SolveRequest child_request;
+    child_request.problem = &problem;
+    child_request.hint = r == 0 ? hint : nullptr;
+    child_request.budget = budget;
+    child_request.rng = &child;
+    results[r] = inner_->solve(child_request);
   };
   if (num_threads_ != 1 && restarts_ > 1) {
     ThreadPool pool(num_threads_);

@@ -19,14 +19,9 @@
 
 namespace tsajs::algo {
 
-class MultiStartScheduler final : public Scheduler,
-                                  public WarmStartable,
-                                  public BudgetAware {
+class MultiStartScheduler final : public Scheduler {
  public:
-  using Scheduler::schedule;
-  using WarmStartable::schedule_from;
-
-  /// Wraps `inner`, running it `restarts` times per schedule() call.
+  /// Wraps `inner`, running it `restarts` times per solve() call.
   /// `num_threads` controls restart parallelism: 1 (default) runs
   /// sequentially, 0 uses the hardware concurrency, any other value that
   /// many workers. Results are identical for every setting.
@@ -34,30 +29,23 @@ class MultiStartScheduler final : public Scheduler,
                       std::size_t num_threads = 1);
 
   [[nodiscard]] std::string name() const override;
-  /// Every restart shares the caller's single compiled problem — the tables
-  /// are immutable during a solve, so restarts (parallel or not) read the
-  /// same compilation instead of each paying for their own.
-  [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
-                                        Rng& rng) const override;
 
-  /// Warm start: restart 0 runs the inner scheduler warm from `hint` (when
-  /// the inner scheduler is itself WarmStartable), the remaining restarts
-  /// stay cold for diversity. Seeds are derived exactly as in schedule(),
-  /// so the parallel path stays bit-identical to the sequential one.
-  [[nodiscard]] ScheduleResult schedule_from(
-      const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
-      Rng& rng) const override;
+  /// Every restart shares the request's single compiled problem — the
+  /// tables are immutable during a solve, so restarts (parallel or not)
+  /// read the same compilation instead of each paying for their own.
+  /// Warm start: restart 0 runs the inner scheduler warm from the request
+  /// hint, the remaining restarts stay cold for diversity. Budget: every
+  /// restart runs under the request budget (each restart gets the full cap,
+  /// mirroring how a configured budget applies per restart). Either field
+  /// is silently ignored when the inner scheme lacks the capability — the
+  /// historical dynamic_cast fallbacks, now the inner solve()'s own
+  /// contract.
+  [[nodiscard]] ScheduleResult solve(
+      const SolveRequest& request) const override;
 
-  /// Per-call budget (BudgetAware): when the inner scheduler is itself
-  /// BudgetAware, every restart runs under `budget` (each restart gets the
-  /// full cap, mirroring how a configured budget applies per restart);
-  /// otherwise the budget is ignored, as in the unwrapped scheme.
-  [[nodiscard]] ScheduleResult schedule_within(
-      const jtora::CompiledProblem& problem, const SolveBudget& budget,
-      Rng& rng) const override;
-  [[nodiscard]] ScheduleResult schedule_from_within(
-      const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
-      const SolveBudget& budget, Rng& rng) const override;
+  /// Honest pass-through: the wrapper honors exactly what the inner
+  /// scheme honors.
+  [[nodiscard]] std::uint32_t capabilities() const noexcept override;
 
   [[nodiscard]] std::size_t restarts() const noexcept { return restarts_; }
   [[nodiscard]] std::size_t num_threads() const noexcept {

@@ -47,8 +47,11 @@ void copy_gene(const mec::Scenario& /*scenario*/, const jtora::Assignment& sourc
 
 }  // namespace
 
-ScheduleResult PsoScheduler::schedule(const jtora::CompiledProblem& problem,
-                                      Rng& rng) const {
+ScheduleResult PsoScheduler::solve(const SolveRequest& request) const {
+  request.validate();
+  const jtora::CompiledProblem& problem = *request.problem;
+  Rng& rng = *request.rng;
+
   const mec::Scenario& scenario = problem.scenario();
   const jtora::UtilityEvaluator evaluator(problem);
   const Neighborhood neighborhood(scenario, config_.neighborhood);

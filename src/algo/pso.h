@@ -34,13 +34,12 @@ struct PsoConfig {
 
 class PsoScheduler final : public Scheduler {
  public:
-  using Scheduler::schedule;
 
   explicit PsoScheduler(PsoConfig config = {});
 
   [[nodiscard]] std::string name() const override { return "pso"; }
-  [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
-                                        Rng& rng) const override;
+  [[nodiscard]] ScheduleResult solve(
+      const SolveRequest& request) const override;
 
  private:
   PsoConfig config_;

@@ -10,8 +10,11 @@ RandomScheduler::RandomScheduler(double offload_prob)
                 "offload probability must lie in [0,1]");
 }
 
-ScheduleResult RandomScheduler::schedule(const jtora::CompiledProblem& problem,
-                                         Rng& rng) const {
+ScheduleResult RandomScheduler::solve(const SolveRequest& request) const {
+  request.validate();
+  const jtora::CompiledProblem& problem = *request.problem;
+  Rng& rng = *request.rng;
+
   const mec::Scenario& scenario = problem.scenario();
   jtora::Assignment x =
       random_feasible_assignment(scenario, rng, offload_prob_);

@@ -9,13 +9,12 @@ namespace tsajs::algo {
 /// without any search. Every real scheme must beat this on average.
 class RandomScheduler final : public Scheduler {
  public:
-  using Scheduler::schedule;
 
   explicit RandomScheduler(double offload_prob = 0.5);
 
   [[nodiscard]] std::string name() const override { return "random"; }
-  [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
-                                        Rng& rng) const override;
+  [[nodiscard]] ScheduleResult solve(
+      const SolveRequest& request) const override;
 
  private:
   double offload_prob_;

@@ -16,6 +16,12 @@ void SolveBudget::validate() const {
                 "solve budget max_seconds must be finite and >= 0");
 }
 
+void SolveRequest::validate() const {
+  TSAJS_REQUIRE(problem != nullptr, "solve request must carry a problem");
+  TSAJS_REQUIRE(rng != nullptr, "solve request must carry an rng");
+  if (budget != nullptr) budget->validate();
+}
+
 namespace {
 
 std::string format_slot(std::size_t u, const jtora::Slot& slot) {
@@ -176,40 +182,85 @@ void validate_result(const Scheduler& scheduler,
 
 }  // namespace
 
+ScheduleResult Scheduler::schedule(const jtora::CompiledProblem& problem,
+                                   Rng& rng) const {
+  SolveRequest request;
+  request.problem = &problem;
+  request.rng = &rng;
+  return solve(request);
+}
+
 ScheduleResult Scheduler::schedule(const mec::Scenario& scenario,
                                    Rng& rng) const {
   const jtora::CompiledProblem problem(scenario);
   return schedule(problem, rng);
 }
 
-ScheduleResult WarmStartable::schedule_from(const mec::Scenario& scenario,
-                                            const jtora::Assignment& hint,
-                                            Rng& rng) const {
+ScheduleResult Scheduler::schedule_from(const jtora::CompiledProblem& problem,
+                                        const jtora::Assignment& hint,
+                                        Rng& rng) const {
+  SolveRequest request;
+  request.problem = &problem;
+  request.hint = &hint;
+  request.rng = &rng;
+  return solve(request);
+}
+
+ScheduleResult Scheduler::schedule_from(const mec::Scenario& scenario,
+                                        const jtora::Assignment& hint,
+                                        Rng& rng) const {
   const jtora::CompiledProblem problem(scenario);
   return schedule_from(problem, hint, rng);
+}
+
+ScheduleResult Scheduler::schedule_within(const jtora::CompiledProblem& problem,
+                                          const SolveBudget& budget,
+                                          Rng& rng) const {
+  SolveRequest request;
+  request.problem = &problem;
+  request.budget = &budget;
+  request.rng = &rng;
+  return solve(request);
+}
+
+ScheduleResult Scheduler::schedule_from_within(
+    const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
+    const SolveBudget& budget, Rng& rng) const {
+  SolveRequest request;
+  request.problem = &problem;
+  request.hint = &hint;
+  request.budget = &budget;
+  request.rng = &rng;
+  return solve(request);
+}
+
+ScheduleResult run_and_validate(const Scheduler& scheduler,
+                                const SolveRequest& request) {
+  request.validate();
+  Stopwatch timer;
+  ScheduleResult result = scheduler.solve(request);
+  result.solve_seconds = timer.elapsed_seconds();
+  validate_result(scheduler, *request.problem, result);
+  return result;
 }
 
 ScheduleResult run_and_validate(const Scheduler& scheduler,
                                 const jtora::CompiledProblem& problem,
                                 Rng& rng) {
-  Stopwatch timer;
-  ScheduleResult result = scheduler.schedule(problem, rng);
-  result.solve_seconds = timer.elapsed_seconds();
-  validate_result(scheduler, problem, result);
-  return result;
+  SolveRequest request;
+  request.problem = &problem;
+  request.rng = &rng;
+  return run_and_validate(scheduler, request);
 }
 
 ScheduleResult run_and_validate(const Scheduler& scheduler,
                                 const jtora::CompiledProblem& problem,
                                 const jtora::Assignment& hint, Rng& rng) {
-  Stopwatch timer;
-  const auto* warm = dynamic_cast<const WarmStartable*>(&scheduler);
-  ScheduleResult result = warm != nullptr
-                              ? warm->schedule_from(problem, hint, rng)
-                              : scheduler.schedule(problem, rng);
-  result.solve_seconds = timer.elapsed_seconds();
-  validate_result(scheduler, problem, result);
-  return result;
+  SolveRequest request;
+  request.problem = &problem;
+  request.hint = &hint;
+  request.rng = &rng;
+  return run_and_validate(scheduler, request);
 }
 
 ScheduleResult run_and_validate(const Scheduler& scheduler,
@@ -218,7 +269,10 @@ ScheduleResult run_and_validate(const Scheduler& scheduler,
   // "solve time includes setup" accounting.
   Stopwatch timer;
   const jtora::CompiledProblem problem(scenario);
-  ScheduleResult result = scheduler.schedule(problem, rng);
+  SolveRequest request;
+  request.problem = &problem;
+  request.rng = &rng;
+  ScheduleResult result = scheduler.solve(request);
   result.solve_seconds = timer.elapsed_seconds();
   validate_result(scheduler, problem, result);
   return result;
@@ -229,10 +283,11 @@ ScheduleResult run_and_validate(const Scheduler& scheduler,
                                 const jtora::Assignment& hint, Rng& rng) {
   Stopwatch timer;
   const jtora::CompiledProblem problem(scenario);
-  const auto* warm = dynamic_cast<const WarmStartable*>(&scheduler);
-  ScheduleResult result = warm != nullptr
-                              ? warm->schedule_from(problem, hint, rng)
-                              : scheduler.schedule(problem, rng);
+  SolveRequest request;
+  request.problem = &problem;
+  request.hint = &hint;
+  request.rng = &rng;
+  ScheduleResult result = scheduler.solve(request);
   result.solve_seconds = timer.elapsed_seconds();
   validate_result(scheduler, problem, result);
   return result;

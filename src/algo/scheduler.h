@@ -6,13 +6,32 @@
 // stateless between calls; all randomness flows through the caller-provided
 // Rng so runs are reproducible.
 //
-// The primary entry point takes a jtora::CompiledProblem — the caller
-// compiles the scenario once and shares the compilation across restarts,
-// schemes, and epochs. A scenario-taking convenience overload compiles on
-// the fly for one-shot callers.
+// The single entry point is `solve(const SolveRequest&)`. A SolveRequest
+// bundles everything one decision needs — the compiled problem, an optional
+// warm-start hint, an optional per-call budget, and the RNG — so a
+// long-running service loop builds one request per decision instead of
+// choosing among a matrix of overloads. What a scheduler *does* with the
+// optional fields is advertised by `capabilities()`:
+//
+//   * kWarmStart   — the search is seeded from `hint` (repaired first; see
+//                    repair_hint). Schedulers without the capability ignore
+//                    the hint and solve cold — bit-identical to never
+//                    passing one, so callers never need to branch.
+//   * kBudgetAware — `budget` caps this call's search effort, overriding
+//                    the configured budget. Schedulers without it ignore
+//                    the field and run to completion.
+//
+// The historical overload matrix (`schedule` / `schedule_from` /
+// `schedule_within` / `schedule_from_within`, each × Scenario /
+// CompiledProblem) survives as thin non-virtual shims on the base class
+// that pack a SolveRequest and forward to solve(); they are deprecated but
+// keep every existing call site compiling, and because incapable schedulers
+// ignore the optional fields the shims reproduce the old dynamic_cast
+// fallbacks bit-identically.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -25,7 +44,7 @@
 namespace tsajs::algo {
 
 /// Anytime solve budget: wall-clock and/or search-effort caps for one
-/// schedule() call. A budget-aware scheduler (TSAJS) checks the caps at safe
+/// solve. A budget-aware scheduler (TSAJS) checks the caps at safe
 /// boundaries (plateau ends) and returns its best *feasible* solution so
 /// far — degrading to the guaranteed-feasible all-local assignment if the
 /// budget fires before the search finds anything better. Zero values mean
@@ -55,72 +74,95 @@ struct ScheduleResult {
   std::size_t evaluations = 0;
 };
 
+/// One scheduling decision, fully specified. Non-owning: every pointed-to
+/// object must outlive the solve() call. `problem` and `rng` are required;
+/// `hint` and `budget` are optional and silently ignored by schedulers
+/// lacking the matching capability (see Scheduler::capabilities()).
+struct SolveRequest {
+  /// The compiled problem to solve (required).
+  const jtora::CompiledProblem* problem = nullptr;
+  /// Warm-start hint; may be shaped for a *different* scenario (stale user
+  /// count, vanished slots) — schedulers repair it first (see repair_hint).
+  /// nullptr = cold solve.
+  const jtora::Assignment* hint = nullptr;
+  /// Per-call budget override; nullptr = the scheduler's configured budget.
+  const SolveBudget* budget = nullptr;
+  /// RNG for this decision (required). Mutated by the solve.
+  Rng* rng = nullptr;
+
+  /// Throws unless `problem` and `rng` are set and any budget validates.
+  void validate() const;
+};
+
 class Scheduler {
  public:
+  /// Optional features a scheduler may honor in a SolveRequest. Bitmask
+  /// values for capabilities(); absence of a bit means the matching request
+  /// field is ignored (never an error).
+  enum Capability : std::uint32_t {
+    /// solve() seeds its search from SolveRequest::hint.
+    kWarmStart = 1u << 0,
+    /// solve() caps its effort by SolveRequest::budget.
+    kBudgetAware = 1u << 1,
+  };
+
   virtual ~Scheduler() = default;
 
   /// Short stable identifier, e.g. "tsajs", "hjtora".
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Solves the TO problem for the compiled `problem`. The returned
-  /// assignment is always feasible (constraints 12b-12d hold by
-  /// construction of jtora::Assignment; postcondition checked in debug).
-  [[nodiscard]] virtual ScheduleResult schedule(
-      const jtora::CompiledProblem& problem, Rng& rng) const = 0;
+  /// Solves the TO problem described by `request`. The returned assignment
+  /// is always feasible (constraints 12b-12d hold by construction of
+  /// jtora::Assignment; postcondition checked in debug). Implementations
+  /// must call request.validate() (or check the same preconditions) and
+  /// honor exactly the optional fields their capabilities() advertise.
+  [[nodiscard]] virtual ScheduleResult solve(
+      const SolveRequest& request) const = 0;
 
-  /// Convenience overload: compiles `scenario` and solves. One-shot only —
-  /// callers that solve the same scenario repeatedly (restarts, schemes,
-  /// epochs) should compile once and use the CompiledProblem overload.
+  /// Bitmask of Capability bits this scheduler honors. Replaces the
+  /// historical dynamic_cast<WarmStartable*>/<BudgetAware*> probes.
+  [[nodiscard]] virtual std::uint32_t capabilities() const noexcept {
+    return 0;
+  }
+
+  /// True when capabilities() carries `capability`.
+  [[nodiscard]] bool supports(Capability capability) const noexcept {
+    return (capabilities() & capability) != 0;
+  }
+
+  // -- Deprecated shims -----------------------------------------------------
+  // The pre-SolveRequest overload matrix. Each packs a SolveRequest and
+  // forwards to solve(); behavior (including RNG streams) is bit-identical
+  // to the historical entry points. New code should build a SolveRequest.
+
+  /// Deprecated: use solve(). Cold solve of a compiled problem.
+  [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
+                                        Rng& rng) const;
+
+  /// Deprecated: use solve(). Compiles `scenario` and solves — one-shot
+  /// only; repeated callers should compile once.
   [[nodiscard]] ScheduleResult schedule(const mec::Scenario& scenario,
                                         Rng& rng) const;
-};
 
-/// Capability interface for schedulers that can start from a previous
-/// solution instead of a cold start. In an epoichal (online) setting
-/// consecutive scenarios are highly correlated — users take one mobility
-/// step, a few tasks arrive or complete — so the last epoch's assignment is
-/// a near-optimal start and the search only has to polish it.
-///
-/// `hint` may be shaped for a *different* scenario (stale user count,
-/// occupied slots that no longer exist); implementations repair it against
-/// `scenario` first (see repair_hint) and therefore accept any hint.
-class WarmStartable {
- public:
-  virtual ~WarmStartable() = default;
-
-  /// Like Scheduler::schedule, but seeds the search with `hint`.
-  [[nodiscard]] virtual ScheduleResult schedule_from(
+  /// Deprecated: use solve() with a hint. Schedulers without kWarmStart
+  /// ignore the hint and solve cold (the historical fallback).
+  [[nodiscard]] ScheduleResult schedule_from(
       const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
-      Rng& rng) const = 0;
-
-  /// Convenience overload: compiles `scenario` and solves from `hint`.
+      Rng& rng) const;
   [[nodiscard]] ScheduleResult schedule_from(const mec::Scenario& scenario,
                                              const jtora::Assignment& hint,
                                              Rng& rng) const;
-};
 
-/// Capability interface for schedulers whose search effort can be capped
-/// *per call*, independently of their configured budget. The sharded
-/// wrapper uses it to hand each shard its slice of the global SolveBudget
-/// (work-proportional split + deadline-aware reclaim) without rebuilding
-/// the inner scheduler. Implementations must make schedule_within with a
-/// budget equal to the configured one bit-identical to a plain schedule()
-/// — same RNG stream, same result.
-class BudgetAware {
- public:
-  virtual ~BudgetAware() = default;
-
-  /// Like Scheduler::schedule, but capped by `budget` instead of the
-  /// configured budget.
-  [[nodiscard]] virtual ScheduleResult schedule_within(
+  /// Deprecated: use solve() with a budget. Schedulers without kBudgetAware
+  /// ignore the budget and run to completion (the historical fallback).
+  [[nodiscard]] ScheduleResult schedule_within(
       const jtora::CompiledProblem& problem, const SolveBudget& budget,
-      Rng& rng) const = 0;
+      Rng& rng) const;
 
-  /// Warm-started variant: like WarmStartable::schedule_from, capped by
-  /// `budget`.
-  [[nodiscard]] virtual ScheduleResult schedule_from_within(
+  /// Deprecated: use solve() with hint + budget.
+  [[nodiscard]] ScheduleResult schedule_from_within(
       const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
-      const SolveBudget& budget, Rng& rng) const = 0;
+      const SolveBudget& budget, Rng& rng) const;
 };
 
 /// Clamps `hint` to a feasible assignment for `scenario`: users beyond the
@@ -134,28 +176,30 @@ class BudgetAware {
 [[nodiscard]] jtora::Assignment repair_hint(const mec::Scenario& scenario,
                                             const jtora::Assignment& hint);
 
-/// Runs `scheduler` against a pre-compiled problem, fills in solve_seconds,
-/// and audits the result against the full constraint set — in release
-/// builds too: structural consistency, constraints (12b)-(12d) re-derived
-/// from the public maps, no assignment to a fault-masked slot, finite
+/// Runs `scheduler` on `request`, fills in solve_seconds, and audits the
+/// result against the full constraint set — in release builds too:
+/// structural consistency, constraints (12b)-(12d) re-derived from the
+/// public maps, no assignment to a fault-masked slot, finite
 /// utility/delay/energy per user, and the reported utility against an
 /// independent evaluation. On any violation it throws tsajs::ValidationError
 /// carrying one diagnostic per violated constraint. The audit evaluator
-/// shares `problem`, so the guard costs no recompilation.
+/// shares the request's problem, so the guard costs no recompilation. This
+/// is the single definition of solve timing + audit + warm-start semantics;
+/// every other run_and_validate overload packs a request and lands here.
+[[nodiscard]] ScheduleResult run_and_validate(const Scheduler& scheduler,
+                                              const SolveRequest& request);
+
+/// Deprecated conveniences over the SolveRequest form.
 [[nodiscard]] ScheduleResult run_and_validate(
     const Scheduler& scheduler, const jtora::CompiledProblem& problem,
     Rng& rng);
-
-/// Warm-start variant: when `scheduler` implements WarmStartable, solves via
-/// schedule_from(problem, hint, rng); otherwise falls back to a cold
-/// schedule() (the hint is ignored). Validation is identical to the cold
-/// overload, so every path through the simulator stays guarded.
 [[nodiscard]] ScheduleResult run_and_validate(
     const Scheduler& scheduler, const jtora::CompiledProblem& problem,
     const jtora::Assignment& hint, Rng& rng);
 
-/// One-shot conveniences: compile `scenario` (inside the timed region, so
-/// solve_seconds keeps accounting for setup) and run as above.
+/// One-shot conveniences: compile `scenario` *inside* the timed region (so
+/// solve_seconds keeps the historic "includes setup" accounting) and run as
+/// above.
 [[nodiscard]] ScheduleResult run_and_validate(const Scheduler& scheduler,
                                               const mec::Scenario& scenario,
                                               Rng& rng);

@@ -258,42 +258,35 @@ std::size_t commit_class(jtora::IncrementalEvaluator& master,
 
 }  // namespace
 
-ScheduleResult ShardedScheduler::schedule(const jtora::CompiledProblem& problem,
-                                          Rng& rng) const {
-  return solve(problem, nullptr, rng);
-}
-
-ScheduleResult ShardedScheduler::schedule_from(
-    const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
-    Rng& rng) const {
-  return solve(problem, &hint, rng);
+ScheduleResult ShardedScheduler::solve(const SolveRequest& request) const {
+  request.validate();
+  // A request budget overrides the configured one as the global cap being
+  // split across shards; absent both, the solve is unbudgeted.
+  const SolveBudget& budget =
+      request.budget != nullptr ? *request.budget : config_.budget;
+  return sharded_solve(*request.problem, request.hint, budget, *request.rng);
 }
 
 ScheduleResult ShardedScheduler::passthrough(
     const jtora::CompiledProblem& problem, const jtora::Assignment* hint,
-    Rng& rng) const {
-  // A default budget keeps the historical delegation paths, bit for bit;
-  // a real budget routes through the BudgetAware entry points when the
-  // inner scheme has them (the cap still applies on the unsharded solve).
-  const auto* capped = !config_.budget.unlimited()
-                           ? dynamic_cast<const BudgetAware*>(inner_.get())
-                           : nullptr;
-  if (hint != nullptr) {
-    if (capped != nullptr) {
-      return capped->schedule_from_within(problem, *hint, config_.budget, rng);
-    }
-    const auto* warm = dynamic_cast<const WarmStartable*>(inner_.get());
-    if (warm != nullptr) return warm->schedule_from(problem, *hint, rng);
-  }
-  if (capped != nullptr) {
-    return capped->schedule_within(problem, config_.budget, rng);
-  }
-  return inner_->schedule(problem, rng);
+    const SolveBudget& budget, Rng& rng) const {
+  // An unlimited budget is not forwarded, keeping the historical delegation
+  // paths bit for bit (the inner scheme falls back to its own configured
+  // budget); a real budget rides the request and caps the unsharded solve
+  // when the inner scheme is budget-aware. Likewise the hint is always
+  // forwarded — a non-warm-startable inner ignores it, which is exactly the
+  // historical dynamic_cast fallback.
+  SolveRequest inner_request;
+  inner_request.problem = &problem;
+  inner_request.hint = hint;
+  inner_request.budget = budget.unlimited() ? nullptr : &budget;
+  inner_request.rng = &rng;
+  return inner_->solve(inner_request);
 }
 
-ScheduleResult ShardedScheduler::solve(const jtora::CompiledProblem& problem,
-                                       const jtora::Assignment* hint,
-                                       Rng& rng) const {
+ScheduleResult ShardedScheduler::sharded_solve(
+    const jtora::CompiledProblem& problem, const jtora::Assignment* hint,
+    const SolveBudget& budget, Rng& rng) const {
   const Stopwatch timer;
   const mec::Scenario& scenario = problem.scenario();
 
@@ -308,7 +301,7 @@ ScheduleResult ShardedScheduler::solve(const jtora::CompiledProblem& problem,
   // A single site (auto reach 0) cannot be partitioned; neither can a
   // deployment whose sites all share one tile. Both degenerate to the
   // wrapped scheme verbatim — same Rng, same result, bit for bit.
-  if (reach <= 0.0) return passthrough(problem, hint, rng);
+  if (reach <= 0.0) return passthrough(problem, hint, budget, rng);
 
   // The mutex is held for the whole solve: concurrent schedule() calls on
   // one instance serialize (each still deterministic), and the cache below
@@ -331,20 +324,21 @@ ScheduleResult ShardedScheduler::solve(const jtora::CompiledProblem& problem,
                      cache.halo_servers);
   }
   const geo::InterferencePartition& partition = *cache.partition;
-  if (partition.num_shards() == 1) return passthrough(problem, hint, rng);
+  if (partition.num_shards() == 1) {
+    return passthrough(problem, hint, budget, rng);
+  }
 
   // Re-slice for this epoch; ShardedProblem reuses whatever it can.
   cache.sharded.compile(problem, partition);
   const jtora::ShardedProblem& sharded = cache.sharded;
   const std::size_t num_shards = sharded.num_shards();
 
-  const SolveBudget& budget = config_.budget;
-  const auto* capped_inner = !budget.unlimited()
-                                 ? dynamic_cast<const BudgetAware*>(inner_.get())
-                                 : nullptr;
-  const auto* warm_inner = hint != nullptr
-                               ? dynamic_cast<const WarmStartable*>(inner_.get())
-                               : nullptr;
+  // Capability probes replace the historical dynamic_casts: the budget is
+  // only split when the inner scheme will actually honor the slices, and a
+  // hint is only repaired when something downstream will read it.
+  const bool capped_inner =
+      !budget.unlimited() && inner_->supports(kBudgetAware);
+  const bool warm_inner = hint != nullptr && inner_->supports(kWarmStart);
 
   // Work-proportional budget slices, derived once in shard order.
   // Weight = users x servers, the size of a shard's placement grid — a
@@ -360,11 +354,11 @@ ScheduleResult ShardedScheduler::solve(const jtora::CompiledProblem& problem,
     weight_sum += weights[k];
   }
   std::vector<std::size_t> iter_slice(num_shards, 0);
-  if (capped_inner != nullptr && budget.max_iterations != 0) {
+  if (capped_inner && budget.max_iterations != 0) {
     iter_slice = split_units(budget.max_iterations, weights, true);
   }
   std::vector<double> sec_slice(num_shards, 0.0);
-  if (capped_inner != nullptr && budget.max_seconds > 0.0 && weight_sum > 0) {
+  if (capped_inner && budget.max_seconds > 0.0 && weight_sum > 0) {
     for (std::size_t k = 0; k < num_shards; ++k) {
       if (weights[k] == 0) continue;
       sec_slice[k] =
@@ -376,7 +370,7 @@ ScheduleResult ShardedScheduler::solve(const jtora::CompiledProblem& problem,
   // The hint is repaired once against the global scenario, then sliced per
   // shard inside the workers (shard_hint is a const read — thread-safe).
   std::optional<jtora::Assignment> repaired;
-  if (hint != nullptr && (warm_inner != nullptr || capped_inner != nullptr)) {
+  if (hint != nullptr && (warm_inner || capped_inner)) {
     repaired = repair_hint(scenario, *hint);
   }
 
@@ -399,16 +393,20 @@ ScheduleResult ShardedScheduler::solve(const jtora::CompiledProblem& problem,
     Rng child(seeds[k]);
     Outcome& out = outcomes[k];
     const Stopwatch shard_timer;
-    if (capped_inner != nullptr) {
+    SolveRequest shard_request;
+    shard_request.problem = shard.problem.get();
+    shard_request.rng = &child;
+    std::optional<jtora::Assignment> shard_hint;
+    if (repaired.has_value()) {
+      shard_hint = sharded.shard_hint(k, *repaired);
+      shard_request.hint = &*shard_hint;
+    }
+    if (capped_inner) {
       SolveBudget slice;
       slice.max_iterations = iter_slice[k];
       slice.max_seconds = sec_slice[k];
-      out.result =
-          repaired.has_value()
-              ? capped_inner->schedule_from_within(
-                    *shard.problem, sharded.shard_hint(k, *repaired), slice,
-                    child)
-              : capped_inner->schedule_within(*shard.problem, slice, child);
+      shard_request.budget = &slice;
+      out.result = inner_->solve(shard_request);
       // Truncated = the slice (not mere preference) stopped the solve; only
       // these shards compete for reclaimed budget. The iteration test is a
       // pure function of the result, keeping iteration-only budgets
@@ -418,11 +416,8 @@ ScheduleResult ShardedScheduler::solve(const jtora::CompiledProblem& problem,
            out.result->evaluations >= slice.max_iterations) ||
           (slice.max_seconds > 0.0 &&
            shard_timer.elapsed_seconds() >= slice.max_seconds);
-    } else if (warm_inner != nullptr) {
-      out.result = warm_inner->schedule_from(
-          *shard.problem, sharded.shard_hint(k, *repaired), child);
     } else {
-      out.result = inner_->schedule(*shard.problem, child);
+      out.result = inner_->solve(shard_request);
     }
   };
 
@@ -449,7 +444,7 @@ ScheduleResult ShardedScheduler::solve(const jtora::CompiledProblem& problem,
   // remains of the global deadline now. Each truncated shard re-solves
   // *warm from its own phase-1 result* under its share of the pool and
   // keeps the better of the two.
-  if (capped_inner != nullptr) {
+  if (capped_inner) {
     std::vector<std::uint64_t> reclaim_weights(num_shards, 0);
     std::uint64_t reclaim_weight_sum = 0;
     bool any_truncated = false;
@@ -490,8 +485,12 @@ ScheduleResult ShardedScheduler::solve(const jtora::CompiledProblem& problem,
         if (slice.unlimited()) return;  // nothing reclaimed for this shard
         Rng child(seeds[num_shards + k]);
         ScheduleResult& phase1 = *outcomes[k].result;
-        const ScheduleResult warm = capped_inner->schedule_from_within(
-            *sharded.shard(k).problem, phase1.assignment, slice, child);
+        SolveRequest reclaim_request;
+        reclaim_request.problem = sharded.shard(k).problem.get();
+        reclaim_request.hint = &phase1.assignment;
+        reclaim_request.budget = &slice;
+        reclaim_request.rng = &child;
+        const ScheduleResult warm = inner_->solve(reclaim_request);
         phase1.evaluations += warm.evaluations;
         if (warm.system_utility > phase1.system_utility) {
           phase1.assignment = warm.assignment;

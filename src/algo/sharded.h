@@ -19,7 +19,7 @@
 //   * Budget split: the anytime SolveBudget is sliced across shards
 //     work-proportionally (weight = shard users x servers; largest-
 //     remainder apportionment for the iteration cap), handed to a
-//     BudgetAware inner scheme via schedule_within, and followed by a
+//     budget-aware inner scheme via its SolveRequest, and followed by a
 //     deadline-aware reclaim pass: slack the fast shards left behind —
 //     unused iterations plus whatever remains of the wall clock — is
 //     re-split over the truncated shards, which re-solve warm from their
@@ -36,12 +36,12 @@
 //     construction. Each pass re-checks the deadline before it starts,
 //     before every color class, and every 32 users inside a sweep.
 //
-// Warm start & epoch reuse: the scheduler is WarmStartable — a global hint
+// Warm start & epoch reuse: the scheduler is warm-startable — a global hint
 // is repaired once, sliced per shard (jtora::ShardedProblem::shard_hint),
-// and routed to the inner scheme's warm entry point, so the dynamic
+// and rides each shard's SolveRequest, so the dynamic
 // simulator's carried-assignment path works transparently. The partition,
 // the fixup coloring, and the per-shard compilations persist across
-// schedule() calls in an internal cache keyed by the site layout; per
+// solve() calls in an internal cache keyed by the site layout; per
 // epoch only the shard scenarios refresh (membership-changed shards
 // rebuild, the rest recompile in place). Caching is bitwise-invisible.
 //
@@ -75,7 +75,7 @@ struct ShardedConfig {
   std::size_t threads = 1;
   /// Anytime budget for the whole sharded solve. The iteration cap and the
   /// wall-clock deadline are split across the shard solves when the inner
-  /// scheme is BudgetAware (work-proportional + reclaim, see above); the
+  /// scheme is budget-aware (work-proportional + reclaim, see above); the
   /// wall-clock deadline additionally guards the fixup rounds. The merged
   /// shard solution is always feasible, so firing the budget at any point
   /// still returns a valid anytime result.
@@ -84,7 +84,7 @@ struct ShardedConfig {
   void validate() const;
 };
 
-class ShardedScheduler : public Scheduler, public WarmStartable {
+class ShardedScheduler : public Scheduler {
  public:
   explicit ShardedScheduler(std::unique_ptr<Scheduler> inner,
                             ShardedConfig config = {});
@@ -92,30 +92,33 @@ class ShardedScheduler : public Scheduler, public WarmStartable {
 
   [[nodiscard]] std::string name() const override;
 
-  [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
-                                        Rng& rng) const override;
+  /// Warm start: the request hint is repaired against the problem, sliced
+  /// per shard, and handed down to the inner scheme's solve (which uses it
+  /// when warm-startable); the boundary fixup then runs as in a cold solve.
+  /// A request budget overrides `config().budget` as the global anytime
+  /// budget being split across shards.
+  [[nodiscard]] ScheduleResult solve(
+      const SolveRequest& request) const override;
 
-  /// Warm start: `hint` is repaired against the problem, sliced per shard,
-  /// and handed to the inner scheme's warm entry point (when it has one);
-  /// the boundary fixup then runs as in a cold solve.
-  [[nodiscard]] ScheduleResult schedule_from(
-      const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
-      Rng& rng) const override;
-
-  using Scheduler::schedule;
-  using WarmStartable::schedule_from;
+  /// The wrapper itself honors both optional fields: a hint is sliced per
+  /// shard, a budget is split work-proportionally — regardless of what the
+  /// inner scheme supports (an incapable inner just solves its shards cold
+  /// and uncapped).
+  [[nodiscard]] std::uint32_t capabilities() const noexcept override {
+    return kWarmStart | kBudgetAware;
+  }
 
  private:
   struct Cache;
 
-  [[nodiscard]] ScheduleResult solve(const jtora::CompiledProblem& problem,
-                                     const jtora::Assignment* hint,
-                                     Rng& rng) const;
+  [[nodiscard]] ScheduleResult sharded_solve(
+      const jtora::CompiledProblem& problem, const jtora::Assignment* hint,
+      const SolveBudget& budget, Rng& rng) const;
   /// Degenerate (single-shard) path: delegate to the inner scheme with the
-  /// caller's Rng, still applying the configured budget and any hint.
+  /// caller's Rng, still applying the effective budget and any hint.
   [[nodiscard]] ScheduleResult passthrough(
       const jtora::CompiledProblem& problem, const jtora::Assignment* hint,
-      Rng& rng) const;
+      const SolveBudget& budget, Rng& rng) const;
 
   std::unique_ptr<Scheduler> inner_;
   ShardedConfig config_;

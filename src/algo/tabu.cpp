@@ -34,8 +34,11 @@ std::vector<std::size_t> touched_users(const jtora::Assignment& a,
 
 }  // namespace
 
-ScheduleResult TabuScheduler::schedule(const jtora::CompiledProblem& problem,
-                                       Rng& rng) const {
+ScheduleResult TabuScheduler::solve(const SolveRequest& request) const {
+  request.validate();
+  const jtora::CompiledProblem& problem = *request.problem;
+  Rng& rng = *request.rng;
+
   const mec::Scenario& scenario = problem.scenario();
   const jtora::UtilityEvaluator evaluator(problem);
   const Neighborhood neighborhood(scenario, config_.neighborhood);

@@ -29,13 +29,12 @@ struct TabuConfig {
 
 class TabuScheduler final : public Scheduler {
  public:
-  using Scheduler::schedule;
 
   explicit TabuScheduler(TabuConfig config = {});
 
   [[nodiscard]] std::string name() const override { return "tabu"; }
-  [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
-                                        Rng& rng) const override;
+  [[nodiscard]] ScheduleResult solve(
+      const SolveRequest& request) const override;
 
  private:
   TabuConfig config_;

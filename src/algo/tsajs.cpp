@@ -112,45 +112,31 @@ ScheduleResult anneal(const TsajsConfig& config, const SolveBudget& budget,
 
 }  // namespace
 
-ScheduleResult TsajsScheduler::schedule(const jtora::CompiledProblem& problem,
-                                        Rng& rng) const {
-  return schedule_within(problem, config_.budget, rng);
-}
-
-ScheduleResult TsajsScheduler::schedule_from(
-    const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
-    Rng& rng) const {
-  return schedule_from_within(problem, hint, config_.budget, rng);
-}
-
-ScheduleResult TsajsScheduler::schedule_within(
-    const jtora::CompiledProblem& problem, const SolveBudget& budget,
-    Rng& rng) const {
-  budget.validate();
+ScheduleResult TsajsScheduler::solve(const SolveRequest& request) const {
+  request.validate();
+  const jtora::CompiledProblem& problem = *request.problem;
+  const SolveBudget& budget =
+      request.budget != nullptr ? *request.budget : config_.budget;
+  Rng& rng = *request.rng;
+  if (request.hint != nullptr) {
+    // The hint replaces the random start; repair makes it feasible for this
+    // scenario whatever it was shaped for. Annealing restarts from the low
+    // warm_reheat temperature instead of re-melting at T = N.
+    return budgeted_solve(problem, repair_hint(problem.scenario(), *request.hint),
+                          config_.warm_reheat, budget, rng);
+  }
   // Algorithm 1 line 5: random feasible initial solution; line 3: T <- N.
   jtora::Assignment initial = random_feasible_assignment(
       problem.scenario(), rng, config_.initial_offload_prob);
   const double initial_temperature = config_.initial_temperature.value_or(
       static_cast<double>(problem.num_subchannels()));
-  return solve(problem, std::move(initial), initial_temperature, budget, rng);
+  return budgeted_solve(problem, std::move(initial), initial_temperature,
+                        budget, rng);
 }
 
-ScheduleResult TsajsScheduler::schedule_from_within(
-    const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
-    const SolveBudget& budget, Rng& rng) const {
-  budget.validate();
-  // The hint replaces the random start; repair makes it feasible for this
-  // scenario whatever it was shaped for. Annealing restarts from the low
-  // warm_reheat temperature instead of re-melting at T = N.
-  return solve(problem, repair_hint(problem.scenario(), hint),
-               config_.warm_reheat, budget, rng);
-}
-
-ScheduleResult TsajsScheduler::solve(const jtora::CompiledProblem& problem,
-                                     jtora::Assignment initial,
-                                     double initial_temperature,
-                                     const SolveBudget& budget,
-                                     Rng& rng) const {
+ScheduleResult TsajsScheduler::budgeted_solve(
+    const jtora::CompiledProblem& problem, jtora::Assignment initial,
+    double initial_temperature, const SolveBudget& budget, Rng& rng) const {
   ScheduleResult result = anneal_solve(problem, std::move(initial),
                                        initial_temperature, budget, rng);
   if (!budget.unlimited() && result.system_utility < 0.0) {

@@ -78,46 +78,33 @@ struct TsajsConfig {
   void validate() const;
 };
 
-class TsajsScheduler final : public Scheduler,
-                             public WarmStartable,
-                             public BudgetAware {
+class TsajsScheduler final : public Scheduler {
  public:
-  using Scheduler::schedule;
-  using WarmStartable::schedule_from;
-
   explicit TsajsScheduler(TsajsConfig config = {});
 
   [[nodiscard]] std::string name() const override;
-  [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
-                                        Rng& rng) const override;
 
-  /// Warm start (Algorithm 1 with lines 3/5 replaced): the hint is repaired
-  /// against the problem's scenario (repair_hint) and annealing starts from
-  /// it at `config().warm_reheat` instead of T = N.
-  [[nodiscard]] ScheduleResult schedule_from(
-      const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
-      Rng& rng) const override;
+  /// Cold (no hint): Algorithm 1 — random feasible start (line 5), T <- N
+  /// (line 3). Warm (request.hint set): the hint is repaired against the
+  /// problem's scenario (repair_hint) and annealing starts from it at
+  /// `config().warm_reheat` instead of T = N. A request budget overrides
+  /// `config().budget` for this call; the anytime caps are checked at each
+  /// plateau boundary, and a request budget equal to the configured one is
+  /// bit-identical to an unbudgeted request.
+  [[nodiscard]] ScheduleResult solve(
+      const SolveRequest& request) const override;
 
-  /// Per-call budget overrides (BudgetAware): identical search, but the
-  /// anytime caps checked at each plateau boundary come from `budget`
-  /// instead of `config().budget`. With `budget == config().budget` the
-  /// result is bit-identical to the plain entry points.
-  [[nodiscard]] ScheduleResult schedule_within(
-      const jtora::CompiledProblem& problem, const SolveBudget& budget,
-      Rng& rng) const override;
-  [[nodiscard]] ScheduleResult schedule_from_within(
-      const jtora::CompiledProblem& problem, const jtora::Assignment& hint,
-      const SolveBudget& budget, Rng& rng) const override;
+  [[nodiscard]] std::uint32_t capabilities() const noexcept override {
+    return kWarmStart | kBudgetAware;
+  }
 
   [[nodiscard]] const TsajsConfig& config() const noexcept { return config_; }
 
  private:
   /// anneal_solve + the budgeted all-local degradation floor.
-  [[nodiscard]] ScheduleResult solve(const jtora::CompiledProblem& problem,
-                                     jtora::Assignment initial,
-                                     double initial_temperature,
-                                     const SolveBudget& budget,
-                                     Rng& rng) const;
+  [[nodiscard]] ScheduleResult budgeted_solve(
+      const jtora::CompiledProblem& problem, jtora::Assignment initial,
+      double initial_temperature, const SolveBudget& budget, Rng& rng) const;
   [[nodiscard]] ScheduleResult anneal_solve(
       const jtora::CompiledProblem& problem, jtora::Assignment initial,
       double initial_temperature, const SolveBudget& budget, Rng& rng) const;

@@ -7,6 +7,200 @@
 
 namespace tsajs {
 
+P2Quantile::P2Quantile(double q) : q_(q) {
+  TSAJS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
+}
+
+void P2Quantile::init_markers() noexcept {
+  // Jain & Chlamtac's initial state once five samples are in: markers sit
+  // on the sorted samples at ranks 1..5; desired positions spread them at
+  // {min, q/2, q, (1+q)/2, max} of the growing sample.
+  for (int i = 0; i < 5; ++i) positions_[i] = static_cast<double>(i + 1);
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q_;
+  desired_[2] = 1.0 + 4.0 * q_;
+  desired_[3] = 3.0 + 2.0 * q_;
+  desired_[4] = 5.0;
+  increments_[0] = 0.0;
+  increments_[1] = q_ / 2.0;
+  increments_[2] = q_;
+  increments_[3] = (1.0 + q_) / 2.0;
+  increments_[4] = 1.0;
+}
+
+void P2Quantile::add(double x) {
+  TSAJS_CHECK(!std::isnan(x), "P2Quantile::add rejects NaN samples");
+  if (count_ < 5) {
+    // Warm-up: keep the raw samples sorted in place.
+    std::size_t i = count_;
+    while (i > 0 && heights_[i - 1] > x) {
+      heights_[i] = heights_[i - 1];
+      --i;
+    }
+    heights_[i] = x;
+    ++count_;
+    if (count_ == 5) init_markers();
+    return;
+  }
+
+  // Locate the cell and clamp the extremes.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && heights_[k + 1] <= x) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Nudge the three interior markers toward their desired positions with
+  // the piecewise-parabolic (P²) height update, falling back to linear
+  // interpolation when the parabola would leave the bracketing heights.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    if ((d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0) ||
+        (d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0)) {
+      const double s = d >= 1.0 ? 1.0 : -1.0;
+      const double np = positions_[i + 1] - positions_[i];
+      const double nm = positions_[i - 1] - positions_[i];
+      const double parabolic =
+          heights_[i] +
+          s / (positions_[i + 1] - positions_[i - 1]) *
+              ((positions_[i] - positions_[i - 1] + s) *
+                   (heights_[i + 1] - heights_[i]) / np +
+               (positions_[i + 1] - positions_[i] - s) *
+                   (heights_[i] - heights_[i - 1]) / (-nm));
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        const int j = i + static_cast<int>(s);
+        heights_[i] += s * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += s;
+    }
+  }
+  ++count_;
+}
+
+double P2Quantile::value() const noexcept {
+  if (count_ == 0) return 0.0;
+  if (count_ <= 5) {
+    // Exact interpolated quantile over the sorted warm-up samples (same
+    // convention as tsajs::quantile).
+    const double pos = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= count_) return heights_[count_ - 1];
+    return heights_[lo] * (1.0 - frac) + heights_[lo + 1] * frac;
+  }
+  return heights_[2];
+}
+
+namespace {
+
+/// Piecewise-linear empirical CDF readout of a P² marker state: returns
+/// the estimated number of samples <= x given marker (height, rank) pairs.
+double marker_cdf(const double* heights, const double* positions,
+                  std::size_t n_markers, double total, double x) noexcept {
+  if (x < heights[0]) return 0.0;
+  if (x >= heights[n_markers - 1]) return total;
+  std::size_t i = 0;
+  while (i + 1 < n_markers && heights[i + 1] <= x) ++i;
+  const double span = heights[i + 1] - heights[i];
+  const double frac = span > 0.0 ? (x - heights[i]) / span : 0.0;
+  return positions[i] + frac * (positions[i + 1] - positions[i]);
+}
+
+}  // namespace
+
+void P2Quantile::merge(const P2Quantile& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // A side still in warm-up holds its raw samples exactly — replay them.
+  if (other.count_ <= 5) {
+    for (std::size_t i = 0; i < other.count_; ++i) add(other.heights_[i]);
+    return;
+  }
+  if (count_ <= 5) {
+    P2Quantile combined = other;
+    for (std::size_t i = 0; i < count_; ++i) combined.add(heights_[i]);
+    *this = combined;
+    return;
+  }
+
+  // Both sides carry five-marker sketches. Sum the two piecewise-linear
+  // CDFs and invert the sum at this sketch's desired marker ranks for the
+  // combined count. Deterministic: a pure function of the two states.
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double total = n1 + n2;
+  const double lo = std::min(heights_[0], other.heights_[0]);
+  const double hi = std::max(heights_[4], other.heights_[4]);
+
+  // Candidate breakpoints: both marker sets, sorted. Between consecutive
+  // breakpoints the combined CDF is linear, so inversion per target rank is
+  // a scan plus one interpolation.
+  double xs[10];
+  for (int i = 0; i < 5; ++i) {
+    xs[i] = heights_[i];
+    xs[5 + i] = other.heights_[i];
+  }
+  std::sort(std::begin(xs), std::end(xs));
+  double cdf[10];
+  for (int i = 0; i < 10; ++i) {
+    cdf[i] = marker_cdf(heights_, positions_, 5, n1, xs[i]) +
+             marker_cdf(other.heights_, other.positions_, 5, n2, xs[i]);
+  }
+
+  double merged[5];
+  double targets[5];
+  targets[0] = 1.0;
+  targets[1] = 1.0 + (total - 1.0) * (q_ / 2.0);
+  targets[2] = 1.0 + (total - 1.0) * q_;
+  targets[3] = 1.0 + (total - 1.0) * ((1.0 + q_) / 2.0);
+  targets[4] = total;
+  merged[0] = lo;
+  merged[4] = hi;
+  for (int m = 1; m <= 3; ++m) {
+    const double t = targets[m];
+    double v = hi;
+    for (int i = 0; i + 1 < 10; ++i) {
+      if (cdf[i + 1] < t) continue;
+      const double span = cdf[i + 1] - cdf[i];
+      const double frac = span > 0.0 ? (t - cdf[i]) / span : 0.0;
+      v = xs[i] + frac * (xs[i + 1] - xs[i]);
+      break;
+    }
+    merged[m] = std::min(std::max(v, lo), hi);
+  }
+  // Enforce monotone heights (the inversion can tie under flat CDF spans).
+  for (int i = 1; i < 5; ++i) merged[i] = std::max(merged[i], merged[i - 1]);
+
+  count_ = static_cast<std::size_t>(total);
+  for (int i = 0; i < 5; ++i) {
+    heights_[i] = merged[i];
+    positions_[i] = targets[i];
+    desired_[i] = targets[i];
+  }
+  // Increments are invariant (a function of q_ alone); keep them as set by
+  // init_markers on whichever side initialized first.
+  increments_[0] = 0.0;
+  increments_[1] = q_ / 2.0;
+  increments_[2] = q_;
+  increments_[3] = (1.0 + q_) / 2.0;
+  increments_[4] = 1.0;
+}
+
 void Accumulator::add(double x) {
   // One NaN would silently poison the running mean/variance and every
   // later sample; reject it at the door instead.
@@ -17,6 +211,8 @@ void Accumulator::add(double x) {
   m2_ += delta * (x - mean_);
   min_ = std::min(min_, x);
   max_ = std::max(max_, x);
+  p50_.add(x);
+  p99_.add(x);
 }
 
 void Accumulator::merge(const Accumulator& other) noexcept {
@@ -34,6 +230,8 @@ void Accumulator::merge(const Accumulator& other) noexcept {
   count_ += other.count_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+  p50_.merge(other.p50_);
+  p99_.merge(other.p99_);
 }
 
 double Accumulator::variance() const noexcept {

@@ -3,7 +3,9 @@
 // The paper reports mean system utility with 95% confidence intervals over
 // repeated random drops (Fig. 3). `Accumulator` implements Welford's
 // numerically stable online mean/variance; `confidence_interval` applies the
-// Student-t quantile for small trial counts.
+// Student-t quantile for small trial counts. For the streaming service's
+// latency telemetry the accumulator additionally tracks p50/p99 via the P²
+// algorithm — constant memory, deterministic, no sample retention.
 #pragma once
 
 #include <cstddef>
@@ -12,7 +14,55 @@
 
 namespace tsajs {
 
-/// Welford online accumulator for mean / variance / min / max.
+/// P² (Jain & Chlamtac, CACM 1985) streaming estimator of one quantile:
+/// five markers track (min, the q/2, q, and (1+q)/2 quantiles, max); each
+/// new sample shifts marker counts and nudges marker heights by a
+/// piecewise-parabolic update. O(1) memory and time per sample, no sample
+/// retention, and fully deterministic: the estimate is a pure function of
+/// the sample *sequence* (and, after a merge, of the merge tree). Below
+/// five samples the estimate is the exact interpolated quantile.
+class P2Quantile {
+ public:
+  /// `q` in [0,1], e.g. 0.5 for the median, 0.99 for p99.
+  explicit P2Quantile(double q);
+
+  /// Adds one sample; NaN is rejected (see Accumulator::add).
+  void add(double x);
+
+  /// Current estimate; 0.0 when no samples have been added (mirroring
+  /// Accumulator::mean's empty-state convention).
+  [[nodiscard]] double value() const noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double quantile_level() const noexcept { return q_; }
+
+  /// Merges another estimator (parallel reduction). Both marker sets are
+  /// read as piecewise-linear empirical CDFs, summed, and the combined CDF
+  /// is inverted at this quantile's desired marker positions — an
+  /// approximation (the exact merged quantile is not recoverable from five
+  /// markers a side) but a deterministic one: the result depends only on
+  /// the two marker states, never on execution order within a side. When
+  /// either side still holds raw samples (count <= 5) the merge replays
+  /// them exactly.
+  void merge(const P2Quantile& other) noexcept;
+
+ private:
+  void init_markers() noexcept;
+
+  double q_;
+  std::size_t count_ = 0;
+  /// Marker heights; for count_ <= 5 the first count_ entries are the
+  /// sorted raw samples.
+  double heights_[5] = {0, 0, 0, 0, 0};
+  /// Actual marker positions (1-based sample ranks).
+  double positions_[5] = {0, 0, 0, 0, 0};
+  /// Desired marker positions and their per-sample increments.
+  double desired_[5] = {0, 0, 0, 0, 0};
+  double increments_[5] = {0, 0, 0, 0, 0};
+};
+
+/// Welford online accumulator for mean / variance / min / max, plus P²
+/// streaming p50/p99 for latency-style telemetry.
 class Accumulator {
  public:
   /// Adds one sample. Throws InternalError on NaN — a single NaN would
@@ -20,7 +70,9 @@ class Accumulator {
   /// is rejected before touching any state.
   void add(double x);
 
-  /// Merges another accumulator (parallel reduction; Chan et al.).
+  /// Merges another accumulator (parallel reduction; Chan et al.). The
+  /// quantile sketches merge via P2Quantile::merge (deterministic,
+  /// approximate).
   void merge(const Accumulator& other) noexcept;
 
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
@@ -39,6 +91,10 @@ class Accumulator {
   [[nodiscard]] double min() const noexcept { return min_; }
   [[nodiscard]] double max() const noexcept { return max_; }
   [[nodiscard]] double sum() const noexcept;
+  /// Streaming median estimate (P²; exact below five samples, 0.0 empty).
+  [[nodiscard]] double p50() const noexcept { return p50_.value(); }
+  /// Streaming 99th-percentile estimate (P²; exact below five samples).
+  [[nodiscard]] double p99() const noexcept { return p99_.value(); }
 
  private:
   std::size_t count_ = 0;
@@ -46,6 +102,8 @@ class Accumulator {
   double m2_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+  P2Quantile p50_{0.5};
+  P2Quantile p99_{0.99};
 };
 
 /// A symmetric confidence interval [mean - half_width, mean + half_width].

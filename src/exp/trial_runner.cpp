@@ -22,8 +22,10 @@ struct TrialOutcome {
 
 TrialOutcome run_one(const jtora::CompiledProblem& problem,
                      const algo::Scheduler& scheduler, Rng& rng) {
-  algo::ScheduleResult result =
-      algo::run_and_validate(scheduler, problem, rng);
+  algo::SolveRequest request;
+  request.problem = &problem;
+  request.rng = &rng;
+  algo::ScheduleResult result = algo::run_and_validate(scheduler, request);
 
   const jtora::UtilityEvaluator evaluator(problem);
   const jtora::Evaluation eval = evaluator.evaluate(result.assignment);

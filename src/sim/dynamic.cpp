@@ -273,10 +273,16 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
             hint.set_forwarded(i, true);
           }
         }
-        return algo::run_and_validate(scheduler, compiled, hint,
-                                      scheduler_rng);
+        algo::SolveRequest request;
+        request.problem = &compiled;
+        request.hint = &hint;
+        request.rng = &scheduler_rng;
+        return algo::run_and_validate(scheduler, request);
       }
-      return algo::run_and_validate(scheduler, compiled, scheduler_rng);
+      algo::SolveRequest request;
+      request.problem = &compiled;
+      request.rng = &scheduler_rng;
+      return algo::run_and_validate(scheduler, request);
     }();
 
     // Remember this epoch's outcome as the next epoch's hint.

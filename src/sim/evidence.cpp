@@ -1,0 +1,350 @@
+#include "sim/evidence.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "exp/json_reader.h"
+#include "exp/json_writer.h"
+
+namespace tsajs::sim {
+
+namespace {
+
+/// Bit-exact double serialization: hexfloat, round-trips through strtod.
+std::string hex_of(double x) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%a", x);
+  return buffer;
+}
+
+std::string dec_of(std::uint64_t x) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, x);
+  return buffer;
+}
+
+double double_of(const exp::JsonValue& value) {
+  const std::string& text = value.as_string();
+  char* end = nullptr;
+  const double x = std::strtod(text.c_str(), &end);
+  TSAJS_REQUIRE(end != nullptr && *end == '\0' && end != text.c_str(),
+                "malformed double in checkpoint: " + text);
+  return x;
+}
+
+std::uint64_t u64_of(const exp::JsonValue& value) {
+  const std::string& text = value.as_string();
+  char* end = nullptr;
+  const std::uint64_t x = std::strtoull(text.c_str(), &end, 10);
+  TSAJS_REQUIRE(end != nullptr && *end == '\0' && end != text.c_str(),
+                "malformed integer in checkpoint: " + text);
+  return x;
+}
+
+void append_session(std::ostringstream& out, const SessionState& s) {
+  out << "{\"id\":\"" << dec_of(s.id) << "\",\"x\":\"" << hex_of(s.x)
+      << "\",\"y\":\"" << hex_of(s.y) << "\",\"input_bits\":\""
+      << hex_of(s.input_bits) << "\",\"cycles\":\"" << hex_of(s.cycles)
+      << "\",\"lifetime_s\":\"" << hex_of(s.lifetime_s)
+      << "\",\"admit_time_s\":\"" << hex_of(s.admit_time_s)
+      << "\",\"depart_time_s\":\"" << hex_of(s.depart_time_s)
+      << "\",\"has_slot\":" << (s.has_slot ? "true" : "false")
+      << ",\"server\":\"" << dec_of(s.server) << "\",\"subchannel\":\""
+      << dec_of(s.subchannel)
+      << "\",\"forwarded\":" << (s.forwarded ? "true" : "false") << "}";
+}
+
+SessionState session_of(const exp::JsonValue& value) {
+  SessionState s;
+  s.id = u64_of(value.at("id"));
+  s.x = double_of(value.at("x"));
+  s.y = double_of(value.at("y"));
+  s.input_bits = double_of(value.at("input_bits"));
+  s.cycles = double_of(value.at("cycles"));
+  s.lifetime_s = double_of(value.at("lifetime_s"));
+  s.admit_time_s = double_of(value.at("admit_time_s"));
+  s.depart_time_s = double_of(value.at("depart_time_s"));
+  s.has_slot = value.at("has_slot").as_bool();
+  s.server = static_cast<std::size_t>(u64_of(value.at("server")));
+  s.subchannel = static_cast<std::size_t>(u64_of(value.at("subchannel")));
+  s.forwarded = value.at("forwarded").as_bool();
+  return s;
+}
+
+constexpr const char* kCheckpointSchema = "tsajs-stream-checkpoint-v1";
+
+}  // namespace
+
+std::string checkpoint_to_json(const StreamCheckpoint& cp) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"" << kCheckpointSchema << "\",\n"
+      << "  \"config_digest\": \"" << dec_of(cp.config_digest) << "\",\n"
+      << "  \"seed\": \"" << dec_of(cp.seed) << "\",\n"
+      << "  \"sim_time_s\": \"" << hex_of(cp.sim_time_s) << "\",\n"
+      << "  \"next_arrival_index\": \"" << dec_of(cp.next_arrival_index)
+      << "\",\n"
+      << "  \"next_arrival_time_s\": \"" << hex_of(cp.next_arrival_time_s)
+      << "\",\n"
+      << "  \"decisions\": \"" << dec_of(cp.decisions) << "\",\n"
+      << "  \"arrivals\": \"" << dec_of(cp.arrivals) << "\",\n"
+      << "  \"admitted\": \"" << dec_of(cp.admitted) << "\",\n"
+      << "  \"queued\": \"" << dec_of(cp.queued) << "\",\n"
+      << "  \"promoted\": \"" << dec_of(cp.promoted) << "\",\n"
+      << "  \"rejected\": \"" << dec_of(cp.rejected) << "\",\n"
+      << "  \"departed\": \"" << dec_of(cp.departed) << "\",\n"
+      << "  \"fault_steps\": \"" << dec_of(cp.fault_steps) << "\",\n"
+      << "  \"checkpoints_emitted\": \"" << dec_of(cp.checkpoints_emitted)
+      << "\",\n"
+      << "  \"active\": [";
+  for (std::size_t i = 0; i < cp.active.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "\n    ";
+    append_session(out, cp.active[i]);
+  }
+  out << (cp.active.empty() ? "" : "\n  ") << "],\n  \"backlog\": [";
+  for (std::size_t i = 0; i < cp.backlog.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "\n    ";
+    append_session(out, cp.backlog[i]);
+  }
+  out << (cp.backlog.empty() ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+StreamCheckpoint checkpoint_from_json(const std::string& text) {
+  const exp::JsonValue doc = exp::parse_json(text);
+  TSAJS_REQUIRE(doc.at("schema").as_string() == kCheckpointSchema,
+                "not a stream checkpoint document");
+  StreamCheckpoint cp;
+  cp.config_digest = u64_of(doc.at("config_digest"));
+  cp.seed = u64_of(doc.at("seed"));
+  cp.sim_time_s = double_of(doc.at("sim_time_s"));
+  cp.next_arrival_index = u64_of(doc.at("next_arrival_index"));
+  cp.next_arrival_time_s = double_of(doc.at("next_arrival_time_s"));
+  cp.decisions = u64_of(doc.at("decisions"));
+  cp.arrivals = u64_of(doc.at("arrivals"));
+  cp.admitted = u64_of(doc.at("admitted"));
+  cp.queued = u64_of(doc.at("queued"));
+  cp.promoted = u64_of(doc.at("promoted"));
+  cp.rejected = u64_of(doc.at("rejected"));
+  cp.departed = u64_of(doc.at("departed"));
+  cp.fault_steps = u64_of(doc.at("fault_steps"));
+  cp.checkpoints_emitted = u64_of(doc.at("checkpoints_emitted"));
+  for (const auto& s : doc.at("active").as_array()) {
+    cp.active.push_back(session_of(s));
+  }
+  for (const auto& s : doc.at("backlog").as_array()) {
+    cp.backlog.push_back(session_of(s));
+  }
+  return cp;
+}
+
+void write_checkpoint_file(const std::string& path,
+                           const StreamCheckpoint& cp) {
+  std::ofstream out(path);
+  TSAJS_REQUIRE(out.good(), "cannot open checkpoint file: " + path);
+  out << checkpoint_to_json(cp);
+  out.flush();
+  TSAJS_REQUIRE(out.good(), "failed writing checkpoint file: " + path);
+}
+
+StreamCheckpoint read_checkpoint_file(const std::string& path) {
+  std::ifstream in(path);
+  TSAJS_REQUIRE(in.good(), "cannot read checkpoint file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return checkpoint_from_json(buffer.str());
+}
+
+std::string event_to_jsonl(const StreamEvent& event) {
+  std::ostringstream out;
+  out << "{\"e\":\"" << stream_event_name(event.type) << "\",\"t\":\""
+      << hex_of(event.sim_time_s) << "\"";
+  switch (event.type) {
+    case StreamEventType::kArrival:
+    case StreamEventType::kAdmit:
+    case StreamEventType::kQueue:
+    case StreamEventType::kReject:
+    case StreamEventType::kPromote:
+    case StreamEventType::kDepart:
+      out << ",\"id\":" << event.session_id;
+      break;
+    default:
+      break;
+  }
+  out << ",\"active\":" << event.active << ",\"backlog\":" << event.backlog;
+  if (event.type == StreamEventType::kSolve) {
+    out << ",\"decision\":" << event.decision
+        << ",\"offloaded\":" << event.offloaded
+        << ",\"forwarded\":" << event.forwarded
+        << ",\"evaluations\":" << event.evaluations << ",\"utility\":\""
+        << hex_of(event.utility) << "\"";
+  } else if (event.type == StreamEventType::kFault) {
+    out << ",\"servers_down\":" << event.servers_down
+        << ",\"backhauls_down\":" << event.backhauls_down
+        << ",\"slots_unavailable\":" << event.slots_unavailable;
+  } else if (event.type == StreamEventType::kCheckpoint) {
+    out << ",\"ordinal\":" << event.checkpoint_ordinal;
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string detect_git_rev() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path dir = fs::current_path(ec);
+  if (ec) return "unknown";
+  for (int depth = 0; depth < 16 && !dir.empty(); ++depth) {
+    const fs::path head = dir / ".git" / "HEAD";
+    if (fs::exists(head, ec) && !ec) {
+      std::ifstream in(head);
+      std::string line;
+      if (!std::getline(in, line)) return "unknown";
+      if (line.rfind("ref: ", 0) == 0) {
+        std::ifstream ref(dir / ".git" / line.substr(5));
+        std::string rev;
+        if (std::getline(ref, rev) && !rev.empty()) return rev;
+        return "unknown";
+      }
+      return line;
+    }
+    const fs::path parent = dir.parent_path();
+    if (parent == dir) break;
+    dir = parent;
+  }
+  return "unknown";
+}
+
+EvidenceWriter::EvidenceWriter(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  TSAJS_REQUIRE(!ec, "cannot create evidence directory: " + dir_);
+  events_.open(dir_ + "/events.jsonl");
+  TSAJS_REQUIRE(events_.good(), "cannot open events.jsonl in " + dir_);
+  metrics_.open(dir_ + "/metrics.csv");
+  TSAJS_REQUIRE(metrics_.good(), "cannot open metrics.csv in " + dir_);
+  metrics_ << "decision,sim_time_s,active,backlog,offloaded,forwarded,"
+              "utility,evaluations,solve_ms\n";
+}
+
+void EvidenceWriter::write_run_json(const StreamConfig& config,
+                                    std::size_t num_servers,
+                                    std::size_t num_subchannels,
+                                    std::uint64_t seed,
+                                    const std::string& scheme) {
+  std::ofstream out(dir_ + "/run.json");
+  TSAJS_REQUIRE(out.good(), "cannot open run.json in " + dir_);
+  char number[64];
+  const auto put = [&](const char* key, double value, bool comma = true) {
+    std::snprintf(number, sizeof(number), "%.17g", value);
+    out << "    \"" << key << "\": " << number << (comma ? ",\n" : "\n");
+  };
+  out << "{\n  \"schema\": \"tsajs-stream-run-v1\",\n"
+      << "  \"seed\": \"" << dec_of(seed) << "\",\n"
+      << "  \"scheme\": \"" << exp::json_escape(scheme) << "\",\n"
+      << "  \"git_rev\": \"" << exp::json_escape(detect_git_rev()) << "\",\n"
+      << "  \"servers\": " << num_servers << ",\n"
+      << "  \"subchannels\": " << num_subchannels << ",\n"
+      << "  \"config\": {\n"
+      << "    \"config_digest\": \"" << dec_of(config.digest()) << "\",\n";
+  put("duration_s", config.duration_s);
+  put("arrival_rate_hz", config.arrival_rate_hz);
+  put("lifetime_min_s", config.lifetime_min_s);
+  put("lifetime_max_s", config.lifetime_max_s);
+  put("min_megacycles", config.min_megacycles);
+  put("max_megacycles", config.max_megacycles);
+  put("min_input_kb", config.min_input_kb);
+  put("max_input_kb", config.max_input_kb);
+  put("cloud_cpu_hz", config.cloud_cpu_hz);
+  put("cloud_backhaul_bps", config.cloud_backhaul_bps);
+  put("cloud_backhaul_latency_s", config.cloud_backhaul_latency_s);
+  out << "    \"cloud_max_forwarded\": " << config.cloud_max_forwarded
+      << ",\n";
+  put("server_mtbf_epochs", config.fault.server_mtbf_epochs);
+  put("server_mttr_epochs", config.fault.server_mttr_epochs);
+  put("subchannel_blackout_prob", config.fault.subchannel_blackout_prob);
+  put("backhaul_mtbf_epochs", config.fault.backhaul_mtbf_epochs);
+  put("backhaul_mttr_epochs", config.fault.backhaul_mttr_epochs);
+  put("fault_interval_s", config.fault_interval_s);
+  out << "    \"budget_max_iterations\": "
+      << config.decision_budget.max_iterations << ",\n";
+  put("checkpoint_interval_s", config.checkpoint_interval_s);
+  out << "    \"warm\": " << (config.warm ? "true" : "false") << ",\n"
+      << "    \"max_active\": " << config.admission.max_active << ",\n"
+      << "    \"max_backlog\": " << config.admission.max_backlog << ",\n"
+      << "    \"headroom\": " << config.admission.headroom << "\n"
+      << "  }\n}\n";
+  TSAJS_REQUIRE(out.good(), "failed writing run.json in " + dir_);
+}
+
+void EvidenceWriter::on_event(const StreamEvent& event) {
+  events_ << event_to_jsonl(event) << "\n";
+}
+
+void EvidenceWriter::on_decision(const DecisionRecord& record) {
+  char utility[64];
+  std::snprintf(utility, sizeof(utility), "%.17g", record.utility);
+  char solve_ms[64];
+  std::snprintf(solve_ms, sizeof(solve_ms), "%.6f",
+                record.solve_seconds * 1e3);
+  char sim_time[64];
+  std::snprintf(sim_time, sizeof(sim_time), "%.9g", record.sim_time_s);
+  metrics_ << record.decision << "," << sim_time << "," << record.active
+           << "," << record.backlog << "," << record.offloaded << ","
+           << record.forwarded << "," << utility << ","
+           << record.evaluations << "," << solve_ms << "\n";
+}
+
+void EvidenceWriter::on_checkpoint(const StreamCheckpoint& checkpoint) {
+  last_checkpoint_path_ = dir_ + "/checkpoint-" +
+                          dec_of(checkpoint.checkpoints_emitted) + ".json";
+  write_checkpoint_file(last_checkpoint_path_, checkpoint);
+  // A killed run should still leave a consistent, resumable bundle.
+  events_.flush();
+  metrics_.flush();
+}
+
+void EvidenceWriter::finish(const StreamReport& report,
+                            const std::string& scheme) {
+  std::ofstream out(dir_ + "/summary.md");
+  TSAJS_REQUIRE(out.good(), "cannot open summary.md in " + dir_);
+  char buffer[128];
+  out << "# Streaming soak summary\n\n";
+  out << "- scheme: `" << scheme << "`\n";
+  std::snprintf(buffer, sizeof(buffer), "%.1f", report.sim_time_s);
+  out << "- simulated horizon: " << buffer << " s, decisions: "
+      << report.decisions << ", fault steps: " << report.fault_steps
+      << ", checkpoints: " << report.checkpoints << "\n";
+  out << "- arrivals: " << report.arrivals << " (admitted "
+      << report.admitted << ", queued " << report.queued << ", promoted "
+      << report.promoted << ", rejected " << report.rejected
+      << "), departed: " << report.departed << "\n";
+  std::snprintf(buffer, sizeof(buffer), "%.1f%% admitted, %.1f%% rejected",
+                100.0 * report.admit_ratio(), 100.0 * report.reject_ratio());
+  out << "- admission: " << buffer << "\n";
+  std::snprintf(buffer, sizeof(buffer), "%.4g (min %.4g, max %.4g)",
+                report.utility.mean(), report.utility.min(),
+                report.utility.max());
+  out << "- utility per decision: " << buffer << "\n";
+  std::snprintf(buffer, sizeof(buffer),
+                "p50 %.3f ms, p99 %.3f ms, mean %.3f ms",
+                report.solve_seconds.p50() * 1e3,
+                report.solve_seconds.p99() * 1e3,
+                report.solve_seconds.mean() * 1e3);
+  out << "- solve latency: " << buffer << "\n";
+  std::snprintf(buffer, sizeof(buffer), "%.1f decisions/sec (%.2f s wall)",
+                report.decisions_per_sec(), report.wall_seconds);
+  out << "- throughput: " << buffer << "\n";
+  std::snprintf(buffer, sizeof(buffer), "%.2f active, %.2f backlog",
+                report.active_sessions.mean(), report.backlog_depth.mean());
+  out << "- mean load at decision time: " << buffer << "\n";
+  TSAJS_REQUIRE(out.good(), "failed writing summary.md in " + dir_);
+  events_.flush();
+  metrics_.flush();
+}
+
+}  // namespace tsajs::sim

@@ -1,0 +1,88 @@
+// Evidence bundle for streaming runs.
+//
+// A soak run is only as good as its artifacts: to audit (or re-run) a
+// long-lived streaming session you need the exact configuration, the full
+// deterministic event history, the non-deterministic latency observations,
+// and restartable checkpoints — each in the file where it belongs:
+//
+//   run.json          — configuration + seed + scheme + git revision
+//                       (provenance; written once at start)
+//   events.jsonl      — one JSON object per StreamEvent, in order. Every
+//                       double is serialized as a hexfloat *string*, so the
+//                       file is a bit-exact witness: two runs are replays of
+//                       each other iff their events.jsonl bytes match.
+//   metrics.csv       — one row per scheduling decision, including
+//                       wall-clock solve time. This is the only artifact
+//                       allowed to differ between bit-identical replays.
+//   checkpoint-<n>.json — the n-th periodic StreamCheckpoint; feed it to
+//                       StreamDriver::resume to continue the run.
+//   summary.md        — human-readable digest (counts, admission ratios,
+//                       solve-latency p50/p99, decisions/sec), written by
+//                       finish().
+//
+// Checkpoint serialization round-trips through exp::JsonValue; because that
+// parser reads numbers as double, every 64-bit integer and every double is
+// stored as a *string* (decimal and hexfloat respectively) — lossless both
+// ways.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "sim/stream.h"
+
+namespace tsajs::sim {
+
+/// Serializes a checkpoint as a JSON document (hexfloat/decimal strings;
+/// see file comment) and back. checkpoint_from_json validates the schema
+/// tag and throws InvalidArgumentError on anything malformed.
+[[nodiscard]] std::string checkpoint_to_json(const StreamCheckpoint& cp);
+[[nodiscard]] StreamCheckpoint checkpoint_from_json(const std::string& text);
+void write_checkpoint_file(const std::string& path,
+                           const StreamCheckpoint& cp);
+[[nodiscard]] StreamCheckpoint read_checkpoint_file(const std::string& path);
+
+/// One StreamEvent as a single-line JSON object (no trailing newline).
+/// Doubles are hexfloat strings; only the fields meaningful for the event
+/// type are emitted, so the line is a canonical form.
+[[nodiscard]] std::string event_to_jsonl(const StreamEvent& event);
+
+/// Best-effort git revision of the working tree (searches upward from the
+/// current directory for .git/HEAD); "unknown" when not in a checkout.
+[[nodiscard]] std::string detect_git_rev();
+
+/// StreamSink that materializes the evidence bundle into a directory
+/// (created if missing). Files are flushed at every checkpoint so a killed
+/// run still leaves a resumable, auditable bundle behind.
+class EvidenceWriter : public StreamSink {
+ public:
+  explicit EvidenceWriter(std::string dir);
+
+  /// Writes run.json (provenance). Call once, before the run.
+  void write_run_json(const StreamConfig& config, std::size_t num_servers,
+                      std::size_t num_subchannels, std::uint64_t seed,
+                      const std::string& scheme);
+
+  void on_event(const StreamEvent& event) override;
+  void on_decision(const DecisionRecord& record) override;
+  void on_checkpoint(const StreamCheckpoint& checkpoint) override;
+
+  /// Writes summary.md and flushes everything. Call once, after the run.
+  void finish(const StreamReport& report, const std::string& scheme);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  /// Path of the most recent checkpoint-<n>.json; empty before the first.
+  [[nodiscard]] const std::string& last_checkpoint_path() const noexcept {
+    return last_checkpoint_path_;
+  }
+
+ private:
+  std::string dir_;
+  std::ofstream events_;
+  std::ofstream metrics_;
+  std::string last_checkpoint_path_;
+};
+
+}  // namespace tsajs::sim

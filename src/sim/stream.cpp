@@ -1,0 +1,550 @@
+#include "sim/stream.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+#include "common/units.h"
+#include "jtora/assignment.h"
+#include "jtora/compiled_problem.h"
+#include "mec/cloud.h"
+#include "mec/scenario_workspace.h"
+#include "radio/spectrum.h"
+
+namespace tsajs::sim {
+
+namespace {
+
+/// FNV-1a over raw bit patterns; the checkpoint's configuration witness.
+struct Digest {
+  std::uint64_t h = 1469598103934665603ULL;
+
+  void mix_u64(std::uint64_t x) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xFFULL;
+      h *= 1099511628211ULL;
+    }
+  }
+  void mix(double d) noexcept {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix_u64(bits);
+  }
+  void mix(std::size_t s) noexcept { mix_u64(static_cast<std::uint64_t>(s)); }
+  void mix(bool b) noexcept { mix_u64(b ? 1ULL : 0ULL); }
+};
+
+}  // namespace
+
+void StreamConfig::validate() const {
+  TSAJS_REQUIRE(std::isfinite(duration_s) && duration_s > 0.0,
+                "stream duration must be positive and finite");
+  TSAJS_REQUIRE(std::isfinite(arrival_rate_hz) && arrival_rate_hz > 0.0,
+                "arrival rate must be positive and finite");
+  TSAJS_REQUIRE(std::isfinite(lifetime_min_s) && lifetime_min_s > 0.0 &&
+                    lifetime_max_s >= lifetime_min_s &&
+                    std::isfinite(lifetime_max_s),
+                "session lifetime range must be positive and ordered");
+  TSAJS_REQUIRE(min_megacycles > 0.0 && max_megacycles >= min_megacycles,
+                "workload range must be positive and ordered");
+  TSAJS_REQUIRE(min_input_kb > 0.0 && max_input_kb >= min_input_kb,
+                "input-size range must be positive and ordered");
+  TSAJS_REQUIRE(std::isfinite(cloud_cpu_hz) && cloud_cpu_hz >= 0.0,
+                "cloud capacity must be finite and >= 0 (0 disables)");
+  if (cloud_cpu_hz > 0.0) {
+    TSAJS_REQUIRE(std::isfinite(cloud_backhaul_bps) && cloud_backhaul_bps > 0.0,
+                  "cloud backhaul rate must be positive and finite");
+    TSAJS_REQUIRE(std::isfinite(cloud_backhaul_latency_s) &&
+                      cloud_backhaul_latency_s >= 0.0,
+                  "cloud backhaul latency must be non-negative and finite");
+  }
+  fault.validate();
+  // Noise bursts perturb an epoch's gains from injector RNG state that a
+  // checkpoint does not capture; replaying them bit-identically would
+  // require serializing the injector mid-stream. Outages/blackouts replay
+  // fine (the injector is a pure function of seed + step count).
+  TSAJS_REQUIRE(fault.noise_burst_prob == 0.0,
+                "noise bursts are not supported in streaming mode");
+  if (fault.enabled()) {
+    TSAJS_REQUIRE(std::isfinite(fault_interval_s) && fault_interval_s > 0.0,
+                  "fault interval must be positive when faults are enabled");
+  }
+  decision_budget.validate();
+  // A wall-clock deadline would let host timing decide how far each solve
+  // gets, leaking non-determinism into the event log; only the
+  // deterministic iteration cap is allowed here.
+  TSAJS_REQUIRE(decision_budget.max_seconds == 0.0,
+                "streaming decisions allow only iteration budgets "
+                "(wall-clock deadlines break replay bit-identity)");
+  TSAJS_REQUIRE(
+      std::isfinite(checkpoint_interval_s) && checkpoint_interval_s >= 0.0,
+      "checkpoint interval must be >= 0 (0 disables)");
+}
+
+std::uint64_t StreamConfig::digest() const noexcept {
+  Digest d;
+  d.mix(duration_s);
+  d.mix(arrival_rate_hz);
+  d.mix(lifetime_min_s);
+  d.mix(lifetime_max_s);
+  d.mix(min_megacycles);
+  d.mix(max_megacycles);
+  d.mix(min_input_kb);
+  d.mix(max_input_kb);
+  d.mix(cloud_cpu_hz);
+  d.mix(cloud_backhaul_bps);
+  d.mix(cloud_backhaul_latency_s);
+  d.mix(cloud_max_forwarded);
+  d.mix(fault.server_mtbf_epochs);
+  d.mix(fault.server_mttr_epochs);
+  d.mix(fault.subchannel_blackout_prob);
+  d.mix(fault.noise_burst_prob);
+  d.mix(fault.noise_burst_sigma_db);
+  d.mix(fault.backhaul_mtbf_epochs);
+  d.mix(fault.backhaul_mttr_epochs);
+  d.mix(fault_interval_s);
+  d.mix(decision_budget.max_seconds);
+  d.mix(decision_budget.max_iterations);
+  d.mix(checkpoint_interval_s);
+  d.mix(warm);
+  d.mix(admission.max_active);
+  d.mix(admission.max_backlog);
+  d.mix(admission.headroom);
+  return d.h;
+}
+
+std::size_t admission_capacity(std::size_t num_servers,
+                               std::size_t num_subchannels,
+                               const mec::Availability& mask,
+                               bool cloud_enabled,
+                               std::size_t cloud_max_forwarded) {
+  const std::size_t total = num_servers * num_subchannels;
+  std::size_t available = total;
+  if (!mask.unconstrained()) {
+    TSAJS_REQUIRE(mask.num_servers() == num_servers &&
+                      mask.num_subchannels() == num_subchannels,
+                  "availability mask does not match the grid");
+    available = total - mask.num_unavailable_slots();
+  }
+  std::size_t cloud_bonus = 0;
+  if (cloud_enabled) {
+    // Forwarding needs at least one up server with a live backhaul; the
+    // cloud then adds its forwarding cap worth of extra admissions (or, in
+    // the uncapped case, lets every edge slot in principle hand off —
+    // another full complement of the unmasked slots).
+    bool reachable = false;
+    for (std::size_t s = 0; s < num_servers && !reachable; ++s) {
+      reachable = mask.server_available(s) && mask.backhaul_available(s);
+    }
+    if (reachable) {
+      cloud_bonus = cloud_max_forwarded > 0 ? cloud_max_forwarded : available;
+    }
+  }
+  return available + cloud_bonus;
+}
+
+const char* stream_event_name(StreamEventType type) noexcept {
+  switch (type) {
+    case StreamEventType::kFault:
+      return "fault";
+    case StreamEventType::kDepart:
+      return "depart";
+    case StreamEventType::kCheckpoint:
+      return "checkpoint";
+    case StreamEventType::kArrival:
+      return "arrival";
+    case StreamEventType::kAdmit:
+      return "admit";
+    case StreamEventType::kQueue:
+      return "queue";
+    case StreamEventType::kReject:
+      return "reject";
+    case StreamEventType::kPromote:
+      return "promote";
+    case StreamEventType::kSolve:
+      return "solve";
+  }
+  return "unknown";
+}
+
+StreamDriver::StreamDriver(std::size_t num_servers,
+                           std::size_t num_subchannels, StreamConfig config,
+                           mec::UserEquipment prototype,
+                           mec::EdgeServer server_prototype,
+                           double bandwidth_hz, double noise_dbm)
+    : num_subchannels_(num_subchannels),
+      config_(config),
+      prototype_(prototype),
+      layout_(num_servers, 1000.0),
+      channel_(radio::make_paper_channel()),
+      bandwidth_hz_(bandwidth_hz),
+      noise_w_(units::dbm_to_watts(noise_dbm)) {
+  TSAJS_REQUIRE(num_subchannels >= 1, "need at least one sub-channel");
+  config_.validate();
+  servers_.resize(num_servers);
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    servers_[s] = server_prototype;
+    servers_[s].position = layout_.site(s);
+  }
+}
+
+StreamReport StreamDriver::run(const algo::Scheduler& scheduler,
+                               std::uint64_t seed, StreamSink* sink) const {
+  StreamCheckpoint fresh;
+  fresh.config_digest = config_.digest();
+  fresh.seed = seed;
+  // Arrival k's derived stream yields its interarrival gap first, then its
+  // attributes; the first arrival's time is therefore known up front.
+  Rng first(stream_seed(seed, kArrivalStream, 0));
+  fresh.next_arrival_time_s = first.exponential(config_.arrival_rate_hz);
+  return run_loop(scheduler, std::move(fresh), sink);
+}
+
+StreamReport StreamDriver::resume(const algo::Scheduler& scheduler,
+                                  const StreamCheckpoint& checkpoint,
+                                  StreamSink* sink) const {
+  TSAJS_REQUIRE(checkpoint.config_digest == config_.digest(),
+                "checkpoint was taken under a different stream "
+                "configuration; refusing to resume");
+  return run_loop(scheduler, checkpoint, sink);
+}
+
+StreamReport StreamDriver::run_loop(const algo::Scheduler& scheduler,
+                                    StreamCheckpoint state,
+                                    StreamSink* sink) const {
+  StreamReport report;
+  Stopwatch wall;
+  const double horizon = config_.duration_s;
+  constexpr double kNever = std::numeric_limits<double>::infinity();
+
+  // Live state, reconstructed from the (possibly fresh) checkpoint.
+  std::map<std::uint64_t, SessionState> sessions;  // ascending id
+  for (const auto& s : state.active) sessions.emplace(s.id, s);
+  std::deque<SessionState> backlog(state.backlog.begin(),
+                                   state.backlog.end());
+  std::set<std::pair<double, std::uint64_t>> departures;
+  for (const auto& [id, s] : sessions) departures.insert({s.depart_time_s, id});
+  state.active.clear();
+  state.backlog.clear();
+
+  mec::ScenarioWorkspace workspace(
+      servers_, radio::Spectrum(bandwidth_hz_, num_subchannels_), noise_w_);
+  const bool has_cloud = config_.cloud_cpu_hz > 0.0;
+  if (has_cloud) {
+    workspace.set_cloud(mec::CloudTier::uniform(
+        config_.cloud_cpu_hz, config_.cloud_backhaul_bps,
+        config_.cloud_backhaul_latency_s, servers_.size(),
+        config_.cloud_max_forwarded));
+  }
+  // The injector is a pure function of its seed and step count, so a
+  // resumed run reproduces the original fault schedule by replaying the
+  // checkpointed number of steps.
+  std::optional<FaultInjector> injector;
+  mec::Availability mask;  // unconstrained until the first fault tick
+  if (config_.fault.enabled()) {
+    injector.emplace(servers_.size(), num_subchannels_, config_.fault,
+                     stream_seed(state.seed, kFaultStream, 0));
+    for (std::uint64_t i = 0; i < state.fault_steps; ++i) {
+      injector->advance_epoch();
+    }
+    if (state.fault_steps > 0) mask = injector->availability();
+  }
+  jtora::CompiledProblem compiled;
+  std::vector<geo::Point> bs_positions(servers_.size());
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    bs_positions[s] = servers_[s].position;
+  }
+  std::vector<geo::Point> positions;
+
+  const auto capacity = [&]() -> std::size_t {
+    if (config_.admission.max_active > 0) return config_.admission.max_active;
+    const std::size_t cap =
+        admission_capacity(servers_.size(), num_subchannels_, mask, has_cloud,
+                           config_.cloud_max_forwarded);
+    return cap > config_.admission.headroom ? cap - config_.admission.headroom
+                                            : 0;
+  };
+
+  const auto emit = [&](const StreamEvent& event) {
+    if (sink != nullptr) sink->on_event(event);
+  };
+
+  // One scheduling decision: stage the active sessions (ascending id) into
+  // the workspace, redraw gains from the decision's derived channel
+  // stream, solve through the SolveRequest API, and carry the resulting
+  // slots as the next decision's warm hint.
+  const auto solve_decision = [&](double now) {
+    if (sessions.empty()) return;
+    const std::uint64_t d = state.decisions++;
+    workspace.begin_epoch();
+    if (injector.has_value()) workspace.set_availability(mask);
+    std::vector<mec::UserEquipment>& users = workspace.users();
+    positions.clear();
+    for (const auto& [id, s] : sessions) {
+      mec::UserEquipment ue = prototype_;
+      ue.task = mec::Task(s.input_bits, s.cycles);
+      ue.position = {s.x, s.y};
+      positions.push_back(ue.position);
+      users.push_back(std::move(ue));
+    }
+    Rng channel_rng(stream_seed(state.seed, kChannelStream, d));
+    channel_.regenerate_into(positions, bs_positions, num_subchannels_,
+                             channel_rng, workspace.gains());
+    const mec::Scenario& scenario = workspace.commit();
+    compiled.compile(scenario);
+
+    // Warm hint: each surviving session re-claims its carried slot when the
+    // slot is still unmasked and unclaimed; sessions evicted by faults (or
+    // newly admitted) enter local and are re-placed by the solve.
+    std::optional<jtora::Assignment> hint;
+    if (config_.warm) {
+      hint.emplace(scenario);
+      std::size_t i = 0;
+      for (const auto& [id, s] : sessions) {
+        if (s.has_slot && hint->slot_available(s.server, s.subchannel) &&
+            !hint->occupant(s.server, s.subchannel).has_value()) {
+          hint->offload(i, s.server, s.subchannel);
+          if (s.forwarded && hint->can_forward(i)) {
+            hint->set_forwarded(i, true);
+          }
+        }
+        ++i;
+      }
+    }
+    Rng solve_rng(stream_seed(state.seed, kSolveStream, d));
+    algo::SolveRequest request;
+    request.problem = &compiled;
+    if (hint.has_value()) request.hint = &*hint;
+    if (!config_.decision_budget.unlimited()) {
+      request.budget = &config_.decision_budget;
+    }
+    request.rng = &solve_rng;
+    const algo::ScheduleResult result =
+        algo::run_and_validate(scheduler, request);
+
+    std::size_t i = 0;
+    for (auto& [id, s] : sessions) {
+      const std::optional<jtora::Slot> slot = result.assignment.slot_of(i);
+      s.has_slot = slot.has_value();
+      if (slot.has_value()) {
+        s.server = slot->server;
+        s.subchannel = slot->subchannel;
+      }
+      s.forwarded = result.assignment.is_forwarded(i);
+      ++i;
+    }
+
+    StreamEvent event;
+    event.type = StreamEventType::kSolve;
+    event.sim_time_s = now;
+    event.decision = d;
+    event.active = sessions.size();
+    event.backlog = backlog.size();
+    event.offloaded = result.assignment.num_offloaded();
+    event.forwarded = result.assignment.num_forwarded();
+    event.utility = result.system_utility;
+    event.evaluations = result.evaluations;
+    emit(event);
+
+    DecisionRecord record;
+    record.decision = d;
+    record.sim_time_s = now;
+    record.active = sessions.size();
+    record.backlog = backlog.size();
+    record.offloaded = event.offloaded;
+    record.forwarded = event.forwarded;
+    record.utility = result.system_utility;
+    record.evaluations = result.evaluations;
+    record.solve_seconds = result.solve_seconds;
+    if (sink != nullptr) sink->on_decision(record);
+
+    ++report.decisions;
+    report.utility.add(result.system_utility);
+    report.solve_seconds.add(result.solve_seconds);
+    report.active_sessions.add(static_cast<double>(sessions.size()));
+    report.backlog_depth.add(static_cast<double>(backlog.size()));
+  };
+
+  const auto admit_session = [&](SessionState s, double now, bool promoted) {
+    s.admit_time_s = now;
+    s.depart_time_s = now + s.lifetime_s;
+    departures.insert({s.depart_time_s, s.id});
+    StreamEvent event;
+    event.type =
+        promoted ? StreamEventType::kPromote : StreamEventType::kAdmit;
+    event.sim_time_s = now;
+    event.session_id = s.id;
+    sessions.emplace(s.id, std::move(s));
+    event.active = sessions.size();
+    event.backlog = backlog.size();
+    emit(event);
+  };
+
+  // Drains the backlog into any free capacity (after departures and fault
+  // recoveries). Returns whether the active set changed.
+  const auto promote_backlog = [&](double now) -> bool {
+    bool changed = false;
+    while (!backlog.empty() && sessions.size() < capacity()) {
+      SessionState s = std::move(backlog.front());
+      backlog.pop_front();
+      admit_session(std::move(s), now, /*promoted=*/true);
+      ++state.promoted;
+      ++report.promoted;
+      changed = true;
+    }
+    return changed;
+  };
+
+  const auto build_checkpoint = [&](double now) {
+    StreamCheckpoint cp = state;
+    cp.sim_time_s = now;
+    cp.active.reserve(sessions.size());
+    for (const auto& [id, s] : sessions) cp.active.push_back(s);
+    cp.backlog.assign(backlog.begin(), backlog.end());
+    return cp;
+  };
+
+  // The event loop. Four event sources compete on the simulated clock; at
+  // equal timestamps the fixed priority fault < departure < checkpoint <
+  // arrival resolves the tie, so the ordering is a pure function of state.
+  while (true) {
+    const double t_fault =
+        injector.has_value()
+            ? static_cast<double>(state.fault_steps + 1) *
+                  config_.fault_interval_s
+            : kNever;
+    const double t_depart =
+        departures.empty() ? kNever : departures.begin()->first;
+    const double t_checkpoint =
+        config_.checkpoint_interval_s > 0.0
+            ? static_cast<double>(state.checkpoints_emitted + 1) *
+                  config_.checkpoint_interval_s
+            : kNever;
+    const double t_arrival = state.next_arrival_time_s;
+    const double t_next = std::min(std::min(t_fault, t_depart),
+                                   std::min(t_checkpoint, t_arrival));
+    if (t_next > horizon) break;
+
+    if (t_fault == t_next) {
+      ++state.fault_steps;
+      ++report.fault_steps;
+      injector->advance_epoch();
+      mask = injector->availability();
+      StreamEvent event;
+      event.type = StreamEventType::kFault;
+      event.sim_time_s = t_next;
+      event.active = sessions.size();
+      event.backlog = backlog.size();
+      event.servers_down = injector->servers_down();
+      event.backhauls_down = injector->backhauls_down();
+      event.slots_unavailable =
+          mask.unconstrained() ? 0 : mask.num_unavailable_slots();
+      emit(event);
+      // Recovered capacity may drain the backlog; the new mask may strand
+      // carried slots. Either way the standing assignment must be re-made
+      // against the new availability.
+      promote_backlog(t_next);
+      solve_decision(t_next);
+    } else if (t_depart == t_next) {
+      const std::uint64_t id = departures.begin()->second;
+      departures.erase(departures.begin());
+      sessions.erase(id);
+      ++state.departed;
+      ++report.departed;
+      StreamEvent event;
+      event.type = StreamEventType::kDepart;
+      event.sim_time_s = t_next;
+      event.session_id = id;
+      event.active = sessions.size();
+      event.backlog = backlog.size();
+      emit(event);
+      promote_backlog(t_next);
+      solve_decision(t_next);
+    } else if (t_checkpoint == t_next) {
+      ++state.checkpoints_emitted;
+      ++report.checkpoints;
+      StreamEvent event;
+      event.type = StreamEventType::kCheckpoint;
+      event.sim_time_s = t_next;
+      event.active = sessions.size();
+      event.backlog = backlog.size();
+      event.checkpoint_ordinal = state.checkpoints_emitted;
+      emit(event);
+      // The checkpoint carries the *post-event* counters, so a resume
+      // schedules the next checkpoint (not this one) and replays exactly
+      // the events that follow this line of the log.
+      if (sink != nullptr) sink->on_checkpoint(build_checkpoint(t_next));
+    } else {
+      const std::uint64_t k = state.next_arrival_index;
+      Rng arrival_rng(stream_seed(state.seed, kArrivalStream, k));
+      // The gap was consumed into next_arrival_time_s when this arrival
+      // was scheduled (or by run()); skip it to reach the attribute draws.
+      (void)arrival_rng.exponential(config_.arrival_rate_hz);
+      SessionState s;
+      s.id = k + 1;  // 1-based; 0 means "no session" in the event log
+      const geo::Point position = layout_.sample_in_network(arrival_rng);
+      s.x = position.x;
+      s.y = position.y;
+      s.input_bits = units::kilobytes_to_bits(
+          arrival_rng.uniform(config_.min_input_kb, config_.max_input_kb));
+      s.cycles = units::megacycles_to_cycles(arrival_rng.uniform(
+          config_.min_megacycles, config_.max_megacycles));
+      s.lifetime_s =
+          arrival_rng.uniform(config_.lifetime_min_s, config_.lifetime_max_s);
+      ++state.arrivals;
+      ++report.arrivals;
+      state.next_arrival_index = k + 1;
+      Rng next_rng(stream_seed(state.seed, kArrivalStream, k + 1));
+      state.next_arrival_time_s =
+          t_next + next_rng.exponential(config_.arrival_rate_hz);
+
+      StreamEvent event;
+      event.type = StreamEventType::kArrival;
+      event.sim_time_s = t_next;
+      event.session_id = s.id;
+      event.active = sessions.size();
+      event.backlog = backlog.size();
+      emit(event);
+
+      if (sessions.size() < capacity()) {
+        ++state.admitted;
+        ++report.admitted;
+        admit_session(std::move(s), t_next, /*promoted=*/false);
+        solve_decision(t_next);
+      } else if (backlog.size() < config_.admission.max_backlog) {
+        ++state.queued;
+        ++report.queued;
+        StreamEvent queued_event;
+        queued_event.type = StreamEventType::kQueue;
+        queued_event.sim_time_s = t_next;
+        queued_event.session_id = s.id;
+        backlog.push_back(std::move(s));
+        queued_event.active = sessions.size();
+        queued_event.backlog = backlog.size();
+        emit(queued_event);
+      } else {
+        ++state.rejected;
+        ++report.rejected;
+        StreamEvent rejected_event;
+        rejected_event.type = StreamEventType::kReject;
+        rejected_event.sim_time_s = t_next;
+        rejected_event.session_id = s.id;
+        rejected_event.active = sessions.size();
+        rejected_event.backlog = backlog.size();
+        emit(rejected_event);
+      }
+    }
+  }
+
+  report.sim_time_s = horizon;
+  report.wall_seconds = wall.elapsed_seconds();
+  return report;
+}
+
+}  // namespace tsajs::sim

@@ -122,11 +122,10 @@ TEST(DegradationTest, WarmStartSurvivesCombinedChurn) {
 // silently recorded. A scheduler that lies about its utility...
 class LyingScheduler final : public Scheduler {
  public:
-  using Scheduler::schedule;
   [[nodiscard]] std::string name() const override { return "liar"; }
-  [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem& problem,
-                                        Rng& /*rng*/) const override {
-    ScheduleResult result{jtora::Assignment(problem.scenario())};
+  [[nodiscard]] ScheduleResult solve(
+      const SolveRequest& request) const override {
+    ScheduleResult result{jtora::Assignment(request.problem->scenario())};
     result.system_utility = 123.0;  // all-local is exactly 0
     return result;
   }
@@ -136,12 +135,11 @@ class LyingScheduler final : public Scheduler {
 // against the unmasked twin of the scenario.
 class MaskBlindScheduler final : public Scheduler {
  public:
-  using Scheduler::schedule;
   explicit MaskBlindScheduler(const mec::Scenario& unmasked)
       : unmasked_(unmasked) {}
   [[nodiscard]] std::string name() const override { return "mask-blind"; }
-  [[nodiscard]] ScheduleResult schedule(
-      const jtora::CompiledProblem& /*problem*/, Rng& /*rng*/) const override {
+  [[nodiscard]] ScheduleResult solve(
+      const SolveRequest& /*request*/) const override {
     jtora::Assignment x(unmasked_);
     x.offload(0, 0, 0);  // (0,0) is masked in the problem it was given
     ScheduleResult result{x};
@@ -193,11 +191,10 @@ TEST(ValidationTest, AuditRejectsMismatchedShape) {
   // A scheduler that answers for the wrong instance.
   class WrongShape final : public Scheduler {
    public:
-    using Scheduler::schedule;
     explicit WrongShape(const mec::Scenario& other) : other_(other) {}
     [[nodiscard]] std::string name() const override { return "wrong-shape"; }
-    [[nodiscard]] ScheduleResult schedule(const jtora::CompiledProblem&,
-                                          Rng&) const override {
+    [[nodiscard]] ScheduleResult solve(
+        const SolveRequest& /*request*/) const override {
       return ScheduleResult{jtora::Assignment(other_)};
     }
 

@@ -124,6 +124,140 @@ TEST(ConfidenceIntervalTest, DegenerateSamples) {
   EXPECT_EQ(ci.half_width, 0.0);
 }
 
+TEST(P2QuantileTest, ExactBelowFiveSamples) {
+  P2Quantile median(0.5);
+  EXPECT_EQ(median.value(), 0.0);  // empty convention
+  median.add(3.0);
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);
+  median.add(1.0);
+  EXPECT_DOUBLE_EQ(median.value(), 2.0);
+  median.add(5.0);
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);
+  median.add(2.0);
+  // Exact interpolated quantile of {1,2,3,5} at q=0.5.
+  EXPECT_DOUBLE_EQ(median.value(), quantile({3.0, 1.0, 5.0, 2.0}, 0.5));
+}
+
+TEST(P2QuantileTest, RejectsBadLevelAndNaN) {
+  EXPECT_THROW(P2Quantile(-0.1), InvalidArgumentError);
+  EXPECT_THROW(P2Quantile(1.1), InvalidArgumentError);
+  P2Quantile q(0.5);
+  EXPECT_THROW(q.add(std::numeric_limits<double>::quiet_NaN()),
+               InternalError);
+}
+
+TEST(P2QuantileTest, TracksUniformDistribution) {
+  Rng rng(1234);
+  P2Quantile p50(0.5);
+  P2Quantile p99(0.99);
+  std::vector<double> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform();
+    samples.push_back(x);
+    p50.add(x);
+    p99.add(x);
+  }
+  EXPECT_NEAR(p50.value(), quantile(samples, 0.5), 0.01);
+  EXPECT_NEAR(p99.value(), quantile(samples, 0.99), 0.01);
+}
+
+TEST(P2QuantileTest, TracksExponentialDistribution) {
+  // Heavy-ish right tail: p99 of Exp(1) is ~4.6, far from the median ~0.69;
+  // a sketch that conflated the two would miss by a mile.
+  Rng rng(99);
+  P2Quantile p50(0.5);
+  P2Quantile p99(0.99);
+  std::vector<double> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.exponential(1.0);
+    samples.push_back(x);
+    p50.add(x);
+    p99.add(x);
+  }
+  const double exact50 = quantile(samples, 0.5);
+  const double exact99 = quantile(samples, 0.99);
+  EXPECT_NEAR(p50.value(), exact50, 0.05 * exact50);
+  EXPECT_NEAR(p99.value(), exact99, 0.10 * exact99);
+}
+
+TEST(P2QuantileTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Rng rng(7);
+    P2Quantile p(0.9);
+    for (int i = 0; i < 5000; ++i) p.add(rng.normal());
+    return p.value();
+  };
+  const double a = run();
+  const double b = run();
+  EXPECT_EQ(a, b);  // bitwise: pure function of the sample sequence
+}
+
+TEST(P2QuantileTest, MergeApproximatesPooledQuantile) {
+  Rng rng(42);
+  P2Quantile left(0.5);
+  P2Quantile right(0.5);
+  std::vector<double> all;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    all.push_back(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), 10000u);
+  EXPECT_NEAR(left.value(), quantile(all, 0.5), 0.2);
+}
+
+TEST(P2QuantileTest, MergeWithSmallSideReplaysExactly) {
+  Rng rng(5);
+  P2Quantile big(0.5);
+  P2Quantile sequential(0.5);
+  std::vector<double> tail;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    big.add(x);
+    sequential.add(x);
+  }
+  P2Quantile small(0.5);
+  for (int i = 0; i < 3; ++i) {
+    const double x = rng.normal();
+    tail.push_back(x);
+    small.add(x);
+    sequential.add(x);
+  }
+  big.merge(small);
+  // A warm-up-sized side holds its raw samples, so the merge replays the
+  // actual values (in sorted order — P² is sequence-dependent, so this is
+  // close to, not bitwise equal to, sequential insertion).
+  EXPECT_EQ(big.count(), sequential.count());
+  EXPECT_NEAR(big.value(), sequential.value(), 0.05);
+
+  P2Quantile empty(0.5);
+  const double before = big.value();
+  big.merge(empty);
+  EXPECT_EQ(big.value(), before);
+}
+
+TEST(AccumulatorQuantiles, FeedsP2Sketches) {
+  Rng rng(2024);
+  Accumulator acc;
+  std::vector<double> samples;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.exponential(2.0);
+    samples.push_back(x);
+    acc.add(x);
+  }
+  EXPECT_NEAR(acc.p50(), quantile(samples, 0.5), 0.05);
+  EXPECT_NEAR(acc.p99(), quantile(samples, 0.99), 0.30);
+
+  Accumulator other;
+  other.add(100.0);  // outlier shard
+  acc.merge(other);
+  EXPECT_EQ(acc.count(), 10001u);
+  EXPECT_DOUBLE_EQ(acc.max(), 100.0);
+}
+
 TEST(Quantile, Interpolates) {
   std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
   EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
