@@ -11,8 +11,12 @@
 //                         [--checkpoint-interval S] [--budget-iters N]
 //                         [--servers S] [--subchannels J]
 //                         [--max-backlog B] [--cloud-ghz G] [--cloud-cap C]
-//                         [--server-mtbf M] [--server-mttr R] [--cold]
+//                         [--server-mtbf M] [--server-mttr R]
+//                         [--backhaul-mtbf M] [--backhaul-mttr R]
+//                         [--breaker-trip N] [--breaker-cooldown N]
+//                         [--breaker-close N] [--cold]
 //                         [--resume FILE] [--verify-resume]
+//                         [--crash-after-events K] [--recover]
 //
 // --resume FILE continues a checkpointed run (same configuration flags
 // required; the checkpoint's config digest is verified). --verify-resume
@@ -20,6 +24,15 @@
 // checkpoint in memory and asserts that the resumed event stream is
 // byte-identical to the tail of the original events.jsonl — the replay
 // guarantee, self-checked (exit 1 on mismatch).
+//
+// Crash drill: --crash-after-events K SIGKILLs the process immediately
+// after the Kth event reaches the evidence sink — no flush, no destructors,
+// exactly the torn state a power loss leaves behind. A later invocation
+// with the same flags plus --recover repairs the bundle (truncating any
+// torn events.jsonl tail to the newest valid checkpoint) and resumes to the
+// end of the horizon; the completed events.jsonl is then byte-identical to
+// an uninterrupted run's.
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -40,6 +53,24 @@ struct MemorySink : sim::StreamSink {
   std::vector<std::string> lines;
   void on_event(const sim::StreamEvent& event) override {
     lines.push_back(sim::event_to_jsonl(event));
+  }
+};
+
+/// Forwards everything to the evidence writer, then SIGKILLs the process
+/// right after the Kth event reaches it — no flush, no destructors: the
+/// torn on-disk state a power loss leaves behind (--crash-after-events).
+struct CrashSink : sim::StreamSink {
+  sim::StreamSink* inner = nullptr;
+  std::uint64_t remaining = 0;
+  void on_event(const sim::StreamEvent& event) override {
+    inner->on_event(event);
+    if (remaining > 0 && --remaining == 0) (void)std::raise(SIGKILL);
+  }
+  void on_decision(const sim::DecisionRecord& record) override {
+    inner->on_decision(record);
+  }
+  void on_checkpoint(const sim::StreamCheckpoint& checkpoint) override {
+    inner->on_checkpoint(checkpoint);
   }
 };
 
@@ -112,11 +143,29 @@ int main(int argc, char** argv) {
                "0");
   cli.add_flag("server-mttr", "server mean time to repair [fault ticks]",
                "3");
+  cli.add_flag("backhaul-mtbf",
+               "backhaul mean time between failures [fault ticks] (0 = none)",
+               "0");
+  cli.add_flag("backhaul-mttr", "backhaul mean time to repair [fault ticks]",
+               "2");
+  cli.add_flag("breaker-trip",
+               "circuit breaker: consecutive down ticks before a backhaul "
+               "trips open (0 = breaker disabled)",
+               "0");
+  cli.add_flag("breaker-cooldown",
+               "circuit breaker: open cool-down [fault ticks]", "3");
+  cli.add_flag("breaker-close",
+               "circuit breaker: consecutive up probes before closing", "1");
   cli.add_switch("cold", "disable warm-start hints between decisions");
   cli.add_flag("resume", "checkpoint file to continue from", "");
   cli.add_switch("verify-resume",
                  "after the run, resume from checkpoint 1 and assert the "
                  "event stream replays bit-identically");
+  cli.add_flag("crash-after-events",
+               "crash drill: SIGKILL after the Kth event (0 = never)", "0");
+  cli.add_switch("recover",
+                 "repair a crash-interrupted bundle in --out-dir and resume "
+                 "it to the end of the horizon");
   if (!cli.parse(argc, argv)) return 0;
 
   sim::StreamConfig config;
@@ -136,6 +185,14 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("cloud-cap"));
   config.fault.server_mtbf_epochs = cli.get_double("server-mtbf");
   config.fault.server_mttr_epochs = cli.get_double("server-mttr");
+  config.fault.backhaul_mtbf_epochs = cli.get_double("backhaul-mtbf");
+  config.fault.backhaul_mttr_epochs = cli.get_double("backhaul-mttr");
+  config.breaker.trip_after =
+      static_cast<std::size_t>(cli.get_int("breaker-trip"));
+  config.breaker.cooldown_epochs =
+      static_cast<std::size_t>(cli.get_int("breaker-cooldown"));
+  config.breaker.close_after =
+      static_cast<std::size_t>(cli.get_int("breaker-close"));
 
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const std::string scheme = cli.get_string("scheme");
@@ -146,17 +203,41 @@ int main(int argc, char** argv) {
   const std::unique_ptr<algo::Scheduler> scheduler =
       algo::make_scheduler(scheme);
 
-  sim::EvidenceWriter evidence(out_dir);
-  evidence.write_run_json(config, driver.num_servers(),
-                          driver.num_subchannels(), seed, scheme);
-
   const std::string resume_path = cli.get_string("resume");
-  const sim::StreamReport report =
-      resume_path.empty()
-          ? driver.run(*scheduler, seed, &evidence)
-          : driver.resume(*scheduler,
-                          sim::read_checkpoint_file(resume_path), &evidence);
-  evidence.finish(report, scheme);
+  const auto crash_after =
+      static_cast<std::uint64_t>(cli.get_int("crash-after-events"));
+  sim::StreamReport report;
+  if (cli.get_bool("recover")) {
+    TSAJS_REQUIRE(resume_path.empty() && crash_after == 0,
+                  "--recover excludes --resume and --crash-after-events");
+    // recover() repairs the bundle in place and appends through its own
+    // evidence writer; constructing one here would truncate the very
+    // events.jsonl we are recovering.
+    sim::RecoveryInfo info;
+    report = driver.recover(*scheduler, out_dir, &info);
+    std::cout << "recover: "
+              << (info.has_checkpoint()
+                      ? "resumed from " + info.checkpoint_path
+                      : "no usable checkpoint — restarted from t=0")
+              << " (" << info.checkpoints_scanned << " checkpoints scanned, "
+              << info.checkpoints_skipped << " skipped; kept "
+              << info.events_kept << " events, dropped "
+              << info.events_dropped << ")\n";
+  } else {
+    sim::EvidenceWriter evidence(out_dir);
+    evidence.write_run_json(config, driver.num_servers(),
+                            driver.num_subchannels(), seed, scheme);
+    CrashSink crash;
+    crash.inner = &evidence;
+    crash.remaining = crash_after;
+    sim::StreamSink* sink =
+        crash_after > 0 ? static_cast<sim::StreamSink*>(&crash) : &evidence;
+    report = resume_path.empty()
+                 ? driver.run(*scheduler, seed, sink)
+                 : driver.resume(*scheduler,
+                                 sim::read_checkpoint_file(resume_path), sink);
+    evidence.finish(report, scheme);
+  }
 
   std::cout << "soak: " << report.decisions << " decisions over "
             << report.sim_time_s << " s simulated — " << report.arrivals
@@ -167,6 +248,11 @@ int main(int argc, char** argv) {
             << report.solve_seconds.p50() * 1e3 << " ms, p99 "
             << report.solve_seconds.p99() * 1e3 << " ms; "
             << report.decisions_per_sec() << " decisions/sec\n";
+  if (config.breaker.enabled()) {
+    std::cout << "      breaker: " << report.breaker_trips << " trips, "
+              << report.breaker_half_opens << " half-opens, "
+              << report.breaker_closes << " closes\n";
+  }
   std::cout << "      evidence bundle: " << out_dir << "/\n";
 
   if (cli.get_bool("verify-resume")) {

@@ -12,8 +12,11 @@
 namespace tsajs::algo {
 
 void SolveBudget::validate() const {
-  TSAJS_REQUIRE(std::isfinite(max_seconds) && max_seconds >= 0.0,
-                "solve budget max_seconds must be finite and >= 0");
+  // Negative deadlines are legal ("already expired" — the solve degrades to
+  // the all-local floor at its first safe boundary); only NaN/infinity are
+  // rejected, since they make the expiry comparison meaningless.
+  TSAJS_REQUIRE(std::isfinite(max_seconds),
+                "solve budget max_seconds must be finite");
 }
 
 void SolveRequest::validate() const {

@@ -41,6 +41,10 @@
 #include "jtora/utility.h"
 #include "mec/scenario.h"
 
+namespace tsajs {
+class CancelToken;  // common/watchdog.h
+}  // namespace tsajs
+
 namespace tsajs::algo {
 
 /// Anytime solve budget: wall-clock and/or search-effort caps for one
@@ -49,16 +53,19 @@ namespace tsajs::algo {
 /// far — degrading to the guaranteed-feasible all-local assignment if the
 /// budget fires before the search finds anything better. Zero values mean
 /// "unlimited"; a default-constructed SolveBudget leaves behavior and RNG
-/// streams bit-identical to an unbudgeted solve.
+/// streams bit-identical to an unbudgeted solve. A *negative* deadline is
+/// an already-expired budget: the solve stops at its first safe boundary
+/// and returns the all-local floor — a valid state for a service whose
+/// upstream deadline passed before the solve even started, so it validates.
 struct SolveBudget {
-  /// Wall-clock deadline [s]; 0 = unlimited.
+  /// Wall-clock deadline [s]; 0 = unlimited, negative = already expired.
   double max_seconds = 0.0;
   /// Cap on objective evaluations; 0 = unlimited. This form is
   /// deterministic (independent of machine speed) and is what tests use.
   std::size_t max_iterations = 0;
 
   [[nodiscard]] bool unlimited() const noexcept {
-    return max_seconds <= 0.0 && max_iterations == 0;
+    return max_seconds == 0.0 && max_iterations == 0;
   }
   void validate() const;
 };
@@ -89,6 +96,13 @@ struct SolveRequest {
   const SolveBudget* budget = nullptr;
   /// RNG for this decision (required). Mutated by the solve.
   Rng* rng = nullptr;
+  /// Cooperative cancellation (nullptr = never cancelled). A budget-aware
+  /// scheduler polls the token at the same safe boundaries where it checks
+  /// its budget and returns its best feasible result so far once the flag
+  /// is set — same degradation contract as an expired budget, including
+  /// the all-local floor. Lets a watchdog stop a runaway solve without
+  /// preemption (see common/watchdog.h). Non-owning.
+  const CancelToken* cancel = nullptr;
 
   /// Throws unless `problem` and `rng` are set and any budget validates.
   void validate() const;

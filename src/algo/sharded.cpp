@@ -7,9 +7,11 @@
 #include <utility>
 #include <vector>
 
+#include "algo/greedy.h"
 #include "common/error.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/watchdog.h"
 #include "geo/partition.h"
 #include "jtora/incremental.h"
 #include "jtora/sharded_problem.h"
@@ -21,6 +23,9 @@ void ShardedConfig::validate() const {
   TSAJS_REQUIRE(reach_m >= 0.0 && std::isfinite(reach_m),
                 "interference reach must be finite and non-negative");
   TSAJS_REQUIRE(fixup_passes >= 1, "need at least one fixup pass");
+  TSAJS_REQUIRE(std::isfinite(hedge_factor) &&
+                    (hedge_factor == 0.0 || hedge_factor >= 1.0),
+                "hedge factor must be 0 (disabled) or >= 1");
   budget.validate();
 }
 
@@ -44,7 +49,9 @@ struct ShardedScheduler::Cache {
 
 ShardedScheduler::ShardedScheduler(std::unique_ptr<Scheduler> inner,
                                    ShardedConfig config)
-    : inner_(std::move(inner)), config_(config) {
+    : inner_(std::move(inner)),
+      hedge_fallback_(std::make_unique<GreedyScheduler>()),
+      config_(config) {
   TSAJS_REQUIRE(inner_ != nullptr, "sharded scheduler needs an inner scheme");
   config_.validate();
 }
@@ -264,12 +271,13 @@ ScheduleResult ShardedScheduler::solve(const SolveRequest& request) const {
   // split across shards; absent both, the solve is unbudgeted.
   const SolveBudget& budget =
       request.budget != nullptr ? *request.budget : config_.budget;
-  return sharded_solve(*request.problem, request.hint, budget, *request.rng);
+  return sharded_solve(*request.problem, request.hint, budget, request.cancel,
+                       *request.rng);
 }
 
 ScheduleResult ShardedScheduler::passthrough(
     const jtora::CompiledProblem& problem, const jtora::Assignment* hint,
-    const SolveBudget& budget, Rng& rng) const {
+    const SolveBudget& budget, const CancelToken* cancel, Rng& rng) const {
   // An unlimited budget is not forwarded, keeping the historical delegation
   // paths bit for bit (the inner scheme falls back to its own configured
   // budget); a real budget rides the request and caps the unsharded solve
@@ -281,14 +289,23 @@ ScheduleResult ShardedScheduler::passthrough(
   inner_request.hint = hint;
   inner_request.budget = budget.unlimited() ? nullptr : &budget;
   inner_request.rng = &rng;
+  inner_request.cancel = cancel;
   return inner_->solve(inner_request);
 }
 
 ScheduleResult ShardedScheduler::sharded_solve(
     const jtora::CompiledProblem& problem, const jtora::Assignment* hint,
-    const SolveBudget& budget, Rng& rng) const {
+    const SolveBudget& budget, const CancelToken* cancel, Rng& rng) const {
   const Stopwatch timer;
   const mec::Scenario& scenario = problem.scenario();
+
+  // An already-expired deadline: no budget slice could let any shard do
+  // work, so degrade straight to the guaranteed-feasible all-local floor —
+  // the same contract a budget-aware inner scheme honors (never throw).
+  if (budget.max_seconds < 0.0) {
+    return ScheduleResult{jtora::Assignment(scenario), 0.0,
+                          timer.elapsed_seconds(), 0};
+  }
 
   std::vector<geo::Point> sites;
   sites.reserve(scenario.num_servers());
@@ -301,7 +318,7 @@ ScheduleResult ShardedScheduler::sharded_solve(
   // A single site (auto reach 0) cannot be partitioned; neither can a
   // deployment whose sites all share one tile. Both degenerate to the
   // wrapped scheme verbatim — same Rng, same result, bit for bit.
-  if (reach <= 0.0) return passthrough(problem, hint, budget, rng);
+  if (reach <= 0.0) return passthrough(problem, hint, budget, cancel, rng);
 
   // The mutex is held for the whole solve: concurrent schedule() calls on
   // one instance serialize (each still deterministic), and the cache below
@@ -325,7 +342,7 @@ ScheduleResult ShardedScheduler::sharded_solve(
   }
   const geo::InterferencePartition& partition = *cache.partition;
   if (partition.num_shards() == 1) {
-    return passthrough(problem, hint, budget, rng);
+    return passthrough(problem, hint, budget, cancel, rng);
   }
 
   // Re-slice for this epoch; ShardedProblem reuses whatever it can.
@@ -382,9 +399,17 @@ ScheduleResult ShardedScheduler::sharded_solve(
   std::vector<std::uint64_t> seeds(2 * num_shards);
   for (std::size_t k = 0; k < seeds.size(); ++k) seeds[k] = rng.derive_seed(k);
 
+  // Hedged retries (config_.hedge_factor > 0): one watchdog serves every
+  // wall-clock-budgeted shard solve; iteration budgets need no watchdog —
+  // overrun there is a pure function of the reported evaluation count.
+  const bool hedging = config_.hedge_factor > 0.0 && capped_inner;
+  std::optional<Watchdog> watchdog;
+  if (hedging && budget.max_seconds > 0.0) watchdog.emplace();
+
   struct Outcome {
     std::optional<ScheduleResult> result;
     bool truncated = false;
+    bool hedged = false;
   };
   std::vector<Outcome> outcomes(num_shards);
   const auto solve_shard = [&](std::size_t k) {
@@ -396,6 +421,7 @@ ScheduleResult ShardedScheduler::sharded_solve(
     SolveRequest shard_request;
     shard_request.problem = shard.problem.get();
     shard_request.rng = &child;
+    shard_request.cancel = cancel;
     std::optional<jtora::Assignment> shard_hint;
     if (repaired.has_value()) {
       shard_hint = sharded.shard_hint(k, *repaired);
@@ -406,7 +432,19 @@ ScheduleResult ShardedScheduler::sharded_solve(
       slice.max_iterations = iter_slice[k];
       slice.max_seconds = sec_slice[k];
       shard_request.budget = &slice;
+      // Wall-clock hedging cancels the inner solve cooperatively once it
+      // overruns hedge_factor x its slice deadline; the caller's own token
+      // (if any) already fed the request above, and a fired hedge token
+      // implies this shard will be retried below either way.
+      CancelToken hedge_token;
+      std::uint64_t watch_id = 0;
+      if (watchdog.has_value() && slice.max_seconds > 0.0) {
+        shard_request.cancel = &hedge_token;
+        watch_id =
+            watchdog->arm(hedge_token, config_.hedge_factor * slice.max_seconds);
+      }
       out.result = inner_->solve(shard_request);
+      if (watch_id != 0) watchdog->disarm(watch_id);
       // Truncated = the slice (not mere preference) stopped the solve; only
       // these shards compete for reclaimed budget. The iteration test is a
       // pure function of the result, keeping iteration-only budgets
@@ -416,6 +454,42 @@ ScheduleResult ShardedScheduler::sharded_solve(
            out.result->evaluations >= slice.max_iterations) ||
           (slice.max_seconds > 0.0 &&
            shard_timer.elapsed_seconds() >= slice.max_seconds);
+      if (hedging) {
+        // Overrun = the solve blew past hedge_factor x its slice. Under an
+        // iteration budget the test reads only the result (bit-identical at
+        // any thread count); under a wall-clock budget the watchdog token
+        // and the elapsed check agree up to timing, which that mode never
+        // guaranteed anyway.
+        const bool iter_overrun =
+            slice.max_iterations != 0 &&
+            static_cast<double>(out.result->evaluations) >
+                config_.hedge_factor *
+                    static_cast<double>(slice.max_iterations);
+        const bool clock_overrun =
+            slice.max_seconds > 0.0 &&
+            (hedge_token.cancelled() ||
+             shard_timer.elapsed_seconds() >=
+                 config_.hedge_factor * slice.max_seconds);
+        if (iter_overrun || clock_overrun) {
+          // Deterministic retry: the greedy fallback is RNG-free, so the
+          // hedged result is a pure function of the shard problem (and the
+          // hint). Keep the better of the two; the shard stops competing
+          // for reclaimed budget — it already proved it cannot spend its
+          // slice well.
+          SolveRequest fallback_request = shard_request;
+          fallback_request.budget = nullptr;
+          fallback_request.cancel = nullptr;
+          const ScheduleResult fallback =
+              hedge_fallback_->solve(fallback_request);
+          out.result->evaluations += fallback.evaluations;
+          if (fallback.system_utility > out.result->system_utility) {
+            out.result->assignment = fallback.assignment;
+            out.result->system_utility = fallback.system_utility;
+          }
+          out.truncated = false;
+          out.hedged = true;
+        }
+      }
     } else {
       out.result = inner_->solve(shard_request);
     }
@@ -534,6 +608,9 @@ ScheduleResult ShardedScheduler::sharded_solve(
   std::vector<ShardSweep> sweeps;
   for (std::size_t pass = 0; pass < config_.fixup_passes; ++pass) {
     if (deadline > 0.0 && timer.elapsed_seconds() >= deadline) break;
+    // The merged assignment is feasible at every pass boundary, so a
+    // cancelled solve can stop polishing here and return it as-is.
+    if (cancel != nullptr && cancel->cancelled()) break;
     std::size_t moved = 0;
     for (const std::vector<std::size_t>& color_class : cache.color_classes) {
       if (deadline > 0.0 && timer.elapsed_seconds() >= deadline) break;

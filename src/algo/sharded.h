@@ -80,6 +80,18 @@ struct ShardedConfig {
   /// shard solution is always feasible, so firing the budget at any point
   /// still returns a valid anytime result.
   SolveBudget budget;
+  /// Hedged-retry trigger for shard solves that *overrun* their budget
+  /// slice (0 disables; otherwise must be >= 1). A shard whose phase-1
+  /// solve blows past `hedge_factor` x its apportioned slice is treated as
+  /// stuck: its result is replaced by the better of itself and a
+  /// deterministic greedy fallback solve, and it no longer competes for
+  /// reclaimed budget. Overrun detection is a pure function of the shard's
+  /// reported evaluation count under an iteration budget — sequential and
+  /// N-thread solves stay bit-identical — while under a wall-clock budget a
+  /// Watchdog additionally cancels the overrunning solve cooperatively at
+  /// hedge_factor x the slice deadline (wall-clock mode was never
+  /// bit-stable). No effect unless the solve is budgeted.
+  double hedge_factor = 0.0;
 
   void validate() const;
 };
@@ -113,14 +125,17 @@ class ShardedScheduler : public Scheduler {
 
   [[nodiscard]] ScheduleResult sharded_solve(
       const jtora::CompiledProblem& problem, const jtora::Assignment* hint,
-      const SolveBudget& budget, Rng& rng) const;
+      const SolveBudget& budget, const CancelToken* cancel, Rng& rng) const;
   /// Degenerate (single-shard) path: delegate to the inner scheme with the
-  /// caller's Rng, still applying the effective budget and any hint.
+  /// caller's Rng, still applying the effective budget, hint, and cancel
+  /// token.
   [[nodiscard]] ScheduleResult passthrough(
       const jtora::CompiledProblem& problem, const jtora::Assignment* hint,
-      const SolveBudget& budget, Rng& rng) const;
+      const SolveBudget& budget, const CancelToken* cancel, Rng& rng) const;
 
   std::unique_ptr<Scheduler> inner_;
+  /// Deterministic, RNG-free fallback for hedged shard retries (greedy).
+  std::unique_ptr<Scheduler> hedge_fallback_;
   ShardedConfig config_;
   /// Epoch cache (partition, coloring, per-shard compilations), reused
   /// while the site layout and reach stay put. The mutex is held for the

@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte buffers.
+//
+// Used as the integrity trailer on durable artifacts (stream checkpoints):
+// a crash mid-write leaves a file whose trailer does not match its body,
+// which the reader detects and skips instead of loading torn state. The
+// implementation is the classic 256-entry table; the table is built once at
+// first use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tsajs {
+
+/// CRC-32 of `data`; chainable via `seed` (pass a previous call's result to
+/// continue a running checksum). The empty buffer maps to 0.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0) noexcept;
+
+[[nodiscard]] inline std::uint32_t crc32(std::string_view text,
+                                         std::uint32_t seed = 0) noexcept {
+  return crc32(text.data(), text.size(), seed);
+}
+
+}  // namespace tsajs

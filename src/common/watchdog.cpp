@@ -1,0 +1,67 @@
+#include "common/watchdog.h"
+
+#include <algorithm>
+
+namespace tsajs {
+
+Watchdog::Watchdog() : thread_([this] { run(); }) {}
+
+Watchdog::~Watchdog() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+std::uint64_t Watchdog::arm(CancelToken& token, double seconds) {
+  const auto now = std::chrono::steady_clock::now();
+  const auto delay = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(std::max(0.0, seconds)));
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+    entries_.push_back(Entry{id, now + delay, &token});
+  }
+  cv_.notify_all();
+  return id;
+}
+
+void Watchdog::disarm(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const Entry& e) { return e.id == id; }),
+                 entries_.end());
+}
+
+void Watchdog::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    if (entries_.empty()) {
+      cv_.wait(lock, [this] { return stop_ || !entries_.empty(); });
+      continue;
+    }
+    const auto next = std::min_element(entries_.begin(), entries_.end(),
+                                       [](const Entry& a, const Entry& b) {
+                                         return a.deadline < b.deadline;
+                                       })
+                          ->deadline;
+    if (std::chrono::steady_clock::now() >= next) {
+      // Fire every expired entry; fired entries stay until disarm() so the
+      // caller's unconditional disarm stays valid.
+      const auto now = std::chrono::steady_clock::now();
+      for (const Entry& entry : entries_) {
+        if (entry.deadline <= now) entry.token->cancel();
+      }
+      // Expired entries keep the deadline in the past; wait for a change
+      // (new arm, disarm, stop) instead of spinning on them.
+      cv_.wait_for(lock, std::chrono::milliseconds(50));
+      continue;
+    }
+    cv_.wait_until(lock, next);
+  }
+}
+
+}  // namespace tsajs

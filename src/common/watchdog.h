@@ -1,0 +1,88 @@
+// Cooperative cancellation + a deadline monitor.
+//
+// A solver that honors an anytime budget checks it at safe points (plateau
+// boundaries); that protects against *expected* workloads but not against a
+// solve that stalls between checks or mis-estimates its own cost. The
+// watchdog closes that gap without preemption:
+//
+//   * CancelToken — a shared atomic flag. The owner hands `&token` to a
+//     solve (SolveRequest::cancel); the solver polls `cancelled()` at the
+//     same safe points where it checks its budget and returns its best
+//     feasible result so far when the flag is set. Setting the flag never
+//     interrupts anything mid-mutation — cancellation is always observed at
+//     a point where the current best is a valid answer.
+//   * Watchdog — one background thread monitoring any number of armed
+//     deadlines. `arm(token, seconds)` schedules `token.cancel()` at
+//     now + seconds; `disarm(id)` retires the entry (fired or not). Arming
+//     and disarming are cheap (mutex + condition variable), so wrapping
+//     every per-shard solve of a large decomposition is practical.
+//
+// Determinism note: wall-clock cancellation is inherently timing-dependent
+// — it belongs to wall-clock budget mode, which was never bit-stable.
+// Deterministic (iteration-budget) pipelines must make cancellation
+// decisions from iteration counts instead and use CancelToken only as the
+// transport (see ShardedScheduler's hedged retries).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tsajs {
+
+/// Shared cancellation flag. Thread-safe; `cancel()` is sticky until
+/// `reset()`.
+class CancelToken {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Background deadline monitor: cancels armed tokens when their deadlines
+/// pass. One instance serves any number of concurrent arms.
+class Watchdog {
+ public:
+  Watchdog();
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Schedules `token.cancel()` at now + `seconds` (clamped to >= 0, so a
+  /// non-positive deadline fires immediately). The token must outlive the
+  /// entry — keep it alive until disarm(). Returns the entry id.
+  std::uint64_t arm(CancelToken& token, double seconds);
+
+  /// Retires an armed entry. Safe to call after the deadline fired (the
+  /// token stays cancelled — disarm never un-cancels). Unknown ids are
+  /// ignored, so callers may disarm unconditionally on their exit paths.
+  void disarm(std::uint64_t id);
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    std::chrono::steady_clock::time_point deadline;
+    CancelToken* token = nullptr;
+  };
+
+  void run();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+  std::uint64_t next_id_ = 1;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace tsajs

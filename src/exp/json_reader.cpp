@@ -1,6 +1,8 @@
 #include "exp/json_reader.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -90,6 +92,12 @@ namespace {
 
 class Parser {
  public:
+  /// Containers may nest at most this deep. The parser is recursive
+  /// descent, so without a bound a hostile document of '[' repeated a few
+  /// hundred thousand times overflows the C++ stack before any other check
+  /// fires; 64 is far beyond anything our writers emit.
+  static constexpr std::size_t kMaxDepth = 64;
+
   explicit Parser(const std::string& text) : text_(text) {}
 
   JsonValue parse_document() {
@@ -165,7 +173,23 @@ class Parser {
     }
   }
 
+  /// Bounds container recursion for the enclosing scope's lifetime.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxDepth) {
+        parser_.fail("JSON nesting exceeds the depth limit");
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser& parser_;
+  };
+
   JsonValue parse_object() {
+    const DepthGuard guard(*this);
     expect('{');
     std::vector<std::pair<std::string, JsonValue>> members;
     skip_whitespace();
@@ -188,6 +212,7 @@ class Parser {
   }
 
   JsonValue parse_array() {
+    const DepthGuard guard(*this);
     expect('[');
     std::vector<JsonValue> items;
     skip_whitespace();
@@ -287,16 +312,26 @@ class Parser {
     if (pos_ == start) fail("expected a JSON value");
     const std::string token = text_.substr(start, pos_ - start);
     char* end = nullptr;
+    errno = 0;
     const double value = std::strtod(token.c_str(), &end);
     if (end == nullptr || *end != '\0') {
       pos_ = start;
       fail("malformed number: " + token);
+    }
+    // Magnitude overflow (e.g. 1e999) saturates strtod to ±HUGE_VAL with
+    // ERANGE; letting an infinity through would silently poison every
+    // downstream comparison, so reject it here. Underflow-to-zero is
+    // accepted (a denormal-or-zero result is a faithful reading).
+    if (!std::isfinite(value)) {
+      pos_ = start;
+      fail("number overflows double: " + token);
     }
     return JsonValue::make_number(value);
   }
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;  ///< current container nesting (see kMaxDepth)
 };
 
 }  // namespace

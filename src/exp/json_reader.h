@@ -9,6 +9,13 @@
 // keep the last value (lookup scans from the back). Numbers parse as
 // double, which round-trips everything json_writer emits and everything
 // bench_check consumes (counts and nanosecond timings).
+//
+// The parser is hardened against hostile or corrupted input: container
+// nesting is bounded (64 levels — recursion cannot overflow the C++
+// stack), numbers whose magnitude overflows double (1e999) are rejected
+// rather than silently saturating to infinity, and any truncation or
+// byte corruption of a valid document either still parses or throws
+// InvalidArgumentError with a line/column diagnostic — it never crashes.
 #pragma once
 
 #include <cstddef>

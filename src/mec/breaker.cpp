@@ -1,0 +1,82 @@
+#include "mec/breaker.h"
+
+#include "common/error.h"
+
+namespace tsajs::mec {
+
+void BreakerConfig::validate() const {
+  if (!enabled()) return;
+  TSAJS_REQUIRE(cooldown_epochs >= 1,
+                "breaker cooldown must be at least one epoch");
+  TSAJS_REQUIRE(close_after >= 1,
+                "breaker close threshold must be at least one probe");
+}
+
+BackhaulBreaker::BackhaulBreaker(std::size_t num_servers, BreakerConfig config)
+    : config_(config) {
+  config_.validate();
+  if (config_.enabled()) links_.assign(num_servers, Link{});
+}
+
+void BackhaulBreaker::observe_epoch(const Availability& raw) {
+  if (!enabled()) return;
+  for (std::size_t s = 0; s < links_.size(); ++s) {
+    Link& link = links_[s];
+    const bool up = raw.backhaul_available(s);
+    switch (link.state) {
+      case BreakerState::kClosed:
+        link.consecutive_down = up ? 0 : link.consecutive_down + 1;
+        if (link.consecutive_down >= config_.trip_after) {
+          link.state = BreakerState::kOpen;
+          link.consecutive_down = 0;
+          link.cooldown_left = config_.cooldown_epochs;
+          ++trips_;
+        }
+        break;
+      case BreakerState::kOpen:
+        if (--link.cooldown_left == 0) {
+          link.state = BreakerState::kHalfOpen;
+          link.consecutive_up = 0;
+          ++half_opens_;
+        }
+        break;
+      case BreakerState::kHalfOpen:
+        if (up) {
+          if (++link.consecutive_up >= config_.close_after) {
+            link.state = BreakerState::kClosed;
+            link.consecutive_down = 0;
+            ++closes_;
+          }
+        } else {
+          // The probe failed: re-trip with a fresh cool-down.
+          link.state = BreakerState::kOpen;
+          link.cooldown_left = config_.cooldown_epochs;
+          ++trips_;
+        }
+        break;
+    }
+  }
+}
+
+void BackhaulBreaker::apply(Availability& mask) const {
+  if (!enabled() || blocked_count() == 0) return;
+  // A fully-healthy injector epoch hands us an *unconstrained* mask, but an
+  // open breaker must still block forwarding (that is the whole point of
+  // the cool-down); callers materialize a constrained mask in that case.
+  TSAJS_REQUIRE(!mask.unconstrained() &&
+                    mask.num_servers() >= links_.size(),
+                "breaker needs a constrained mask covering its servers");
+  for (std::size_t s = 0; s < links_.size(); ++s) {
+    if (links_[s].state != BreakerState::kClosed) mask.fail_backhaul(s);
+  }
+}
+
+std::size_t BackhaulBreaker::blocked_count() const noexcept {
+  std::size_t blocked = 0;
+  for (const Link& link : links_) {
+    blocked += link.state != BreakerState::kClosed ? 1 : 0;
+  }
+  return blocked;
+}
+
+}  // namespace tsajs::mec

@@ -1,0 +1,104 @@
+// Backhaul circuit breaker — stop offering cloud forwarding on a flapping
+// link.
+//
+// A backhaul that oscillates between up and down is worse than one that is
+// plainly dead: every "up" epoch tempts the scheduler into forwarding tasks
+// that the next outage recalls to the edge (eviction churn, wasted uplink).
+// The classic remedy is a per-link circuit breaker:
+//
+//   closed ──(trip_after consecutive down epochs)──► open
+//   open ──(cooldown_epochs elapsed)──► half-open
+//   half-open ──(close_after consecutive up epochs)──► closed
+//   half-open ──(any down epoch)──► open (re-trip, fresh cool-down)
+//
+// While a breaker is open *or* half-open the link is withheld from the
+// scheduler — BackhaulBreaker::apply() forces the backhaul down in the
+// effective Availability mask even when the raw link happens to be up —
+// so forwarding decisions stop flapping with the link. Half-open is an
+// observation state: the breaker watches the raw link (the FaultInjector's
+// ground truth) for `close_after` consecutive healthy epochs before
+// trusting it again.
+//
+// Everything is counter-driven — transitions depend only on the sequence
+// of observed raw masks, never on wall clock — so a breaker timeline is a
+// pure function of the fault seed and replays bit-identically (streaming
+// resume reconstructs it by replaying the same observations; see
+// sim/stream.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mec/availability.h"
+
+namespace tsajs::mec {
+
+struct BreakerConfig {
+  /// Consecutive down epochs on a closed breaker before it trips;
+  /// 0 disables the breaker entirely (no state, no effect on the mask).
+  std::size_t trip_after = 0;
+  /// Epochs an open breaker waits before probing the link (half-open).
+  std::size_t cooldown_epochs = 3;
+  /// Consecutive up epochs a half-open breaker must observe to close.
+  std::size_t close_after = 1;
+
+  [[nodiscard]] bool enabled() const noexcept { return trip_after > 0; }
+  void validate() const;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+/// Per-server breaker bank over the cloud backhaul links. Drive it with one
+/// observe_epoch(raw) per fault epoch (raw = the injector's ground-truth
+/// mask), then narrow the scheduler's view with apply(). Disabled configs
+/// make both calls no-ops, keeping pre-breaker timelines bit-identical.
+class BackhaulBreaker {
+ public:
+  BackhaulBreaker() = default;
+  BackhaulBreaker(std::size_t num_servers, BreakerConfig config);
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return config_.enabled() && !links_.empty();
+  }
+
+  /// Advances every link's state machine by one epoch of raw observations.
+  /// Deterministic: state after N calls depends only on the N masks seen.
+  void observe_epoch(const Availability& raw);
+
+  /// Forces the backhaul down in `mask` for every link whose breaker is not
+  /// closed. No-op when nothing is blocked; otherwise `mask` must be a
+  /// constrained mask over at least the breaker's server count (callers
+  /// materialize a healthy constrained mask when the injector handed them
+  /// an unconstrained one — an open breaker outlives the raw outage).
+  void apply(Availability& mask) const;
+
+  [[nodiscard]] BreakerState state(std::size_t s) const {
+    return links_.at(s).state;
+  }
+  /// Links currently withheld from the scheduler (open + half-open).
+  [[nodiscard]] std::size_t blocked_count() const noexcept;
+
+  // Cumulative transition counters (telemetry; monotone over a run).
+  [[nodiscard]] std::uint64_t trips() const noexcept { return trips_; }
+  [[nodiscard]] std::uint64_t half_opens() const noexcept {
+    return half_opens_;
+  }
+  [[nodiscard]] std::uint64_t closes() const noexcept { return closes_; }
+
+ private:
+  struct Link {
+    BreakerState state = BreakerState::kClosed;
+    std::size_t consecutive_down = 0;  ///< closed state
+    std::size_t cooldown_left = 0;     ///< open state
+    std::size_t consecutive_up = 0;    ///< half-open state
+  };
+
+  BreakerConfig config_;
+  std::vector<Link> links_;
+  std::uint64_t trips_ = 0;
+  std::uint64_t half_opens_ = 0;
+  std::uint64_t closes_ = 0;
+};
+
+}  // namespace tsajs::mec

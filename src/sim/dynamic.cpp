@@ -36,6 +36,7 @@ void DynamicConfig::validate() const {
                   "cloud backhaul latency must be non-negative and finite");
   }
   fault.validate();
+  breaker.validate();
 }
 
 DynamicSimulator::DynamicSimulator(std::size_t population,
@@ -118,6 +119,9 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
     injector.emplace(servers_.size(), num_subchannels_, config_.fault,
                      rng.derive_seed(0xFA01'7EDULL));
   }
+  // The breaker consumes no randomness — its state is a pure function of
+  // the injector's raw masks — so enabling it never shifts an RNG stream.
+  mec::BackhaulBreaker breaker(servers_.size(), config_.breaker);
 
   DynamicReport report;
   report.epochs.reserve(config_.epochs);
@@ -137,8 +141,23 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
     bool faulted = false;
     if (injector.has_value()) {
       injector->advance_epoch();
-      workspace.set_availability(injector->availability());
-      faulted = injector->any_fault();
+      mec::Availability mask = injector->availability();
+      if (breaker.enabled()) {
+        // Observe the raw link state, then narrow the scheduler's view:
+        // a tripped (open or half-open) breaker forces its backhaul down
+        // even when the raw link happens to be up this epoch — including
+        // fully-healthy epochs, where the injector's unconstrained mask
+        // must first be materialized for the breaker to write into.
+        breaker.observe_epoch(mask);
+        if (mask.unconstrained() && breaker.blocked_count() > 0) {
+          mask = mec::Availability(servers_.size(), num_subchannels_);
+        }
+        breaker.apply(mask);
+      }
+      workspace.set_availability(std::move(mask));
+      // A breaker-withheld link degrades the epoch the same way a raw
+      // outage does — forwarding capacity is gone either way.
+      faulted = injector->any_fault() || breaker.blocked_count() > 0;
       if (faulted) ++report.faulted_epochs;
     }
     // 1. Mobility. Walk: independent random step, rejected if it leaves
@@ -201,6 +220,7 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
         empty.backhauls_down = injector->backhauls_down();
         empty.slots_unavailable =
             injector->availability().num_unavailable_slots();
+        empty.breakers_open = breaker.blocked_count();
       }
       report.epochs.push_back(empty);
       ++report.empty_epochs;
@@ -310,6 +330,7 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
       stats.slots_unavailable = scenario.availability().num_unavailable_slots();
       stats.evictions = evictions;
       stats.cloud_recalls = cloud_recalls;
+      stats.breakers_open = breaker.blocked_count();
       report.total_evictions += evictions;
       report.total_cloud_recalls += cloud_recalls;
     }
@@ -355,6 +376,9 @@ DynamicReport DynamicSimulator::run(const algo::Scheduler& scheduler,
       }
     }
   }
+  report.breaker_trips = breaker.trips();
+  report.breaker_half_opens = breaker.half_opens();
+  report.breaker_closes = breaker.closes();
   return report;
 }
 

@@ -29,11 +29,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "algo/scheduler.h"
 #include "common/stats.h"
 #include "geo/hex_layout.h"
+#include "mec/breaker.h"
 #include "mec/scenario.h"
 #include "radio/channel.h"
 #include "sim/fault.h"
@@ -81,6 +83,13 @@ struct DynamicConfig {
   /// are disabled the environment stream — and therefore the entire
   /// timeline — is bit-identical to the pre-fault implementation.
   FaultConfig fault;
+  /// Per-server backhaul circuit breaker (disabled by default), driven by
+  /// the injector's raw backhaul outages: a link that trips is withheld
+  /// from forwarding until it proves healthy again (see mec/breaker.h).
+  /// Breaker state is a pure function of the fault schedule, so enabling
+  /// it keeps the timeline seed-deterministic. Without fault injection the
+  /// breaker observes nothing and has no effect.
+  mec::BreakerConfig breaker;
 
   void validate() const;
 };
@@ -115,6 +124,10 @@ struct EpochStats {
   /// Active users forwarded last epoch whose server's backhaul is now down;
   /// warm repair recalls them to edge-served before the solve.
   std::size_t cloud_recalls = 0;
+  /// Backhaul links withheld by the circuit breaker this epoch (open +
+  /// half-open); 0 when the breaker is disabled. Counted on top of
+  /// `backhauls_down`, which keeps reporting the *raw* outage count.
+  std::size_t breakers_open = 0;
 };
 
 /// Aggregates over a full run. The accumulators aggregate *scheduled*
@@ -144,6 +157,11 @@ struct DynamicReport {
   /// first re-reaches its pre-outage level; one sample per completed
   /// recovery (an outage the run ends inside contributes none).
   Accumulator epochs_to_recover;
+  /// Backhaul circuit-breaker transition totals over the run (all zero when
+  /// the breaker is disabled); seed-deterministic like the fault schedule.
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_half_opens = 0;
+  std::uint64_t breaker_closes = 0;
 };
 
 class DynamicSimulator {

@@ -1,12 +1,22 @@
 #include "sim/evidence.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
+#include <string_view>
 #include <utility>
+#include <vector>
 
+#include "common/crc32.h"
 #include "common/error.h"
 #include "exp/json_reader.h"
 #include "exp/json_writer.h"
@@ -78,6 +88,50 @@ SessionState session_of(const exp::JsonValue& value) {
 
 constexpr const char* kCheckpointSchema = "tsajs-stream-checkpoint-v1";
 
+constexpr std::string_view kCrcPrefix = "#crc32:";
+
+/// Lands `content` at `path` all-or-nothing: write to `<path>.tmp`, fsync,
+/// rename over the target, fsync the parent directory so the rename itself
+/// is durable. A crash at any point leaves either the old file or the new
+/// one — never a torn mixture.
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  TSAJS_REQUIRE(fd >= 0, "cannot open temp file: " + tmp);
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ::ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      TSAJS_REQUIRE(false, "write failed for temp file: " + tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  TSAJS_REQUIRE(synced, "fsync failed for temp file: " + tmp);
+  TSAJS_REQUIRE(::rename(tmp.c_str(), path.c_str()) == 0,
+                "cannot rename temp file into place: " + path);
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+[[nodiscard]] std::string read_file_or_throw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TSAJS_REQUIRE(in.good(), "cannot read file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
 }  // namespace
 
 std::string checkpoint_to_json(const StreamCheckpoint& cp) {
@@ -144,19 +198,38 @@ StreamCheckpoint checkpoint_from_json(const std::string& text) {
 
 void write_checkpoint_file(const std::string& path,
                            const StreamCheckpoint& cp) {
-  std::ofstream out(path);
-  TSAJS_REQUIRE(out.good(), "cannot open checkpoint file: " + path);
-  out << checkpoint_to_json(cp);
-  out.flush();
-  TSAJS_REQUIRE(out.good(), "failed writing checkpoint file: " + path);
+  std::string content = checkpoint_to_json(cp);
+  char trailer[24];
+  std::snprintf(trailer, sizeof(trailer), "%s%08x\n", kCrcPrefix.data(),
+                crc32(content));
+  content += trailer;
+  write_file_atomic(path, content);
 }
 
 StreamCheckpoint read_checkpoint_file(const std::string& path) {
-  std::ifstream in(path);
-  TSAJS_REQUIRE(in.good(), "cannot read checkpoint file: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return checkpoint_from_json(buffer.str());
+  const std::string text = read_file_or_throw(path);
+  // The trailer is the final line; anything else means the file is torn or
+  // predates the CRC protocol — refuse to load either.
+  const std::size_t pos = text.rfind(kCrcPrefix);
+  TSAJS_REQUIRE(pos != std::string::npos && pos > 0 && text[pos - 1] == '\n',
+                "checkpoint has no CRC trailer: " + path);
+  std::string_view hex(text);
+  hex.remove_prefix(pos + kCrcPrefix.size());
+  TSAJS_REQUIRE(!hex.empty() && hex.back() == '\n',
+                "checkpoint CRC trailer is torn: " + path);
+  hex.remove_suffix(1);
+  TSAJS_REQUIRE(hex.size() == 8 &&
+                    std::all_of(hex.begin(), hex.end(),
+                                [](unsigned char c) {
+                                  return std::isxdigit(c) != 0;
+                                }),
+                "checkpoint CRC trailer is malformed: " + path);
+  const auto stored = static_cast<std::uint32_t>(
+      std::strtoul(std::string(hex).c_str(), nullptr, 16));
+  const std::string body = text.substr(0, pos);
+  TSAJS_REQUIRE(crc32(body) == stored,
+                "checkpoint CRC mismatch (corrupt or torn): " + path);
+  return checkpoint_from_json(body);
 }
 
 std::string event_to_jsonl(const StreamEvent& event) {
@@ -186,6 +259,11 @@ std::string event_to_jsonl(const StreamEvent& event) {
     out << ",\"servers_down\":" << event.servers_down
         << ",\"backhauls_down\":" << event.backhauls_down
         << ",\"slots_unavailable\":" << event.slots_unavailable;
+    // Emitted only when nonzero so breaker-free logs stay byte-identical
+    // to the pre-breaker format.
+    if (event.breakers_open > 0) {
+      out << ",\"breakers_open\":" << event.breakers_open;
+    }
   } else if (event.type == StreamEventType::kCheckpoint) {
     out << ",\"ordinal\":" << event.checkpoint_ordinal;
   }
@@ -219,16 +297,26 @@ std::string detect_git_rev() {
   return "unknown";
 }
 
-EvidenceWriter::EvidenceWriter(std::string dir) : dir_(std::move(dir)) {
+void EvidenceWriter::FileCloser::operator()(std::FILE* f) const noexcept {
+  if (f != nullptr) std::fclose(f);
+}
+
+EvidenceWriter::EvidenceWriter(std::string dir, bool append)
+    : dir_(std::move(dir)) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   TSAJS_REQUIRE(!ec, "cannot create evidence directory: " + dir_);
-  events_.open(dir_ + "/events.jsonl");
-  TSAJS_REQUIRE(events_.good(), "cannot open events.jsonl in " + dir_);
-  metrics_.open(dir_ + "/metrics.csv");
+  events_.reset(
+      std::fopen((dir_ + "/events.jsonl").c_str(), append ? "ab" : "wb"));
+  TSAJS_REQUIRE(events_ != nullptr, "cannot open events.jsonl in " + dir_);
+  const auto metrics_mode =
+      append ? std::ios::out | std::ios::app : std::ios::out;
+  metrics_.open(dir_ + "/metrics.csv", metrics_mode);
   TSAJS_REQUIRE(metrics_.good(), "cannot open metrics.csv in " + dir_);
-  metrics_ << "decision,sim_time_s,active,backlog,offloaded,forwarded,"
-              "utility,evaluations,solve_ms\n";
+  if (!append) {
+    metrics_ << "decision,sim_time_s,active,backlog,offloaded,forwarded,"
+                "utility,evaluations,solve_ms\n";
+  }
 }
 
 void EvidenceWriter::write_run_json(const StreamConfig& config,
@@ -282,7 +370,10 @@ void EvidenceWriter::write_run_json(const StreamConfig& config,
 }
 
 void EvidenceWriter::on_event(const StreamEvent& event) {
-  events_ << event_to_jsonl(event) << "\n";
+  const std::string line = event_to_jsonl(event) + "\n";
+  const std::size_t n =
+      std::fwrite(line.data(), 1, line.size(), events_.get());
+  TSAJS_REQUIRE(n == line.size(), "failed writing events.jsonl in " + dir_);
 }
 
 void EvidenceWriter::on_decision(const DecisionRecord& record) {
@@ -300,12 +391,19 @@ void EvidenceWriter::on_decision(const DecisionRecord& record) {
 }
 
 void EvidenceWriter::on_checkpoint(const StreamCheckpoint& checkpoint) {
+  // Durability barrier: the event log — which already holds this
+  // checkpoint's own event line — must reach disk *before* the checkpoint
+  // file becomes visible. That ordering is what lets prepare_recovery
+  // trust any CRC-valid checkpoint it finds: the matching event line (and
+  // every line before it) is guaranteed durable.
+  TSAJS_REQUIRE(std::fflush(events_.get()) == 0,
+                "failed flushing events.jsonl in " + dir_);
+  TSAJS_REQUIRE(::fsync(::fileno(events_.get())) == 0,
+                "failed syncing events.jsonl in " + dir_);
+  metrics_.flush();
   last_checkpoint_path_ = dir_ + "/checkpoint-" +
                           dec_of(checkpoint.checkpoints_emitted) + ".json";
   write_checkpoint_file(last_checkpoint_path_, checkpoint);
-  // A killed run should still leave a consistent, resumable bundle.
-  events_.flush();
-  metrics_.flush();
 }
 
 void EvidenceWriter::finish(const StreamReport& report,
@@ -319,6 +417,12 @@ void EvidenceWriter::finish(const StreamReport& report,
   out << "- simulated horizon: " << buffer << " s, decisions: "
       << report.decisions << ", fault steps: " << report.fault_steps
       << ", checkpoints: " << report.checkpoints << "\n";
+  if (report.breaker_trips > 0 || report.breaker_half_opens > 0 ||
+      report.breaker_closes > 0) {
+    out << "- circuit breaker: " << report.breaker_trips << " trips, "
+        << report.breaker_half_opens << " half-opens, "
+        << report.breaker_closes << " closes\n";
+  }
   out << "- arrivals: " << report.arrivals << " (admitted "
       << report.admitted << ", queued " << report.queued << ", promoted "
       << report.promoted << ", rejected " << report.rejected
@@ -343,8 +447,148 @@ void EvidenceWriter::finish(const StreamReport& report,
                 report.active_sessions.mean(), report.backlog_depth.mean());
   out << "- mean load at decision time: " << buffer << "\n";
   TSAJS_REQUIRE(out.good(), "failed writing summary.md in " + dir_);
-  events_.flush();
+  std::fflush(events_.get());
   metrics_.flush();
+}
+
+RecoveryInfo prepare_recovery(const std::string& run_dir) {
+  namespace fs = std::filesystem;
+  RecoveryInfo info;
+  const std::string events_path = run_dir + "/events.jsonl";
+  const std::string raw = read_file_or_throw(events_path);
+
+  // Complete (newline-terminated) lines only; a torn final fragment is a
+  // casualty of the crash and is dropped.
+  std::vector<std::string_view> lines;
+  std::size_t torn_tail = 0;
+  std::vector<std::size_t> line_ends;  // byte offset just past each '\n'
+  for (std::size_t pos = 0; pos < raw.size();) {
+    const std::size_t nl = raw.find('\n', pos);
+    if (nl == std::string::npos) {
+      torn_tail = 1;
+      break;
+    }
+    lines.emplace_back(raw.data() + pos, nl - pos);
+    line_ends.push_back(nl + 1);
+    pos = nl + 1;
+  }
+
+  // Enumerate checkpoint files, newest ordinal first.
+  std::vector<std::pair<std::uint64_t, std::string>> candidates;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(run_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("checkpoint-", 0) != 0) continue;
+    if (name.size() < 16 || name.substr(name.size() - 5) != ".json") continue;
+    const std::string digits = name.substr(11, name.size() - 16);
+    if (digits.empty() ||
+        !std::all_of(digits.begin(), digits.end(), [](unsigned char c) {
+          return std::isdigit(c) != 0;
+        })) {
+      continue;
+    }
+    candidates.emplace_back(std::strtoull(digits.c_str(), nullptr, 10),
+                            entry.path().string());
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::size_t keep_lines = 0;  // no usable checkpoint => restart from t=0
+  for (const auto& [ordinal, path] : candidates) {
+    ++info.checkpoints_scanned;
+    StreamCheckpoint cp;
+    try {
+      cp = read_checkpoint_file(path);
+    } catch (const std::exception&) {
+      ++info.checkpoints_skipped;
+      continue;
+    }
+    // Locate this checkpoint's own event line; by the durability barrier
+    // it must be on disk, so a missing line means the checkpoint belongs
+    // to some other run's leftovers — skip it.
+    const std::string needle =
+        "\"ordinal\":" + dec_of(cp.checkpoints_emitted) + "}";
+    bool found = false;
+    for (std::size_t i = lines.size(); i-- > 0;) {
+      if (lines[i].find("\"e\":\"checkpoint\"") != std::string_view::npos &&
+          lines[i].size() >= needle.size() &&
+          lines[i].substr(lines[i].size() - needle.size()) == needle) {
+        found = true;
+        keep_lines = i + 1;
+        break;
+      }
+    }
+    if (!found) {
+      ++info.checkpoints_skipped;
+      continue;
+    }
+    info.checkpoint_path = path;
+    info.checkpoint = std::move(cp);
+    break;
+  }
+
+  info.events_kept = keep_lines;
+  info.events_dropped = lines.size() - keep_lines + torn_tail;
+  const std::size_t keep_bytes = keep_lines == 0 ? 0 : line_ends[keep_lines - 1];
+  if (keep_bytes != raw.size()) {
+    write_file_atomic(events_path, raw.substr(0, keep_bytes));
+  }
+
+  // metrics.csv: header plus the decisions the checkpoint covers. The file
+  // is not part of the replay identity, but rows past the checkpoint would
+  // duplicate once the recovered run appends its own.
+  const std::string metrics_path = run_dir + "/metrics.csv";
+  constexpr const char* kMetricsHeader =
+      "decision,sim_time_s,active,backlog,offloaded,forwarded,"
+      "utility,evaluations,solve_ms\n";
+  std::string metrics_raw;
+  {
+    std::ifstream in(metrics_path, std::ios::binary);
+    if (in.good()) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      metrics_raw = buffer.str();
+    }
+  }
+  std::string metrics_keep = kMetricsHeader;
+  const std::uint64_t keep_rows =
+      info.has_checkpoint() ? info.checkpoint.decisions : 0;
+  if (metrics_raw.rfind(kMetricsHeader, 0) == 0) {
+    std::size_t pos = std::strlen(kMetricsHeader);
+    std::uint64_t rows = 0;
+    while (rows < keep_rows && pos < metrics_raw.size()) {
+      const std::size_t nl = metrics_raw.find('\n', pos);
+      if (nl == std::string::npos) break;
+      pos = nl + 1;
+      ++rows;
+    }
+    metrics_keep = metrics_raw.substr(0, pos);
+  }
+  if (metrics_keep != metrics_raw) {
+    write_file_atomic(metrics_path, metrics_keep);
+  }
+  return info;
+}
+
+StreamReport StreamDriver::recover(const algo::Scheduler& scheduler,
+                                   const std::string& run_dir,
+                                   RecoveryInfo* info_out) const {
+  // Refuse a mismatched bundle *before* prepare_recovery mutates it.
+  const exp::JsonValue run_doc = exp::parse_json_file(run_dir + "/run.json");
+  const std::uint64_t seed = u64_of(run_doc.at("seed"));
+  const std::string scheme = run_doc.at("scheme").as_string();
+  TSAJS_REQUIRE(
+      u64_of(run_doc.at("config").at("config_digest")) == config_.digest(),
+      "run.json in " + run_dir + " was written under a different stream "
+      "configuration; refusing to recover");
+  RecoveryInfo info = prepare_recovery(run_dir);
+  EvidenceWriter evidence(run_dir, /*append=*/true);
+  const StreamReport report =
+      info.has_checkpoint() ? resume(scheduler, info.checkpoint, &evidence)
+                            : run(scheduler, seed, &evidence);
+  evidence.finish(report, scheme);
+  if (info_out != nullptr) *info_out = info;
+  return report;
 }
 
 }  // namespace tsajs::sim

@@ -24,11 +24,30 @@
 // parser reads numbers as double, every 64-bit integer and every double is
 // stored as a *string* (decimal and hexfloat respectively) — lossless both
 // ways.
+//
+// Crash consistency. The bundle is written so that a SIGKILL at *any* byte
+// leaves a recoverable state:
+//
+//   * checkpoint files carry a CRC-32 trailer line and are written
+//     temp + fsync + atomic-rename, so a checkpoint on disk is either a
+//     complete, verified document or absent — never torn;
+//   * events.jsonl is flushed and fsynced *before* each checkpoint file is
+//     renamed into place, so the invariant "checkpoint N is durable =>
+//     its own event line (and every earlier line) is durable" holds;
+//   * prepare_recovery() scans a crashed bundle for the newest CRC-valid
+//     checkpoint, truncates events.jsonl just after that checkpoint's own
+//     event line (dropping any torn tail), and trims metrics.csv to the
+//     decisions the checkpoint covers. StreamDriver::recover then replays
+//     the remainder bit-identically, appending through an EvidenceWriter
+//     opened in append mode — the recovered events.jsonl is byte-identical
+//     to an uninterrupted run's.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "sim/stream.h"
@@ -40,6 +59,13 @@ namespace tsajs::sim {
 /// tag and throws InvalidArgumentError on anything malformed.
 [[nodiscard]] std::string checkpoint_to_json(const StreamCheckpoint& cp);
 [[nodiscard]] StreamCheckpoint checkpoint_from_json(const std::string& text);
+
+/// Durable checkpoint file I/O. The writer appends a `#crc32:xxxxxxxx`
+/// trailer line over the JSON body and lands the file via
+/// write-temp + fsync + atomic-rename (+ directory fsync); the reader
+/// verifies the trailer before parsing and throws on a missing or
+/// mismatched checksum — a torn or bit-flipped checkpoint is *detected*,
+/// never loaded.
 void write_checkpoint_file(const std::string& path,
                            const StreamCheckpoint& cp);
 [[nodiscard]] StreamCheckpoint read_checkpoint_file(const std::string& path);
@@ -53,12 +79,44 @@ void write_checkpoint_file(const std::string& path,
 /// current directory for .git/HEAD); "unknown" when not in a checkout.
 [[nodiscard]] std::string detect_git_rev();
 
+/// What prepare_recovery found and did in a crashed bundle directory.
+struct RecoveryInfo {
+  /// Path of the newest CRC-valid checkpoint whose own event line is on
+  /// disk; empty when no usable checkpoint survived (restart from t = 0).
+  std::string checkpoint_path;
+  /// The loaded checkpoint; meaningful iff has_checkpoint().
+  StreamCheckpoint checkpoint;
+  std::size_t checkpoints_scanned = 0;
+  /// Checkpoints rejected (torn, CRC mismatch, unparsable, or with no
+  /// matching event line) before a usable one was found.
+  std::size_t checkpoints_skipped = 0;
+  /// events.jsonl lines kept / dropped by the truncation (dropped includes
+  /// a torn final partial line, counted as one).
+  std::size_t events_kept = 0;
+  std::size_t events_dropped = 0;
+
+  [[nodiscard]] bool has_checkpoint() const noexcept {
+    return !checkpoint_path.empty();
+  }
+};
+
+/// Scans `run_dir` (a possibly crash-interrupted evidence bundle) for the
+/// newest valid checkpoint and truncates events.jsonl / metrics.csv to the
+/// prefix that checkpoint covers (see file comment). On an uninterrupted
+/// bundle this trims the lines past the newest checkpoint, and the
+/// subsequent replay regenerates them bit-identically. Throws when the
+/// directory lacks an events.jsonl entirely.
+RecoveryInfo prepare_recovery(const std::string& run_dir);
+
 /// StreamSink that materializes the evidence bundle into a directory
-/// (created if missing). Files are flushed at every checkpoint so a killed
-/// run still leaves a resumable, auditable bundle behind.
+/// (created if missing). events.jsonl is fsynced at every checkpoint
+/// *before* the checkpoint file lands, so a killed run always leaves a
+/// bundle prepare_recovery can continue from. With `append` the existing
+/// events.jsonl / metrics.csv are extended instead of truncated (the
+/// recovery path; pair with prepare_recovery).
 class EvidenceWriter : public StreamSink {
  public:
-  explicit EvidenceWriter(std::string dir);
+  explicit EvidenceWriter(std::string dir, bool append = false);
 
   /// Writes run.json (provenance). Call once, before the run.
   void write_run_json(const StreamConfig& config, std::size_t num_servers,
@@ -79,8 +137,14 @@ class EvidenceWriter : public StreamSink {
   }
 
  private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const noexcept;
+  };
+
   std::string dir_;
-  std::ofstream events_;
+  /// events.jsonl as a raw stdio stream: the checkpoint barrier needs a
+  /// real fsync, which needs the file descriptor (std::ofstream hides it).
+  std::unique_ptr<std::FILE, FileCloser> events_;
   std::ofstream metrics_;
   std::string last_checkpoint_path_;
 };

@@ -85,6 +85,7 @@ void StreamConfig::validate() const {
   TSAJS_REQUIRE(
       std::isfinite(checkpoint_interval_s) && checkpoint_interval_s >= 0.0,
       "checkpoint interval must be >= 0 (0 disables)");
+  breaker.validate();
 }
 
 std::uint64_t StreamConfig::digest() const noexcept {
@@ -109,6 +110,9 @@ std::uint64_t StreamConfig::digest() const noexcept {
   d.mix(fault.backhaul_mtbf_epochs);
   d.mix(fault.backhaul_mttr_epochs);
   d.mix(fault_interval_s);
+  d.mix(breaker.trip_after);
+  d.mix(breaker.cooldown_epochs);
+  d.mix(breaker.close_after);
   d.mix(decision_budget.max_seconds);
   d.mix(decision_budget.max_iterations);
   d.mix(checkpoint_interval_s);
@@ -247,14 +251,31 @@ StreamReport StreamDriver::run_loop(const algo::Scheduler& scheduler,
   // checkpointed number of steps.
   std::optional<FaultInjector> injector;
   mec::Availability mask;  // unconstrained until the first fault tick
+  // The breaker consumes no randomness — it is a counter-driven pure
+  // function of the raw outage schedule — so a resumed run reconstructs
+  // its exact state by feeding it the same replayed observations.
+  mec::BackhaulBreaker breaker(servers_.size(), config_.breaker);
   if (config_.fault.enabled()) {
     injector.emplace(servers_.size(), num_subchannels_, config_.fault,
                      stream_seed(state.seed, kFaultStream, 0));
     for (std::uint64_t i = 0; i < state.fault_steps; ++i) {
       injector->advance_epoch();
+      if (breaker.enabled()) breaker.observe_epoch(injector->availability());
     }
-    if (state.fault_steps > 0) mask = injector->availability();
+    if (state.fault_steps > 0) {
+      mask = injector->availability();
+      // An open breaker outlives the raw outage; give it a constrained
+      // mask to write its blocks into when the injector is fully healthy.
+      if (mask.unconstrained() && breaker.blocked_count() > 0) {
+        mask = mec::Availability(servers_.size(), num_subchannels_);
+      }
+      breaker.apply(mask);
+    }
   }
+  // A resumed segment reports only its own breaker transitions.
+  const std::uint64_t base_trips = breaker.trips();
+  const std::uint64_t base_half_opens = breaker.half_opens();
+  const std::uint64_t base_closes = breaker.closes();
   jtora::CompiledProblem compiled;
   std::vector<geo::Point> bs_positions(servers_.size());
   for (std::size_t s = 0; s < servers_.size(); ++s) {
@@ -436,6 +457,13 @@ StreamReport StreamDriver::run_loop(const algo::Scheduler& scheduler,
       ++report.fault_steps;
       injector->advance_epoch();
       mask = injector->availability();
+      if (breaker.enabled()) {
+        breaker.observe_epoch(mask);
+        if (mask.unconstrained() && breaker.blocked_count() > 0) {
+          mask = mec::Availability(servers_.size(), num_subchannels_);
+        }
+        breaker.apply(mask);
+      }
       StreamEvent event;
       event.type = StreamEventType::kFault;
       event.sim_time_s = t_next;
@@ -445,6 +473,7 @@ StreamReport StreamDriver::run_loop(const algo::Scheduler& scheduler,
       event.backhauls_down = injector->backhauls_down();
       event.slots_unavailable =
           mask.unconstrained() ? 0 : mask.num_unavailable_slots();
+      event.breakers_open = breaker.blocked_count();
       emit(event);
       // Recovered capacity may drain the backlog; the new mask may strand
       // carried slots. Either way the standing assignment must be re-made
@@ -544,6 +573,9 @@ StreamReport StreamDriver::run_loop(const algo::Scheduler& scheduler,
 
   report.sim_time_s = horizon;
   report.wall_seconds = wall.elapsed_seconds();
+  report.breaker_trips = breaker.trips() - base_trips;
+  report.breaker_half_opens = breaker.half_opens() - base_half_opens;
+  report.breaker_closes = breaker.closes() - base_closes;
   return report;
 }
 

@@ -46,12 +46,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "algo/scheduler.h"
 #include "common/stats.h"
 #include "geo/hex_layout.h"
 #include "mec/availability.h"
+#include "mec/breaker.h"
 #include "mec/scenario.h"
 #include "radio/channel.h"
 #include "sim/fault.h"
@@ -124,6 +126,14 @@ struct StreamConfig {
   /// Noise bursts must stay disabled (checkpoints cannot replay them).
   FaultConfig fault;
   double fault_interval_s = 1.0;
+  /// Per-server backhaul circuit breaker (disabled by default), driven by
+  /// the injector's raw backhaul outages on each fault tick: a flapping
+  /// link trips open and is withheld from forwarding until it proves
+  /// healthy again (see mec/breaker.h). Breaker state is a counter-driven
+  /// pure function of the fault schedule — it consumes no randomness and a
+  /// resumed run reconstructs it by replaying `fault_steps` observations —
+  /// so enabling it keeps the event log seed-deterministic.
+  mec::BreakerConfig breaker;
   /// Per-decision solve budget. Only the deterministic iteration cap is
   /// allowed (max_seconds must be 0): a wall-clock deadline would let host
   /// timing leak into the event log and break replay bit-identity.
@@ -173,8 +183,11 @@ struct StreamEvent {
   std::size_t evaluations = 0;
   // kFault only.
   std::size_t servers_down = 0;
-  std::size_t backhauls_down = 0;
+  std::size_t backhauls_down = 0;  ///< raw outages (breaker not included)
   std::size_t slots_unavailable = 0;
+  /// Backhaul links withheld by the circuit breaker (open + half-open);
+  /// 0 when the breaker is disabled.
+  std::size_t breakers_open = 0;
   // kCheckpoint only.
   std::uint64_t checkpoint_ordinal = 0;
 };
@@ -254,6 +267,11 @@ struct StreamReport {
   std::uint64_t decisions = 0;
   std::uint64_t fault_steps = 0;
   std::uint64_t checkpoints = 0;
+  /// Backhaul circuit-breaker transitions within this run/segment (zero
+  /// when the breaker is disabled); seed-deterministic like the faults.
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_half_opens = 0;
+  std::uint64_t breaker_closes = 0;
   double sim_time_s = 0.0;
   /// Wall-clock time spent inside the loop (drives decisions_per_sec).
   double wall_seconds = 0.0;
@@ -281,6 +299,8 @@ struct StreamReport {
   }
 };
 
+struct RecoveryInfo;  // sim/evidence.h
+
 class StreamDriver {
  public:
   /// An open system on `num_servers` hexagonal cells; static per-session
@@ -303,6 +323,17 @@ class StreamDriver {
   [[nodiscard]] StreamReport resume(const algo::Scheduler& scheduler,
                                     const StreamCheckpoint& checkpoint,
                                     StreamSink* sink = nullptr) const;
+
+  /// Recovers a crash-interrupted evidence bundle in `run_dir`: repairs the
+  /// bundle with prepare_recovery, then resumes from the newest valid
+  /// checkpoint (or restarts from t=0 with the seed recorded in run.json)
+  /// appending through an EvidenceWriter, so the completed events.jsonl is
+  /// byte-identical to an uninterrupted run's. Requires run.json's config
+  /// digest to match this driver. `info` (optional) receives what the
+  /// repair found. Defined in evidence.cpp.
+  [[nodiscard]] StreamReport recover(const algo::Scheduler& scheduler,
+                                     const std::string& run_dir,
+                                     RecoveryInfo* info = nullptr) const;
 
   [[nodiscard]] const StreamConfig& config() const noexcept {
     return config_;

@@ -12,6 +12,7 @@
 #include "algo/tsajs.h"
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/watchdog.h"
 #include "jtora/utility.h"
 #include "mec/scenario_builder.h"
 
@@ -32,20 +33,83 @@ TEST(SolveBudgetTest, DefaultIsUnlimited) {
   budget.validate();
 }
 
-TEST(SolveBudgetTest, ValidateRejectsBadDeadlines) {
+TEST(SolveBudgetTest, ValidateRejectsNonFiniteDeadlines) {
   SolveBudget budget;
-  budget.max_seconds = -1.0;
-  EXPECT_THROW(budget.validate(), InvalidArgumentError);
   budget.max_seconds = std::numeric_limits<double>::quiet_NaN();
   EXPECT_THROW(budget.validate(), InvalidArgumentError);
   budget.max_seconds = std::numeric_limits<double>::infinity();
   EXPECT_THROW(budget.validate(), InvalidArgumentError);
+  // A negative deadline is legal: it means "already expired" and resolves
+  // to the all-local floor at the first safe boundary — never a throw.
+  budget.max_seconds = -1.0;
+  EXPECT_NO_THROW(budget.validate());
+  EXPECT_FALSE(budget.unlimited());
 }
 
-TEST(SolveBudgetTest, SchedulerConstructionValidatesBudget) {
+TEST(SolveBudgetTest, SchedulerConstructionAcceptsExpiredBudget) {
   TsajsConfig config;
   config.budget.max_seconds = -0.5;
+  EXPECT_NO_THROW(TsajsScheduler{config});
+  config.budget.max_seconds = std::numeric_limits<double>::quiet_NaN();
   EXPECT_THROW(TsajsScheduler{config}, InvalidArgumentError);
+}
+
+// Zero in either field means "no limit on that axis", and only both-zero is
+// the unlimited budget.
+TEST(SolveBudgetTest, ZeroFieldsMeanUnlimitedAxes) {
+  SolveBudget budget;
+  EXPECT_TRUE(budget.unlimited());
+  budget.max_iterations = 10;
+  EXPECT_FALSE(budget.unlimited());
+  budget.max_iterations = 0;
+  budget.max_seconds = 1.0;
+  EXPECT_FALSE(budget.unlimited());
+}
+
+// An already-expired (negative) deadline must degrade to the all-local
+// floor — utility 0, nothing offloaded — without throwing, on both the
+// direct TSAJS path and through the registry stack.
+TEST(SolveBudgetTest, NegativeDeadlineDegradesToAllLocalFloor) {
+  Rng env(42);
+  const mec::Scenario scenario = make_u90(env);
+
+  TsajsConfig config;
+  config.budget.max_seconds = -1.0;
+  const TsajsScheduler scheduler(config);
+  Rng solve_rng(7);
+  const ScheduleResult result =
+      run_and_validate(scheduler, scenario, solve_rng);
+  EXPECT_GE(result.system_utility, 0.0);
+
+  RegistryOptions options;
+  options.budget.max_seconds = -1.0;
+  const auto stacked = make_scheduler("tsajs", options);
+  Rng stack_rng(7);
+  const ScheduleResult stacked_result =
+      run_and_validate(*stacked, scenario, stack_rng);
+  EXPECT_GE(stacked_result.system_utility, 0.0);
+}
+
+// A zero deadline with a zero iteration cap is the unlimited budget — the
+// solve must run the full anneal, bit-identical to no budget at all.
+TEST(SolveBudgetTest, ZeroDeadlineZeroIterationsIsUnlimited) {
+  Rng env(11);
+  const mec::Scenario scenario =
+      mec::ScenarioBuilder().num_users(20).build(env);
+
+  const TsajsScheduler unbudgeted;
+  TsajsConfig config;
+  config.budget.max_seconds = 0.0;
+  config.budget.max_iterations = 0;
+  const TsajsScheduler budgeted(config);
+
+  Rng rng_a(3);
+  Rng rng_b(3);
+  const ScheduleResult a = run_and_validate(unbudgeted, scenario, rng_a);
+  const ScheduleResult b = run_and_validate(budgeted, scenario, rng_b);
+  EXPECT_EQ(a.system_utility, b.system_utility);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.assignment, b.assignment);
 }
 
 // The acceptance scenario in deterministic form: U = 90 with an iteration
@@ -137,6 +201,27 @@ TEST(SolveBudgetTest, OneMillisecondDeadlineAtU90NeverThrows) {
   const ScheduleResult result =
       run_and_validate(*scheduler, scenario, solve_rng);
   EXPECT_GE(result.system_utility, 0.0);
+}
+
+// A pre-cancelled token (the watchdog's transport) stops the anneal at its
+// first plateau boundary and still honors the degradation floor: feasible,
+// never below all-local, never a throw.
+TEST(SolveBudgetTest, PreCancelledTokenStopsAtFirstBoundary) {
+  Rng env(42);
+  const mec::Scenario scenario = make_u90(env);
+  const jtora::CompiledProblem problem(scenario);
+
+  const TsajsScheduler scheduler;  // no budget — cancellation alone bites
+  CancelToken token;
+  token.cancel();
+  Rng rng(7);
+  SolveRequest request;
+  request.problem = &problem;
+  request.rng = &rng;
+  request.cancel = &token;
+  const ScheduleResult result = run_and_validate(scheduler, request);
+  EXPECT_GE(result.system_utility, 0.0);
+  EXPECT_LE(result.evaluations, scheduler.config().chain_length + 1);
 }
 
 // Warm starts honor the budget too: the hint path goes through the same

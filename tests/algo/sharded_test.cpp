@@ -319,6 +319,101 @@ TEST(ShardedSchedulerTest, RegistryBuildsShardedWrappers) {
                InvalidArgumentError);
 }
 
+TEST(ShardedSchedulerTest, HedgeFactorValidation) {
+  ShardedConfig config;
+  config.hedge_factor = 0.5;  // between 0 (off) and 1 is meaningless
+  EXPECT_THROW(ShardedScheduler(std::make_unique<GreedyScheduler>(), config),
+               InvalidArgumentError);
+  config.hedge_factor = -1.0;
+  EXPECT_THROW(ShardedScheduler(std::make_unique<GreedyScheduler>(), config),
+               InvalidArgumentError);
+  config.hedge_factor = 1.0;
+  EXPECT_NO_THROW(
+      ShardedScheduler(std::make_unique<GreedyScheduler>(), config));
+}
+
+// Hedged retries under an iteration budget read only the reported
+// evaluation counts (never the clock), so the whole solve — including which
+// shards hedge and what the greedy fallback returns — stays a pure function
+// of (problem, seed): bit-identical at 1, 2, and 8 threads.
+TEST(ShardedSchedulerTest, HedgedRetriesBitIdenticalAt1_2_8Threads) {
+  const mec::Scenario scenario = make_scenario(28, 60);
+  const jtora::CompiledProblem problem(scenario);
+  ShardedConfig base;
+  base.reach_m = 2000.0;
+  // Slices small enough that TSAJS overshoots them by more than the hedge
+  // factor (each plateau adds a whole chain), so retries actually fire.
+  base.budget.max_iterations = 60;
+  base.hedge_factor = 1.0;
+  base.threads = 1;
+  const ShardedScheduler sequential(
+      std::make_unique<TsajsScheduler>(small_tsajs()), base);
+  Rng rng_ref(37);
+  const ScheduleResult reference =
+      run_and_validate(sequential, problem, rng_ref);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE("threads: " + std::to_string(threads));
+    ShardedConfig pooled = base;
+    pooled.threads = threads;
+    const ShardedScheduler parallel(
+        std::make_unique<TsajsScheduler>(small_tsajs()), pooled);
+    Rng rng(37);
+    const ScheduleResult result = run_and_validate(parallel, problem, rng);
+    EXPECT_EQ(result.assignment, reference.assignment);
+    EXPECT_EQ(result.system_utility, reference.system_utility);  // bitwise
+    EXPECT_EQ(result.evaluations, reference.evaluations);
+  }
+  // The hedge really bit: the greedy fallback's evaluations are folded in,
+  // so the effort differs from the same configuration with hedging off.
+  ShardedConfig unhedged = base;
+  unhedged.hedge_factor = 0.0;
+  const ShardedScheduler plain(
+      std::make_unique<TsajsScheduler>(small_tsajs()), unhedged);
+  Rng rng_plain(37);
+  const ScheduleResult no_hedge = run_and_validate(plain, problem, rng_plain);
+  EXPECT_NE(no_hedge.evaluations, reference.evaluations);
+}
+
+// Wall-clock hedging routes through the Watchdog: a deadline so tight every
+// shard overruns immediately must cancel cooperatively, fall back to the
+// RNG-free greedy, and still produce a fully valid assignment — no throw,
+// no hang.
+TEST(ShardedSchedulerTest, WallClockHedgeFallsBackToGreedy) {
+  const mec::Scenario scenario = make_scenario(29, 50);
+  const jtora::CompiledProblem problem(scenario);
+  ShardedConfig config;
+  config.reach_m = 2000.0;
+  config.budget.max_seconds = 1e-6;
+  config.hedge_factor = 1.0;
+  const ShardedScheduler scheduler(
+      std::make_unique<TsajsScheduler>(small_tsajs()), config);
+  Rng rng(41);
+  const ScheduleResult result = run_and_validate(scheduler, problem, rng);
+  result.assignment.check_consistency();
+}
+
+// Registry wiring: --shard-hedge-factor reaches the wrapper and keeps the
+// thread-invariance guarantee.
+TEST(ShardedSchedulerTest, RegistryHedgeFactorStaysThreadInvariant) {
+  const mec::Scenario scenario = make_scenario(30, 55);
+  const jtora::CompiledProblem problem(scenario);
+  RegistryOptions options;
+  options.chain_length = 10;
+  options.shard_reach_m = 2000.0;
+  options.budget.max_iterations = 80;
+  options.shard_hedge_factor = 1.5;
+  const auto sequential = make_scheduler("sharded:tsajs", options);
+  options.shard_threads = 4;
+  const auto pooled = make_scheduler("sharded:tsajs", options);
+  Rng rng_a(73);
+  Rng rng_b(73);
+  const ScheduleResult a = sequential->schedule(problem, rng_a);
+  const ScheduleResult b = pooled->schedule(problem, rng_b);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.system_utility, b.system_utility);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
 TEST(ShardedSchedulerTest, ConfigValidation) {
   ShardedConfig config;
   config.fixup_passes = 0;

@@ -1,0 +1,54 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+namespace tsajs {
+namespace {
+
+// Reference values from the IEEE 802.3 check suite (zlib's crc32 agrees).
+TEST(Crc32Test, MatchesKnownVectors) {
+  EXPECT_EQ(crc32(std::string_view{}), 0x00000000U);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43U);
+  EXPECT_EQ(crc32("abc"), 0x352441C2U);
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926U);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339U);
+}
+
+TEST(Crc32Test, ChainsAcrossCalls) {
+  const std::string text = "123456789";
+  for (std::size_t split = 0; split <= text.size(); ++split) {
+    const std::uint32_t head = crc32(text.substr(0, split));
+    EXPECT_EQ(crc32(text.substr(split), head), 0xCBF43926U)
+        << "split at " << split;
+  }
+}
+
+// The property the checkpoint trailer relies on: any single-bit flip in the
+// body changes the checksum.
+TEST(Crc32Test, DetectsEverySingleBitFlip) {
+  const std::string body = "{\"sim_time_s\":\"0x1.8p+3\",\"decisions\":9}\n";
+  const std::uint32_t good = crc32(body);
+  for (std::size_t byte = 0; byte < body.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = body;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      EXPECT_NE(crc32(flipped), good)
+          << "undetected flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32Test, DetectsTruncation) {
+  const std::string body(300, 'x');
+  const std::uint32_t good = crc32(body);
+  for (std::size_t keep = 0; keep < body.size(); ++keep) {
+    EXPECT_NE(crc32(body.substr(0, keep)), good);
+  }
+}
+
+}  // namespace
+}  // namespace tsajs

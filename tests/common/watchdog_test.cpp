@@ -1,0 +1,91 @@
+#include "common/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace tsajs {
+namespace {
+
+TEST(CancelTokenTest, StartsClearAndLatches) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(WatchdogTest, FiresAfterDeadline) {
+  Watchdog watchdog;
+  CancelToken token;
+  const std::uint64_t id = watchdog.arm(token, 0.01);
+  EXPECT_GT(id, 0U);
+  // Poll rather than sleep a fixed interval: CI machines stall.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!token.cancelled() && std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(token.cancelled());
+  watchdog.disarm(id);
+}
+
+TEST(WatchdogTest, DisarmPreventsFiring) {
+  Watchdog watchdog;
+  CancelToken token;
+  const std::uint64_t id = watchdog.arm(token, 60.0);
+  watchdog.disarm(id);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(token.cancelled());
+  // Unknown and already-disarmed ids are ignored.
+  watchdog.disarm(id);
+  watchdog.disarm(12345);
+}
+
+TEST(WatchdogTest, TracksMultipleTimersIndependently) {
+  Watchdog watchdog;
+  CancelToken fast;
+  CancelToken slow;
+  const std::uint64_t fast_id = watchdog.arm(fast, 0.01);
+  const std::uint64_t slow_id = watchdog.arm(slow, 60.0);
+  EXPECT_NE(fast_id, slow_id);
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!fast.cancelled() && std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(fast.cancelled());
+  EXPECT_FALSE(slow.cancelled());
+  watchdog.disarm(fast_id);
+  watchdog.disarm(slow_id);
+}
+
+TEST(WatchdogTest, NonPositiveDeadlineFiresImmediately) {
+  Watchdog watchdog;
+  CancelToken token;
+  const std::uint64_t id = watchdog.arm(token, -1.0);
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!token.cancelled() && std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(token.cancelled());
+  watchdog.disarm(id);
+}
+
+TEST(WatchdogTest, DestructorJoinsWithArmedTimers) {
+  CancelToken token;
+  {
+    Watchdog watchdog;
+    (void)watchdog.arm(token, 60.0);
+    // Dropping the watchdog with a live timer must not hang or fire.
+  }
+  EXPECT_FALSE(token.cancelled());
+}
+
+}  // namespace
+}  // namespace tsajs

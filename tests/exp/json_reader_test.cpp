@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -55,6 +56,79 @@ TEST(JsonReaderTest, RejectsMalformedDocuments) {
   EXPECT_THROW((void)parse_json("1 2"), InvalidArgumentError);
   EXPECT_THROW((void)parse_json("\"open"), InvalidArgumentError);
   EXPECT_THROW((void)parse_json("1.2.3"), InvalidArgumentError);
+}
+
+TEST(JsonReaderTest, BoundsContainerNesting) {
+  // 64 levels parse; 65 must be rejected before recursion can touch the
+  // C++ stack guard (a hostile "[[[[..." document is the classic DoS).
+  const auto nested = [](std::size_t depth) {
+    return std::string(depth, '[') + std::string(depth, ']');
+  };
+  EXPECT_NO_THROW((void)parse_json(nested(64)));
+  EXPECT_THROW((void)parse_json(nested(65)), InvalidArgumentError);
+  EXPECT_THROW((void)parse_json(std::string(100000, '[')),
+               InvalidArgumentError);
+  // Mixed object/array nesting counts against the same limit.
+  std::string mixed;
+  for (int i = 0; i < 40; ++i) mixed += "{\"k\":[";
+  EXPECT_THROW((void)parse_json(mixed), InvalidArgumentError);
+}
+
+TEST(JsonReaderTest, RejectsNumericOverflow) {
+  EXPECT_THROW((void)parse_json("1e999"), InvalidArgumentError);
+  EXPECT_THROW((void)parse_json("-1e999"), InvalidArgumentError);
+  EXPECT_THROW((void)parse_json(R"({"t":1e400})"), InvalidArgumentError);
+  // Large-but-representable and underflow-to-zero magnitudes stay legal.
+  EXPECT_DOUBLE_EQ(parse_json("1e308").as_number(), 1e308);
+  EXPECT_DOUBLE_EQ(parse_json("1e-999").as_number(), 0.0);
+}
+
+// Deterministic xorshift so the fuzz corpus is reproducible in CI.
+std::uint64_t next_rand(std::uint64_t& s) {
+  s ^= s << 13U;
+  s ^= s >> 7U;
+  s ^= s << 17U;
+  return s;
+}
+
+TEST(JsonReaderTest, RandomTruncationNeverCrashes) {
+  const std::string doc =
+      R"({"name":"micro \"x\"","runs":[{"t":1.5e-3,"n":42},{"t":2.5,"u":"A"}],)"
+      R"("ok":true,"none":null,"deep":[[[[1,2,3]]]]})";
+  // Every prefix must either parse or throw InvalidArgumentError; anything
+  // else (crash, hang, uncaught exception) fails the test.
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    try {
+      (void)parse_json(doc.substr(0, len));
+    } catch (const InvalidArgumentError&) {
+      // expected for most prefixes
+    }
+  }
+}
+
+TEST(JsonReaderTest, RandomCorruptionNeverCrashes) {
+  const std::string doc =
+      R"({"sweep":"U","points":[{"label":"90","schemes":[)"
+      R"({"name":"tsajs","utility":{"mean":25.0,"count":4}}]}]})";
+  std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = doc;
+    // Flip one to three random bytes to random values.
+    const int flips = 1 + static_cast<int>(next_rand(state) % 3);
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = next_rand(state) % mutated.size();
+      mutated[pos] = static_cast<char>(next_rand(state) & 0xFFU);
+    }
+    try {
+      const JsonValue value = parse_json(mutated);
+      // A mutation that still parses must yield a walkable tree.
+      if (value.kind() == JsonValue::Kind::kObject) {
+        (void)value.members().size();
+      }
+    } catch (const InvalidArgumentError&) {
+      // expected for most corruptions
+    }
+  }
 }
 
 TEST(JsonReaderTest, TypeMismatchesThrow) {

@@ -1,0 +1,155 @@
+#include "mec/breaker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace tsajs::mec {
+namespace {
+
+Availability healthy(std::size_t servers = 3, std::size_t subchannels = 2) {
+  return Availability(servers, subchannels);
+}
+
+Availability with_backhaul_down(std::size_t server, std::size_t servers = 3,
+                                std::size_t subchannels = 2) {
+  Availability mask(servers, subchannels);
+  mask.fail_backhaul(server);
+  return mask;
+}
+
+TEST(BreakerConfigTest, ZeroTripDisables) {
+  const BreakerConfig config;
+  EXPECT_FALSE(config.enabled());
+  config.validate();  // disabled configs skip the threshold checks
+
+  BreakerConfig bad;
+  bad.trip_after = 1;
+  bad.cooldown_epochs = 0;
+  EXPECT_THROW(bad.validate(), InvalidArgumentError);
+  bad.cooldown_epochs = 1;
+  bad.close_after = 0;
+  EXPECT_THROW(bad.validate(), InvalidArgumentError);
+}
+
+TEST(BackhaulBreakerTest, DisabledIsInertOnTheMask) {
+  BackhaulBreaker breaker(3, BreakerConfig{});
+  EXPECT_FALSE(breaker.enabled());
+  Availability mask = with_backhaul_down(0);
+  const Availability before = mask;
+  breaker.observe_epoch(mask);
+  breaker.apply(mask);
+  EXPECT_EQ(mask, before);
+  EXPECT_EQ(breaker.blocked_count(), 0U);
+}
+
+TEST(BackhaulBreakerTest, TripsAfterConsecutiveDownEpochs) {
+  BreakerConfig config;
+  config.trip_after = 3;
+  BackhaulBreaker breaker(3, config);
+
+  breaker.observe_epoch(with_backhaul_down(1));
+  breaker.observe_epoch(with_backhaul_down(1));
+  EXPECT_EQ(breaker.state(1), BreakerState::kClosed);
+  // A healthy epoch in between resets the consecutive count.
+  breaker.observe_epoch(healthy());
+  breaker.observe_epoch(with_backhaul_down(1));
+  breaker.observe_epoch(with_backhaul_down(1));
+  EXPECT_EQ(breaker.state(1), BreakerState::kClosed);
+  breaker.observe_epoch(with_backhaul_down(1));
+  EXPECT_EQ(breaker.state(1), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1U);
+  EXPECT_EQ(breaker.blocked_count(), 1U);
+  EXPECT_EQ(breaker.state(0), BreakerState::kClosed);
+  EXPECT_EQ(breaker.state(2), BreakerState::kClosed);
+}
+
+TEST(BackhaulBreakerTest, OpenBlocksForwardingEvenWhenRawLinkIsUp) {
+  BreakerConfig config;
+  config.trip_after = 1;
+  config.cooldown_epochs = 2;
+  BackhaulBreaker breaker(3, config);
+
+  breaker.observe_epoch(with_backhaul_down(2));
+  ASSERT_EQ(breaker.state(2), BreakerState::kOpen);
+
+  Availability mask = healthy();  // raw link is back up
+  breaker.apply(mask);
+  EXPECT_FALSE(mask.backhaul_available(2));
+  EXPECT_TRUE(mask.backhaul_available(0));
+  // Slot capacity is untouched — the breaker only severs forwarding.
+  EXPECT_TRUE(mask.all_available());
+}
+
+TEST(BackhaulBreakerTest, HalfOpenProbesThenCloses) {
+  BreakerConfig config;
+  config.trip_after = 1;
+  config.cooldown_epochs = 2;
+  config.close_after = 2;
+  BackhaulBreaker breaker(1, config);
+
+  breaker.observe_epoch(with_backhaul_down(0, 1));
+  ASSERT_EQ(breaker.state(0), BreakerState::kOpen);
+  breaker.observe_epoch(healthy(1));  // cooldown 2 -> 1
+  EXPECT_EQ(breaker.state(0), BreakerState::kOpen);
+  breaker.observe_epoch(healthy(1));  // cooldown expires
+  EXPECT_EQ(breaker.state(0), BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.half_opens(), 1U);
+  // Half-open still blocks forwarding while it probes.
+  EXPECT_EQ(breaker.blocked_count(), 1U);
+  breaker.observe_epoch(healthy(1));  // probe 1/2 up
+  EXPECT_EQ(breaker.state(0), BreakerState::kHalfOpen);
+  breaker.observe_epoch(healthy(1));  // probe 2/2 up -> close
+  EXPECT_EQ(breaker.state(0), BreakerState::kClosed);
+  EXPECT_EQ(breaker.closes(), 1U);
+  EXPECT_EQ(breaker.blocked_count(), 0U);
+}
+
+TEST(BackhaulBreakerTest, FailedProbeRetripsWithFreshCooldown) {
+  BreakerConfig config;
+  config.trip_after = 1;
+  config.cooldown_epochs = 1;
+  BackhaulBreaker breaker(1, config);
+
+  breaker.observe_epoch(with_backhaul_down(0, 1));
+  breaker.observe_epoch(healthy(1));  // half-open
+  ASSERT_EQ(breaker.state(0), BreakerState::kHalfOpen);
+  breaker.observe_epoch(with_backhaul_down(0, 1));  // probe fails
+  EXPECT_EQ(breaker.state(0), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 2U);
+  breaker.observe_epoch(healthy(1));
+  EXPECT_EQ(breaker.state(0), BreakerState::kHalfOpen);
+  breaker.observe_epoch(healthy(1));
+  EXPECT_EQ(breaker.state(0), BreakerState::kClosed);
+}
+
+// The determinism contract: breaker state is a pure fold over the observed
+// masks, so two breakers fed the same sequence agree exactly.
+TEST(BackhaulBreakerTest, IdenticalObservationsGiveIdenticalTimelines) {
+  BreakerConfig config;
+  config.trip_after = 2;
+  config.cooldown_epochs = 2;
+  BackhaulBreaker a(3, config);
+  BackhaulBreaker b(3, config);
+  // A deterministic flapping pattern over 64 epochs: each 5-epoch cycle
+  // opens with a 2-epoch outage of one server (rotating per cycle), long
+  // enough to trip with trip_after=2.
+  for (std::size_t epoch = 0; epoch < 64; ++epoch) {
+    const bool down = (epoch % 5) < 2;
+    const Availability mask =
+        down ? with_backhaul_down((epoch / 5) % 3) : healthy();
+    a.observe_epoch(mask);
+    b.observe_epoch(mask);
+    ASSERT_EQ(a.blocked_count(), b.blocked_count()) << "epoch " << epoch;
+    for (std::size_t s = 0; s < 3; ++s) {
+      ASSERT_EQ(a.state(s), b.state(s)) << "epoch " << epoch;
+    }
+  }
+  EXPECT_EQ(a.trips(), b.trips());
+  EXPECT_EQ(a.half_opens(), b.half_opens());
+  EXPECT_EQ(a.closes(), b.closes());
+  EXPECT_GT(a.trips(), 0U);
+}
+
+}  // namespace
+}  // namespace tsajs::mec

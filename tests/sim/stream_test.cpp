@@ -220,6 +220,80 @@ TEST(StreamConfigTest, RejectsNonReplayableSettings) {
   EXPECT_NE(ok.digest(), tweaked.digest());
 }
 
+/// Backhaul faults plus an aggressive breaker: trip on the first down
+/// epoch, probe after two healthy ones. Guarantees transitions whenever the
+/// fault schedule produces any backhaul outage.
+StreamConfig breaker_config() {
+  StreamConfig config = small_config();
+  config.duration_s = 24.0;
+  config.fault.backhaul_mtbf_epochs = 2.0;
+  config.fault.backhaul_mttr_epochs = 2.0;
+  config.cloud_cpu_hz = 10e9;
+  config.cloud_max_forwarded = 2;
+  config.breaker.trip_after = 1;
+  config.breaker.cooldown_epochs = 2;
+  config.breaker.close_after = 1;
+  return config;
+}
+
+TEST(StreamDriver, BreakerTransitionsAreSeedDeterministic) {
+  const StreamDriver driver(4, 3, breaker_config());
+  const auto scheduler = algo::make_scheduler("greedy");
+  VectorSink a;
+  VectorSink b;
+  const StreamReport r1 = driver.run(*scheduler, 33, &a);
+  const StreamReport r2 = driver.run(*scheduler, 33, &b);
+  EXPECT_EQ(a.lines, b.lines);
+  EXPECT_GT(r1.breaker_trips, 0u);
+  EXPECT_EQ(r1.breaker_trips, r2.breaker_trips);
+  EXPECT_EQ(r1.breaker_half_opens, r2.breaker_half_opens);
+  EXPECT_EQ(r1.breaker_closes, r2.breaker_closes);
+  // kFault lines surface the withheld-link count once the breaker engages.
+  bool saw_breakers_open = false;
+  for (const std::string& line : a.lines) {
+    if (line.find("\"breakers_open\":") != std::string::npos) {
+      saw_breakers_open = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_breakers_open);
+}
+
+TEST(StreamDriver, BreakerConfigDoesNotPerturbDisabledRuns) {
+  // The breakers_open field is emitted only when nonzero, so a run with the
+  // breaker disabled is byte-identical to one that predates the feature —
+  // and enabling the breaker changes the config digest, refusing resume
+  // across the flag.
+  const StreamConfig off = small_config();
+  StreamConfig on = small_config();
+  on.breaker.trip_after = 1;
+  EXPECT_NE(off.digest(), on.digest());
+}
+
+TEST(StreamDriver, BreakerResumeReconstructsMidCooldownState) {
+  // Breaker state is not persisted in checkpoints — resume re-derives it by
+  // replaying the fault schedule's observations. Every checkpoint,
+  // including ones taken while links are open or cooling down, must replay
+  // the remaining event stream (with its breakers_open fields) bit-exactly.
+  const StreamDriver driver(4, 3, breaker_config());
+  const auto scheduler = algo::make_scheduler("greedy");
+  VectorSink full;
+  const StreamReport report = driver.run(*scheduler, 33, &full);
+  ASSERT_GT(report.breaker_trips, 0u);
+  ASSERT_FALSE(full.checkpoints.empty());
+
+  for (const auto& [checkpoint, index] : full.checkpoints) {
+    VectorSink resumed;
+    (void)driver.resume(*scheduler, checkpoint, &resumed);
+    const std::vector<std::string> tail(
+        full.lines.begin() + static_cast<std::ptrdiff_t>(index),
+        full.lines.end());
+    EXPECT_EQ(resumed.lines, tail)
+        << "breaker resume from checkpoint " << checkpoint.checkpoints_emitted
+        << " diverged";
+  }
+}
+
 TEST(EvidenceTest, CheckpointJsonRoundTripsBitExactly) {
   const StreamDriver driver(4, 3, small_config());
   const auto scheduler = algo::make_scheduler("tsajs");

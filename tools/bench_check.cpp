@@ -142,6 +142,24 @@ struct Comparison {
   bool regressed = false;
 };
 
+/// Parses one input document and folds it through `loader`, wrapping any
+/// failure (missing file, JSON syntax error, wrong document shape) with the
+/// input's role and path. A bare "cannot open JSON file" out of four
+/// possible inputs sends CI users spelunking; "failed reading the micro
+/// baseline at 'bench/BENCH_micro.json'" does not.
+template <typename Loader>
+auto load_side(const std::string& role, const std::string& path,
+               Loader loader) {
+  try {
+    return loader(tsajs::exp::parse_json_file(path));
+  } catch (const std::exception& error) {
+    throw tsajs::Error("failed reading the " + role + " at '" + path +
+                       "': " + error.what() +
+                       " (check the path, or regenerate the dump per "
+                       "EXPERIMENTS.md)");
+  }
+}
+
 std::string format_ns(double ns) {
   return tsajs::units::duration_string(ns * 1e-9, 3);
 }
@@ -270,9 +288,9 @@ int run(int argc, const char* const* argv) {
   const std::string filter = cli.get_string("filter");
 
   const auto baseline =
-      load_kernels(tsajs::exp::parse_json_file(cli.get_string("baseline")));
-  const auto current =
-      load_kernels(tsajs::exp::parse_json_file(current_path));
+      load_side("micro baseline", cli.get_string("baseline"), load_kernels);
+  const auto current = load_side("current micro run", current_path,
+                                 load_kernels);
 
   std::vector<Comparison> rows;
   std::vector<std::string> baseline_only;
@@ -336,9 +354,10 @@ int run(int argc, const char* const* argv) {
       return 2;
     }
     const auto scale_baseline =
-        load_scale_points(tsajs::exp::parse_json_file(scale_baseline_path));
-    const auto scale_current =
-        load_scale_points(tsajs::exp::parse_json_file(scale_current_path));
+        load_side("scale baseline", scale_baseline_path, load_scale_points);
+    const auto scale_current = load_side("current scale run",
+                                         scale_current_path,
+                                         load_scale_points);
     for (const auto& [name, base] : scale_baseline) {
       const auto it = scale_current.find(name);
       if (it == scale_current.end()) {
